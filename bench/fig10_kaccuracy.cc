@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 10: Portend's accuracy with increasing values of k (the
+ * number of path x schedule combinations explored), for Pbzip2,
+ * Ctrace, Memcached, and Bbuf. k maps onto the Mp dial with Ma
+ * fixed; the paper found k = 5 sufficient for 99% accuracy.
+ */
+
+#include "bench/common.h"
+
+using namespace portend;
+
+int
+main()
+{
+    const std::vector<std::string> apps{"pbzip2", "ctrace",
+                                        "memcached", "bbuf"};
+    const int ks[] = {1, 3, 5, 7, 9, 11};
+
+    std::printf("Figure 10: accuracy with increasing k "
+                "[%% races correctly classified]\n");
+    bench::rule(70);
+    std::printf("%6s", "k");
+    for (const auto &a : apps)
+        std::printf(" %12s", a.c_str());
+    std::printf("\n");
+    bench::rule(70);
+
+    for (int k : ks) {
+        core::PortendOptions opts;
+        opts.mp = k;
+        opts.ma = k >= 5 ? 2 : 1;
+        opts.multi_path = k > 1;
+        opts.multi_schedule = k >= 5;
+        std::printf("%6d", k);
+        for (const auto &a : apps) {
+            bench::WorkloadRun run = bench::runWorkload(a, opts);
+            std::printf(" %11.0f%%", bench::accuracyVsTruth(run));
+        }
+        std::printf("\n");
+    }
+    bench::rule(70);
+    std::printf("Expected shape (paper): accuracy climbs with k and "
+                "saturates by k = 5.\n");
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark micro-latencies of the core primitives: vector
+ * clock operations, solver queries, interpreter stepping, and
+ * happens-before detection on a racy workload.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ir/builder.h"
+#include "race/hb.h"
+#include "race/vclock.h"
+#include "rt/interpreter.h"
+#include "sym/solver.h"
+
+using namespace portend;
+using ir::I;
+using ir::R;
+using K = sym::ExprKind;
+
+namespace {
+
+void
+BM_VectorClockJoin(benchmark::State &state)
+{
+    race::VectorClock a, b;
+    for (int t = 0; t < 8; ++t) {
+        a.set(t, 100 + t);
+        b.set(t, 90 + 3 * t);
+    }
+    for (auto _ : state) {
+        race::VectorClock c = a;
+        c.join(b);
+        benchmark::DoNotOptimize(c.get(7));
+    }
+}
+BENCHMARK(BM_VectorClockJoin);
+
+void
+BM_VectorClockHappensBefore(benchmark::State &state)
+{
+    race::VectorClock a, b;
+    for (int t = 0; t < 8; ++t) {
+        a.set(t, t);
+        b.set(t, t + 1);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.lessOrEqual(b));
+}
+BENCHMARK(BM_VectorClockHappensBefore);
+
+void
+BM_SolverSatQuery(benchmark::State &state)
+{
+    sym::ExprPtr x = sym::Expr::symbol("x", 0, sym::Width::I64, 0,
+                                       state.range(0));
+    sym::ExprPtr y = sym::Expr::symbol("y", 1, sym::Width::I64, 0,
+                                       state.range(0));
+    std::vector<sym::ExprPtr> cs{
+        sym::mkSlt(x, y),
+        sym::mkEq(sym::mkAdd(x, y), sym::mkConst(state.range(0))),
+    };
+    for (auto _ : state) {
+        sym::Solver solver;
+        sym::Model m;
+        benchmark::DoNotOptimize(solver.checkSat(cs, &m));
+    }
+}
+BENCHMARK(BM_SolverSatQuery)->Arg(16)->Arg(64)->Arg(256);
+
+ir::Program
+interpProgram(int iters)
+{
+    ir::ProgramBuilder pb("bench");
+    ir::GlobalId g = pb.global("acc");
+    auto &m = pb.function("main", 0);
+    ir::BlockId e = m.block("entry");
+    ir::BlockId loop = m.block("loop");
+    ir::BlockId done = m.block("done");
+    m.to(e);
+    ir::Reg i = m.iconst(iters);
+    m.jmp(loop);
+    m.to(loop);
+    ir::Reg v = m.load(g);
+    m.store(g, I(0), R(m.bin(K::Add, R(v), I(1))));
+    m.binInto(i, K::Sub, R(i), I(1));
+    m.br(R(m.bin(K::Sgt, R(i), I(0))), loop, done);
+    m.to(done);
+    m.halt();
+    return pb.build();
+}
+
+void
+BM_InterpreterSteps(benchmark::State &state)
+{
+    ir::Program p = interpProgram(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        rt::Interpreter interp(p, rt::ExecOptions{});
+        benchmark::DoNotOptimize(interp.run());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 5);
+}
+BENCHMARK(BM_InterpreterSteps)->Arg(100)->Arg(1000);
+
+ir::Program
+racyProgram()
+{
+    ir::ProgramBuilder pb("racy");
+    ir::GlobalId g = pb.global("x");
+    auto &w = pb.function("w", 1);
+    w.to(w.block("e"));
+    ir::Reg v = w.load(g);
+    w.store(g, I(0), R(w.bin(K::Add, R(v), I(1))));
+    w.retVoid();
+    auto &m = pb.function("main", 0);
+    m.to(m.block("e"));
+    ir::Reg t1 = m.threadCreate("w", I(0));
+    ir::Reg t2 = m.threadCreate("w", I(0));
+    m.threadJoin(R(t1));
+    m.threadJoin(R(t2));
+    m.halt();
+    return pb.build();
+}
+
+void
+BM_HbDetection(benchmark::State &state)
+{
+    ir::Program p = racyProgram();
+    for (auto _ : state) {
+        rt::ExecOptions eo;
+        eo.preempt_on_memory = true;
+        rt::Interpreter interp(p, eo);
+        rt::RotatePolicy rot;
+        interp.setPolicy(&rot);
+        race::HbDetector hb(p);
+        interp.addSink(&hb);
+        interp.run();
+        benchmark::DoNotOptimize(hb.races().size());
+    }
+}
+BENCHMARK(BM_HbDetection);
+
+} // namespace
+
+BENCHMARK_MAIN();

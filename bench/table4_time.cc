@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 4: time to classify — plain interpretation time of each
+ * workload (the "Cloud9 running time" column) against Portend's
+ * per-race classification time (avg/min/max). Absolute numbers
+ * differ from the paper's 2008-era testbed; the shape (classifier
+ * overhead within ~1-50x of interpretation) is the claim.
+ */
+
+#include "bench/common.h"
+
+#include "portend/analyzer.h"
+#include "rt/interpreter.h"
+
+using namespace portend;
+
+int
+main()
+{
+    std::printf("Table 4: classification time per race\n");
+    bench::rule(90);
+    std::printf("%-12s %16s | %12s %12s %12s %10s\n", "Program",
+                "interp time (ms)", "avg (ms)", "min (ms)",
+                "max (ms)", "overhead");
+    bench::rule(90);
+
+    for (const auto &name : workloads::workloadNames()) {
+        workloads::Workload w = workloads::buildWorkload(name);
+
+        // Baseline: plain interpretation, no detection, averaged.
+        Stopwatch sw;
+        const int reps = 5;
+        for (int i = 0; i < reps; ++i) {
+            rt::ExecOptions eo;
+            eo.preempt_on_memory = true;
+            rt::Interpreter interp(w.program, eo);
+            rt::RotatePolicy rot;
+            interp.setPolicy(&rot);
+            interp.run();
+        }
+        double interp_ms = sw.seconds() * 1000.0 / reps;
+
+        // Classification time per race.
+        core::Portend tool(w.program, core::PortendOptions{});
+        core::DetectionResult det = tool.detect();
+        core::RaceAnalyzer analyzer(w.program, core::PortendOptions{});
+        Accumulator acc;
+        for (const auto &c : det.clusters) {
+            Stopwatch one;
+            (void)analyzer.classify(c.representative, det.trace);
+            acc.add(one.seconds() * 1000.0);
+        }
+        std::printf("%-12s %16.3f | %12.3f %12.3f %12.3f %9.1fx\n",
+                    name.c_str(), interp_ms, acc.mean(), acc.min(),
+                    acc.max(),
+                    interp_ms > 0 ? acc.mean() / interp_ms : 0.0);
+    }
+    bench::rule(90);
+    return 0;
+}

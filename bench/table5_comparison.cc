@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Table 5: per-category classification accuracy of each approach on
+ * the full 93-race population — Record/Replay-Analyzer [45], the
+ * ad-hoc-synchronization detectors (Helgrind+ [27] /
+ * Ad-Hoc-Detector [55]), and Portend, all against manually
+ * established ground truth.
+ */
+
+#include "bench/common.h"
+
+#include "baseline/adhoc_detector.h"
+#include "baseline/replay_analyzer.h"
+
+using namespace portend;
+
+namespace {
+
+struct Tally
+{
+    int correct = 0;
+    int total = 0;
+
+    void
+    add(bool ok)
+    {
+        total += 1;
+        correct += ok ? 1 : 0;
+    }
+
+    std::string
+    pct() const
+    {
+        if (!total)
+            return "   -";
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%3.0f%%",
+                      100.0 * correct / total);
+        return buf;
+    }
+};
+
+/** Per-category tallies for one approach. */
+struct Approach
+{
+    Tally spec, kwitness, outdiff, singleord;
+
+    Tally &
+    byTruth(core::RaceClass truth)
+    {
+        switch (truth) {
+          case core::RaceClass::SpecViolated: return spec;
+          case core::RaceClass::KWitnessHarmless: return kwitness;
+          case core::RaceClass::OutputDiffers: return outdiff;
+          default: return singleord;
+        }
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Approach rr, adhoc, portend_tool;
+    int portend_correct = 0, total = 0;
+    // Record/Replay precision counters: of the races it calls
+    // harmful (resp. harmless), how many truly are (the paper's 10%
+    // figure is this precision on the harmful class).
+    int rr_harmful_calls = 0, rr_harmful_right = 0;
+    int rr_harmless_calls = 0, rr_harmless_right = 0;
+
+    for (const auto &name : workloads::workloadNames()) {
+        bench::WorkloadRun run = bench::runWorkload(name);
+        const ir::Program &prog = run.workload.program;
+        baseline::ReplayAnalyzer analyzer(prog);
+        baseline::AdhocDetector spin_detector(prog);
+
+        auto pool = bench::truthPool(run);
+        for (const auto &r : run.result.reports) {
+            const workloads::ExpectedRace *e =
+                bench::truthFor(run, r, pool);
+            if (!e)
+                continue;
+            total += 1;
+            const core::RaceClass truth = e->truth;
+
+            // Portend's fine-grained verdict.
+            bool portend_ok = r.classification.cls == truth;
+            portend_tool.byTruth(truth).add(portend_ok);
+            portend_correct += portend_ok ? 1 : 0;
+
+            // Record/Replay-Analyzer: harmful/harmless only.
+            baseline::ReplayAnalysis ra = analyzer.analyze(
+                r.cluster.representative, run.result.detection.trace);
+            bool rr_ok;
+            switch (truth) {
+              case core::RaceClass::SpecViolated:
+                rr_ok = ra.verdict ==
+                        baseline::ReplayVerdict::LikelyHarmful;
+                break;
+              case core::RaceClass::KWitnessHarmless:
+                rr_ok = ra.verdict ==
+                        baseline::ReplayVerdict::LikelyHarmless;
+                break;
+              default:
+                rr_ok = false; // cannot express these categories
+                break;
+            }
+            rr.byTruth(truth).add(rr_ok);
+            if (ra.verdict == baseline::ReplayVerdict::LikelyHarmful) {
+                rr_harmful_calls += 1;
+                rr_harmful_right +=
+                    truth == core::RaceClass::SpecViolated ? 1 : 0;
+            }
+            if (ra.verdict ==
+                baseline::ReplayVerdict::LikelyHarmless) {
+                rr_harmless_calls += 1;
+                rr_harmless_right +=
+                    truth == core::RaceClass::KWitnessHarmless ? 1
+                                                               : 0;
+            }
+
+            // Ad-hoc detectors: single-ordering only.
+            baseline::AdhocVerdict av =
+                spin_detector.classify(r.cluster.representative);
+            bool adhoc_ok =
+                truth == core::RaceClass::SingleOrdering &&
+                av == baseline::AdhocVerdict::SingleOrdering;
+            adhoc.byTruth(truth).add(adhoc_ok);
+        }
+    }
+
+    std::printf("Table 5: accuracy per approach and category "
+                "(%d races)\n", total);
+    bench::rule(86);
+    std::printf("%-28s %10s %10s %10s %10s\n", "", "specViol",
+                "k-witness", "outDiff", "singleOrd");
+    bench::rule(86);
+    std::printf("%-28s %10s %10s %10s %10s\n", "Ground Truth", "100%",
+                "100%", "100%", "100%");
+    std::printf("%-28s %10s %10s %10s %10s\n",
+                "Record/Replay-Analyzer", rr.spec.pct().c_str(),
+                rr.kwitness.pct().c_str(),
+                "0%(n/c)", "0%(n/c)");
+    std::printf("%-28s %10s %10s %10s %10s\n",
+                "Ad-Hoc-Detector/Helgrind+", "0%(n/c)", "0%(n/c)",
+                "0%(n/c)", adhoc.singleord.pct().c_str());
+    std::printf("%-28s %10s %10s %10s %10s\n", "Portend",
+                portend_tool.spec.pct().c_str(),
+                portend_tool.kwitness.pct().c_str(),
+                portend_tool.outdiff.pct().c_str(),
+                portend_tool.singleord.pct().c_str());
+    bench::rule(86);
+    std::printf("Portend overall: %d/%d (paper: 92/93 = 99%%); "
+                "'n/c' = the approach cannot classify\n",
+                portend_correct, total);
+    std::printf("Record/Replay-Analyzer precision: harmful verdicts "
+                "%d/%d = %.0f%% (paper: 10%%),\n  harmless verdicts "
+                "%d/%d = %.0f%% (paper: 95%%); replay failures on "
+                "single-ordering races\n  are the dominant error "
+                "source, as in the paper (Section 5.4).\n",
+                rr_harmful_right, rr_harmful_calls,
+                rr_harmful_calls
+                    ? 100.0 * rr_harmful_right / rr_harmful_calls
+                    : 0.0,
+                rr_harmless_right, rr_harmless_calls,
+                rr_harmless_calls
+                    ? 100.0 * rr_harmless_right / rr_harmless_calls
+                    : 0.0);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * False-positive filtering (paper §5.2): imprecise detectors (e.g.
+ * static or lockset-based tools, or a happens-before detector blind
+ * to some synchronization) report races that are not races. Portend
+ * classifies every such report "single ordering". This example runs
+ * a mutex-protected program under a detector with its mutex
+ * awareness removed and shows Portend absorbing the false reports.
+ *
+ *   $ ./false_positive_filter
+ */
+
+#include <cstdio>
+
+#include "ir/builder.h"
+#include "portend/portend.h"
+
+using namespace portend;
+using ir::I;
+using ir::R;
+using K = sym::ExprKind;
+
+int
+main()
+{
+    // Correctly synchronized bank account: both threads deposit
+    // under a lock.
+    ir::ProgramBuilder pb("bank");
+    ir::GlobalId balance = pb.global("balance", 1, {100});
+    ir::SyncId lock = pb.mutex("account_lock");
+
+    for (int t = 1; t <= 2; ++t) {
+        auto &f = pb.function("deposit" + std::to_string(t), 1);
+        f.file("bank.c").line(20 + t);
+        f.to(f.block("entry"));
+        f.lock(lock);
+        ir::Reg v = f.load(balance);
+        f.store(balance, I(0), R(f.bin(K::Add, R(v), I(10 * t))));
+        f.unlock(lock);
+        f.retVoid();
+    }
+    auto &m = pb.function("main", 0);
+    m.to(m.block("entry"));
+    ir::Reg t1 = m.threadCreate("deposit1", I(0));
+    ir::Reg t2 = m.threadCreate("deposit2", I(0));
+    m.threadJoin(R(t1));
+    m.threadJoin(R(t2));
+    m.output("balance", R(m.load(balance)));
+    m.halt();
+    ir::Program program = pb.build();
+
+    // A sound detector reports nothing.
+    {
+        core::Portend tool(program);
+        core::DetectionResult det = tool.detect();
+        std::printf("happens-before detector: %zu race reports "
+                    "(expected 0)\n",
+                    det.clusters.size());
+    }
+
+    // An imperfect detector (mutex-blind) reports false positives;
+    // Portend classifies every one as "single ordering".
+    {
+        core::PortendOptions opts;
+        opts.detector = core::DetectorKind::HappensBeforeNoMutex;
+        core::Portend tool(program, opts);
+        core::PortendResult res = tool.run();
+        std::printf("mutex-blind detector: %zu race reports\n",
+                    res.reports.size());
+        for (const auto &r : res.reports) {
+            std::printf("  %-14s -> %s\n",
+                        program
+                            .cellName(r.cluster.representative.cell)
+                            .c_str(),
+                        core::raceClassName(r.classification.cls));
+        }
+    }
+    std::printf("All false positives land in 'single ordering': the "
+                "alternate ordering\ncannot be produced, exactly as "
+                "the paper reports for its imperfect-detector\n"
+                "experiment.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: build a small racy program with the PIL builder API,
+ * run the full Portend pipeline on it, and print the classified
+ * race reports.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "ir/builder.h"
+#include "portend/portend.h"
+
+using namespace portend;
+using ir::I;
+using ir::R;
+using K = sym::ExprKind;
+
+int
+main()
+{
+    // A tiny server: a worker bumps a shared request counter while
+    // the main thread snapshots it for a status line — without any
+    // synchronization. Is that race harmful?
+    ir::ProgramBuilder pb("quickstart");
+    ir::GlobalId requests = pb.global("requests");
+
+    auto &worker = pb.function("worker", 1);
+    worker.file("server.c").line(42);
+    worker.to(worker.block("entry"));
+    ir::Reg v = worker.load(requests);
+    worker.store(requests, I(0), R(worker.bin(K::Add, R(v), I(1))));
+    worker.retVoid();
+
+    auto &m = pb.function("main", 0);
+    m.file("server.c").line(10);
+    m.to(m.block("entry"));
+    ir::Reg tid = m.threadCreate("worker", I(0));
+    ir::Reg snapshot = m.load(requests); // races with the worker
+    m.output("status", R(snapshot));
+    m.threadJoin(R(tid));
+    m.halt();
+
+    ir::Program program = pb.build();
+
+    // Run detection + classification with the paper's defaults
+    // (Mp = 5 primary paths, Ma = 2 alternate schedules).
+    core::Portend tool(program);
+    core::PortendResult result = tool.run();
+
+    std::printf("detected %zu distinct race(s), %zu dynamic "
+                "instance(s)\n\n",
+                result.detection.clusters.size(),
+                result.detection.dynamic_races);
+    for (const core::PortendReport &report : result.reports)
+        std::printf("%s\n", core::formatReport(program, report).c_str());
+
+    std::printf("schedule trace: %s\n",
+                result.detection.trace.summary().c_str());
+    return 0;
+}

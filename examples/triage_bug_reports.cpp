@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Bug-report triage (the paper's envisioned deployment, §1): run
+ * Portend over the whole workload suite and print a priority-sorted
+ * triage queue — "spec violated" first, then "output differs",
+ * leaving the harmless categories for later.
+ *
+ *   $ ./triage_bug_reports [workload...]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "portend/portend.h"
+#include "workloads/registry.h"
+
+using namespace portend;
+
+namespace {
+
+struct Item
+{
+    std::string program;
+    std::string cell;
+    core::RaceClass cls;
+    core::ViolationKind viol;
+    int instances;
+    std::string detail;
+};
+
+int
+severity(core::RaceClass c)
+{
+    switch (c) {
+      case core::RaceClass::SpecViolated: return 0;
+      case core::RaceClass::OutputDiffers: return 1;
+      case core::RaceClass::Unclassified: return 2;
+      case core::RaceClass::KWitnessHarmless: return 3;
+      case core::RaceClass::SingleOrdering: return 4;
+    }
+    return 5;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i)
+            names.push_back(argv[i]);
+    } else {
+        names = workloads::workloadNames();
+    }
+
+    std::vector<Item> queue;
+    for (const auto &name : names) {
+        workloads::Workload w = workloads::buildWorkload(name);
+        core::Portend tool(w.program);
+        core::PortendResult res = tool.run();
+        for (const auto &r : res.reports) {
+            Item item;
+            item.program = name;
+            item.cell = w.program.cellName(
+                r.cluster.representative.cell);
+            item.cls = r.classification.cls;
+            item.viol = r.classification.viol;
+            item.instances = r.cluster.instances;
+            item.detail = r.classification.detail;
+            queue.push_back(std::move(item));
+        }
+    }
+
+    std::stable_sort(queue.begin(), queue.end(),
+                     [](const Item &a, const Item &b) {
+                         return severity(a.cls) < severity(b.cls);
+                     });
+
+    std::printf("triage queue (%zu races, most severe first)\n",
+                queue.size());
+    std::printf("%-4s %-11s %-22s %-20s %9s\n", "#", "program",
+                "location", "class", "instances");
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Item &it = queue[i];
+        std::string cls = core::raceClassName(it.cls);
+        if (it.cls == core::RaceClass::SpecViolated) {
+            cls += std::string(" (") +
+                   core::violationKindName(it.viol) + ")";
+        }
+        std::printf("%-4zu %-11s %-22s %-20s %9d\n", i + 1,
+                    it.program.c_str(), it.cell.c_str(), cls.c_str(),
+                    it.instances);
+    }
+    return 0;
+}

@@ -1,0 +1,459 @@
+#include "ir/builder.h"
+
+#include "ir/verifier.h"
+#include "support/logging.h"
+
+namespace portend::ir {
+
+FunctionBuilder::FunctionBuilder(ProgramBuilder *owner, FuncId id,
+                                 int num_params)
+    : owner(owner), id(id), next_reg(num_params)
+{}
+
+Function &
+FunctionBuilder::fn()
+{
+    return owner->prog.functions[id];
+}
+
+Reg
+FunctionBuilder::param(int i) const
+{
+    return i;
+}
+
+Reg
+FunctionBuilder::fresh()
+{
+    return next_reg++;
+}
+
+BlockId
+FunctionBuilder::block(const std::string &bname)
+{
+    fn().blocks.push_back(BasicBlock{bname, {}});
+    BlockId b = static_cast<BlockId>(fn().blocks.size() - 1);
+    if (cur < 0)
+        cur = b;
+    return b;
+}
+
+FunctionBuilder &
+FunctionBuilder::to(BlockId b)
+{
+    cur = b;
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::file(const std::string &f)
+{
+    loc.file = f;
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::line(int l)
+{
+    loc.line = l;
+    return *this;
+}
+
+Inst &
+FunctionBuilder::emit(Op op)
+{
+    PORTEND_ASSERT(cur >= 0, "no insertion block in ", fn().name);
+    Inst inst;
+    inst.op = op;
+    inst.loc = loc;
+    auto &insts = fn().blocks[cur].insts;
+    insts.push_back(std::move(inst));
+    return insts.back();
+}
+
+Reg
+FunctionBuilder::iconst(std::int64_t v)
+{
+    Reg d = fresh();
+    Inst &i = emit(Op::ConstOp);
+    i.dst = d;
+    i.a = I(v);
+    return d;
+}
+
+Reg
+FunctionBuilder::mov(Operand a)
+{
+    Reg d = fresh();
+    Inst &i = emit(Op::Mov);
+    i.dst = d;
+    i.a = a;
+    return d;
+}
+
+void
+FunctionBuilder::movInto(Reg dst, Operand a)
+{
+    Inst &i = emit(Op::Mov);
+    i.dst = dst;
+    i.a = a;
+}
+
+void
+FunctionBuilder::binInto(Reg dst, sym::ExprKind k, Operand a, Operand b,
+                         sym::Width w)
+{
+    Inst &i = emit(Op::Bin);
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    i.kind = k;
+    i.width = w;
+}
+
+Reg
+FunctionBuilder::bin(sym::ExprKind k, Operand a, Operand b, sym::Width w)
+{
+    Reg d = fresh();
+    Inst &i = emit(Op::Bin);
+    i.dst = d;
+    i.a = a;
+    i.b = b;
+    i.kind = k;
+    i.width = w;
+    return d;
+}
+
+Reg
+FunctionBuilder::un(sym::ExprKind k, Operand a, sym::Width w)
+{
+    Reg d = fresh();
+    Inst &i = emit(Op::Un);
+    i.dst = d;
+    i.a = a;
+    i.kind = k;
+    i.width = w;
+    return d;
+}
+
+Reg
+FunctionBuilder::select(Operand c, Operand t, Operand f)
+{
+    Reg d = fresh();
+    Inst &i = emit(Op::Select);
+    i.dst = d;
+    i.a = c;
+    i.b = t;
+    i.c = f;
+    return d;
+}
+
+Reg
+FunctionBuilder::load(GlobalId g, Operand idx)
+{
+    Reg d = fresh();
+    Inst &i = emit(Op::Load);
+    i.dst = d;
+    i.gid = g;
+    i.a = idx;
+    return d;
+}
+
+void
+FunctionBuilder::store(GlobalId g, Operand idx, Operand val)
+{
+    Inst &i = emit(Op::Store);
+    i.gid = g;
+    i.a = idx;
+    i.b = val;
+}
+
+void
+FunctionBuilder::br(Operand cond, BlockId then_b, BlockId else_b)
+{
+    Inst &i = emit(Op::Br);
+    i.a = cond;
+    i.then_block = then_b;
+    i.else_block = else_b;
+}
+
+void
+FunctionBuilder::jmp(BlockId b)
+{
+    Inst &i = emit(Op::Jmp);
+    i.then_block = b;
+}
+
+Reg
+FunctionBuilder::call(const std::string &callee,
+                      std::vector<Operand> args)
+{
+    PORTEND_ASSERT(args.size() <= 3, "at most 3 call args supported");
+    Reg d = fresh();
+    Inst &i = emit(Op::Call);
+    i.dst = d;
+    i.text = callee;
+    if (args.size() > 0)
+        i.a = args[0];
+    if (args.size() > 1)
+        i.b = args[1];
+    if (args.size() > 2)
+        i.c = args[2];
+    return d;
+}
+
+void
+FunctionBuilder::callVoid(const std::string &callee,
+                          std::vector<Operand> args)
+{
+    PORTEND_ASSERT(args.size() <= 3, "at most 3 call args supported");
+    Inst &i = emit(Op::Call);
+    i.text = callee;
+    if (args.size() > 0)
+        i.a = args[0];
+    if (args.size() > 1)
+        i.b = args[1];
+    if (args.size() > 2)
+        i.c = args[2];
+}
+
+void
+FunctionBuilder::ret(Operand a)
+{
+    Inst &i = emit(Op::Ret);
+    i.a = a;
+}
+
+void
+FunctionBuilder::retVoid()
+{
+    emit(Op::Ret);
+}
+
+void
+FunctionBuilder::halt()
+{
+    emit(Op::Halt);
+}
+
+Reg
+FunctionBuilder::threadCreate(const std::string &callee, Operand arg)
+{
+    Reg d = fresh();
+    Inst &i = emit(Op::ThreadCreate);
+    i.dst = d;
+    i.text = callee;
+    i.a = arg;
+    return d;
+}
+
+void
+FunctionBuilder::threadJoin(Operand tid)
+{
+    Inst &i = emit(Op::ThreadJoin);
+    i.a = tid;
+}
+
+void
+FunctionBuilder::lock(SyncId m)
+{
+    emit(Op::MutexLock).sid = m;
+}
+
+void
+FunctionBuilder::unlock(SyncId m)
+{
+    emit(Op::MutexUnlock).sid = m;
+}
+
+void
+FunctionBuilder::condWait(SyncId cv, SyncId m)
+{
+    Inst &i = emit(Op::CondWait);
+    i.sid = cv;
+    i.sid2 = m;
+}
+
+void
+FunctionBuilder::condSignal(SyncId cv)
+{
+    emit(Op::CondSignal).sid = cv;
+}
+
+void
+FunctionBuilder::condBroadcast(SyncId cv)
+{
+    emit(Op::CondBroadcast).sid = cv;
+}
+
+void
+FunctionBuilder::barrierWait(SyncId bar)
+{
+    emit(Op::BarrierWait).sid = bar;
+}
+
+Reg
+FunctionBuilder::atomicAdd(GlobalId g, Operand idx, Operand delta)
+{
+    Reg d = fresh();
+    Inst &i = emit(Op::AtomicRmW);
+    i.dst = d;
+    i.gid = g;
+    i.a = idx;
+    i.b = delta;
+    return d;
+}
+
+void
+FunctionBuilder::yield()
+{
+    emit(Op::Yield);
+}
+
+void
+FunctionBuilder::sleep(Operand ticks)
+{
+    emit(Op::Sleep).a = ticks;
+}
+
+Reg
+FunctionBuilder::input(const std::string &iname, std::int64_t lo,
+                       std::int64_t hi)
+{
+    Reg d = fresh();
+    Inst &i = emit(Op::Input);
+    i.dst = d;
+    i.text = iname;
+    i.lo = lo;
+    i.hi = hi;
+    return d;
+}
+
+Reg
+FunctionBuilder::getTime()
+{
+    Reg d = fresh();
+    emit(Op::GetTime).dst = d;
+    return d;
+}
+
+void
+FunctionBuilder::output(const std::string &label, Operand v)
+{
+    Inst &i = emit(Op::Output);
+    i.text = label;
+    i.a = v;
+}
+
+void
+FunctionBuilder::outputStr(const std::string &s)
+{
+    emit(Op::OutputStr).text = s;
+}
+
+void
+FunctionBuilder::assertTrue(Operand cond, const std::string &label)
+{
+    Inst &i = emit(Op::Assert);
+    i.a = cond;
+    i.text = label;
+}
+
+ProgramBuilder::ProgramBuilder(const std::string &name)
+{
+    prog.name = name;
+}
+
+ProgramBuilder::~ProgramBuilder() = default;
+
+GlobalId
+ProgramBuilder::global(const std::string &gname, int size,
+                       std::vector<std::int64_t> init)
+{
+    PORTEND_ASSERT(size > 0, "global ", gname, " must have size > 0");
+    prog.globals.push_back(Global{gname, size, std::move(init)});
+    return static_cast<GlobalId>(prog.globals.size() - 1);
+}
+
+SyncId
+ProgramBuilder::mutex(const std::string &mname)
+{
+    prog.mutex_names.push_back(mname);
+    return static_cast<SyncId>(prog.mutex_names.size() - 1);
+}
+
+SyncId
+ProgramBuilder::cond(const std::string &cname)
+{
+    prog.cond_names.push_back(cname);
+    return static_cast<SyncId>(prog.cond_names.size() - 1);
+}
+
+SyncId
+ProgramBuilder::barrier(const std::string &bname, int count)
+{
+    prog.barrier_names.push_back(bname);
+    prog.barrier_counts.push_back(count);
+    return static_cast<SyncId>(prog.barrier_names.size() - 1);
+}
+
+FunctionBuilder &
+ProgramBuilder::function(const std::string &fname, int num_params)
+{
+    PORTEND_ASSERT(!built, "builder already consumed");
+    Function f;
+    f.name = fname;
+    f.num_params = num_params;
+    prog.functions.push_back(std::move(f));
+    FuncId id = static_cast<FuncId>(prog.functions.size() - 1);
+    fbs.push_back(std::unique_ptr<FunctionBuilder>(
+        new FunctionBuilder(this, id, num_params)));
+    return *fbs.back();
+}
+
+Program
+ProgramBuilder::build(bool verify)
+{
+    PORTEND_ASSERT(!built, "builder already consumed");
+    built = true;
+
+    // Record register counts.
+    for (std::size_t i = 0; i < fbs.size(); ++i)
+        prog.functions[i].num_regs = fbs[i]->numRegs();
+
+    // Resolve call / thread-create targets by name.
+    for (auto &f : prog.functions) {
+        for (auto &b : f.blocks) {
+            for (auto &inst : b.insts) {
+                if (inst.op == Op::Call ||
+                    inst.op == Op::ThreadCreate) {
+                    inst.fid = prog.findFunction(inst.text);
+                    if (inst.fid < 0) {
+                        PORTEND_FATAL("unresolved callee '", inst.text,
+                                      "' in ", f.name);
+                    }
+                }
+            }
+        }
+    }
+
+    prog.entry = prog.findFunction("main");
+    if (prog.entry < 0)
+        PORTEND_FATAL("program ", prog.name, " has no main function");
+
+    prog.finalize();
+
+    if (verify) {
+        std::vector<std::string> errors = verifyProgram(prog);
+        if (!errors.empty()) {
+            std::string all;
+            for (const auto &e : errors)
+                all += "\n  " + e;
+            PORTEND_FATAL("program ", prog.name,
+                          " failed verification:", all);
+        }
+    }
+    return std::move(prog);
+}
+
+} // namespace portend::ir

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Fluent construction API for PIL programs.
+ *
+ * Workload models and tests build programs through ProgramBuilder /
+ * FunctionBuilder instead of assembling Inst structs by hand. The
+ * builder allocates registers, tracks an insertion block, resolves
+ * function references by name, and stamps pseudo source locations
+ * onto instructions so race reports read like the paper's (Fig. 6).
+ *
+ * Example:
+ * @code
+ *   ProgramBuilder pb("example");
+ *   GlobalId counter = pb.global("counter");
+ *   SyncId m = pb.mutex("l");
+ *   auto &f = pb.function("main", 0);
+ *   BlockId entry = f.block("entry");
+ *   f.to(entry);
+ *   f.lock(m);
+ *   Reg v = f.load(counter);
+ *   f.store(counter, I(0), R(f.bin(sym::ExprKind::Add, R(v), I(1))));
+ *   f.unlock(m);
+ *   f.halt();
+ *   Program p = pb.build();
+ * @endcode
+ */
+
+#ifndef PORTEND_IR_BUILDER_H
+#define PORTEND_IR_BUILDER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace portend::ir {
+
+/** Shorthand register operand. */
+inline Operand R(Reg r) { return Operand::r(r); }
+
+/** Shorthand immediate operand. */
+inline Operand I(std::int64_t v) { return Operand::i(v); }
+
+class ProgramBuilder;
+
+/**
+ * Builds one function: allocates registers and emits instructions
+ * into the current insertion block.
+ */
+class FunctionBuilder
+{
+  public:
+    /** Parameter @p i arrives in register i. */
+    Reg param(int i) const;
+
+    /** Allocate a fresh virtual register. */
+    Reg fresh();
+
+    /** Create a new basic block. */
+    BlockId block(const std::string &bname);
+
+    /** Set the insertion block. */
+    FunctionBuilder &to(BlockId b);
+
+    /** Current insertion block. */
+    BlockId current() const { return cur; }
+
+    /** Set the pseudo source file stamped on following emissions. */
+    FunctionBuilder &file(const std::string &f);
+
+    /** Set the pseudo source line stamped on following emissions. */
+    FunctionBuilder &line(int l);
+
+    /** @name Emitters (each appends to the insertion block)
+     * @{
+     */
+    Reg iconst(std::int64_t v);
+    Reg mov(Operand a);
+    /** Overwrite an existing register (loop counters, accumulators). */
+    void movInto(Reg dst, Operand a);
+    /** ALU into an existing register. */
+    void binInto(Reg dst, sym::ExprKind k, Operand a, Operand b,
+                 sym::Width w = sym::Width::I64);
+    Reg bin(sym::ExprKind k, Operand a, Operand b,
+            sym::Width w = sym::Width::I64);
+    Reg un(sym::ExprKind k, Operand a, sym::Width w = sym::Width::I64);
+    Reg select(Operand c, Operand t, Operand f);
+    Reg load(GlobalId g, Operand idx = I(0));
+    void store(GlobalId g, Operand idx, Operand val);
+    void br(Operand cond, BlockId then_b, BlockId else_b);
+    void jmp(BlockId b);
+    Reg call(const std::string &callee, std::vector<Operand> args = {});
+    void callVoid(const std::string &callee,
+                  std::vector<Operand> args = {});
+    void ret(Operand a);
+    void retVoid();
+    void halt();
+    Reg threadCreate(const std::string &callee, Operand arg = I(0));
+    void threadJoin(Operand tid);
+    void lock(SyncId m);
+    void unlock(SyncId m);
+    void condWait(SyncId cv, SyncId m);
+    void condSignal(SyncId cv);
+    void condBroadcast(SyncId cv);
+    void barrierWait(SyncId bar);
+    Reg atomicAdd(GlobalId g, Operand idx, Operand delta);
+    void yield();
+    void sleep(Operand ticks);
+    Reg input(const std::string &iname, std::int64_t lo, std::int64_t hi);
+    Reg getTime();
+    void output(const std::string &label, Operand v);
+    void outputStr(const std::string &s);
+    void assertTrue(Operand cond, const std::string &label);
+    /** @} */
+
+    /** Number of registers allocated so far. */
+    int numRegs() const { return next_reg; }
+
+  private:
+    friend class ProgramBuilder;
+
+    FunctionBuilder(ProgramBuilder *owner, FuncId id, int num_params);
+
+    Inst &emit(Op op);
+    Function &fn();
+
+    ProgramBuilder *owner;
+    FuncId id;
+    int next_reg;
+    BlockId cur = -1;
+    SourceLoc loc;
+};
+
+/**
+ * Builds a whole PIL program: globals, sync objects, functions.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(const std::string &name);
+    ~ProgramBuilder();
+
+    ProgramBuilder(const ProgramBuilder &) = delete;
+    ProgramBuilder &operator=(const ProgramBuilder &) = delete;
+
+    /** Declare a global array. */
+    GlobalId global(const std::string &gname, int size = 1,
+                    std::vector<std::int64_t> init = {});
+
+    /** Declare a mutex. */
+    SyncId mutex(const std::string &mname);
+
+    /** Declare a condition variable. */
+    SyncId cond(const std::string &cname);
+
+    /** Declare a barrier with @p count participants. */
+    SyncId barrier(const std::string &bname, int count);
+
+    /**
+     * Start a new function; the returned builder stays valid until
+     * build().
+     */
+    FunctionBuilder &function(const std::string &fname, int num_params);
+
+    /**
+     * Resolve call targets, finalize pcs, verify, and return the
+     * completed program. The entry point is the function named
+     * "main" (fatal if missing).
+     *
+     * @param verify run the structural verifier (default true)
+     */
+    Program build(bool verify = true);
+
+  private:
+    friend class FunctionBuilder;
+
+    Program prog;
+    std::vector<std::unique_ptr<FunctionBuilder>> fbs;
+    bool built = false;
+};
+
+} // namespace portend::ir
+
+#endif // PORTEND_IR_BUILDER_H

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * PIL (Portend Intermediate Language) instruction set.
+ *
+ * PIL is the repository's stand-in for LLVM bitcode: a small
+ * register-based concurrent IR with explicit loads/stores to named
+ * global arrays, structured control flow between basic blocks,
+ * function calls, a POSIX-threads-shaped synchronization surface
+ * (mutexes, condition variables, barriers, create/join), symbolic
+ * inputs with bounded domains, and output system calls. Everything
+ * Portend's analyses need to observe — racing memory accesses,
+ * synchronization operations, outputs — is an explicit instruction.
+ */
+
+#ifndef PORTEND_IR_INST_H
+#define PORTEND_IR_INST_H
+
+#include <cstdint>
+#include <string>
+
+#include "sym/expr.h"
+
+namespace portend::ir {
+
+/** Index of a virtual register within a function frame. */
+using Reg = int;
+
+/** Index of a global array in the program. */
+using GlobalId = int;
+
+/** Index of a synchronization object (mutex/cond/barrier). */
+using SyncId = int;
+
+/** Index of a function in the program. */
+using FuncId = int;
+
+/** Index of a basic block within a function. */
+using BlockId = int;
+
+/** Instruction opcodes. */
+enum class Op : std::uint8_t {
+    Nop,
+    // Data movement and ALU.
+    ConstOp,       ///< dst = imm
+    Mov,           ///< dst = a
+    Bin,           ///< dst = binop(kind, a, b)
+    Un,            ///< dst = unop(kind, a)
+    Select,        ///< dst = a ? b : c
+    // Memory (global arrays; the index is an operand).
+    Load,          ///< dst = globals[gid][a]
+    Store,         ///< globals[gid][a] = b
+    // Control flow.
+    Br,            ///< if a != 0 goto then_block else else_block
+    Jmp,           ///< goto then_block
+    Call,          ///< dst = fid(args...)   (args in a, b, c)
+    Ret,           ///< return a (or void)
+    Halt,          ///< terminate the whole program normally
+    // Threads.
+    ThreadCreate,  ///< dst = spawn fid(a)
+    ThreadJoin,    ///< join thread id in a
+    // Synchronization.
+    MutexLock,     ///< lock mutex sid
+    MutexUnlock,   ///< unlock mutex sid
+    CondWait,      ///< wait on cond sid with mutex sid2
+    CondSignal,    ///< wake one waiter of cond sid
+    CondBroadcast, ///< wake all waiters of cond sid
+    BarrierWait,   ///< wait at barrier sid
+    AtomicRmW,     ///< globals[gid][a] += b atomically; dst = old value
+    Yield,         ///< voluntary scheduling point
+    Sleep,         ///< advance this thread's virtual time by a ticks
+    // Environment.
+    Input,         ///< dst = program input (symbolic under Portend)
+    GetTime,       ///< dst = nondeterministic time (logged for replay)
+    Output,        ///< output system call with value a under label text
+    OutputStr,     ///< output system call with literal string text
+    Assert,        ///< semantic predicate: a == 0 violates the spec
+};
+
+/** Printable opcode mnemonic. */
+const char *opName(Op op);
+
+/** True when @p op ends a basic block. */
+bool isTerminator(Op op);
+
+/** An operand: either a register or an immediate constant. */
+struct Operand
+{
+    enum class Kind : std::uint8_t { None, RegK, ImmK };
+
+    Kind kind = Kind::None;
+    Reg reg = -1;
+    std::int64_t imm = 0;
+
+    Operand() = default;
+
+    /** Register operand. */
+    static Operand
+    r(Reg r)
+    {
+        Operand o;
+        o.kind = Kind::RegK;
+        o.reg = r;
+        return o;
+    }
+
+    /** Immediate operand. */
+    static Operand
+    i(std::int64_t v)
+    {
+        Operand o;
+        o.kind = Kind::ImmK;
+        o.imm = v;
+        return o;
+    }
+
+    bool isReg() const { return kind == Kind::RegK; }
+    bool isImm() const { return kind == Kind::ImmK; }
+    bool present() const { return kind != Kind::None; }
+};
+
+/** Pseudo source location attached to instructions for reports. */
+struct SourceLoc
+{
+    std::string file;
+    int line = 0;
+
+    std::string toString() const;
+};
+
+/**
+ * One PIL instruction.
+ *
+ * A plain aggregate: the interpreter treats instructions as read-only
+ * after Program::finalize() assigns global program counters.
+ */
+struct Inst
+{
+    Op op = Op::Nop;
+
+    Reg dst = -1;          ///< destination register (when produced)
+    Operand a, b, c;       ///< generic operands
+
+    sym::ExprKind kind = sym::ExprKind::Add; ///< ALU operation for Bin/Un
+    sym::Width width = sym::Width::I64;      ///< ALU/memory width
+
+    GlobalId gid = -1;     ///< global array (Load/Store/AtomicRmW)
+    SyncId sid = -1;       ///< sync object id
+    SyncId sid2 = -1;      ///< second sync object (CondWait's mutex)
+    FuncId fid = -1;       ///< callee / spawned function
+    BlockId then_block = -1;
+    BlockId else_block = -1;
+
+    std::string text;      ///< label for Input/Output/OutputStr
+    std::int64_t lo = INT64_MIN; ///< Input domain lower bound
+    std::int64_t hi = INT64_MAX; ///< Input domain upper bound
+
+    SourceLoc loc;         ///< pseudo source location
+    int pc = -1;           ///< linear program counter (set by finalize)
+};
+
+} // namespace portend::ir
+
+#endif // PORTEND_IR_INST_H

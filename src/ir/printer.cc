@@ -1,0 +1,146 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace portend::ir {
+
+namespace {
+
+std::string
+operandToString(const Operand &o)
+{
+    if (o.isReg())
+        return "r" + std::to_string(o.reg);
+    if (o.isImm())
+        return std::to_string(o.imm);
+    return "_";
+}
+
+} // namespace
+
+std::string
+instToString(const Program &p, const Inst &inst)
+{
+    std::ostringstream os;
+    if (inst.dst >= 0)
+        os << "r" << inst.dst << " = ";
+    os << opName(inst.op);
+    switch (inst.op) {
+      case Op::Bin:
+      case Op::Un:
+        os << "." << sym::kindName(inst.kind);
+        break;
+      case Op::Load:
+      case Op::Store:
+      case Op::AtomicRmW:
+        os << " @" << p.globals[inst.gid].name;
+        break;
+      case Op::MutexLock:
+      case Op::MutexUnlock:
+        os << " $" << p.mutex_names[inst.sid];
+        break;
+      case Op::CondWait:
+        os << " $" << p.cond_names[inst.sid] << " with $"
+           << p.mutex_names[inst.sid2];
+        break;
+      case Op::CondSignal:
+      case Op::CondBroadcast:
+        os << " $" << p.cond_names[inst.sid];
+        break;
+      case Op::BarrierWait:
+        os << " $" << p.barrier_names[inst.sid];
+        break;
+      case Op::Call:
+      case Op::ThreadCreate:
+        os << " " << p.functions[inst.fid].name;
+        break;
+      case Op::Br:
+        os << " ?" << operandToString(inst.a) << " -> b"
+           << inst.then_block << ", b" << inst.else_block;
+        break;
+      case Op::Jmp:
+        os << " -> b" << inst.then_block;
+        break;
+      case Op::Input:
+        os << " \"" << inst.text << "\" in [" << inst.lo << ", "
+           << inst.hi << "]";
+        break;
+      case Op::Output:
+      case Op::OutputStr:
+      case Op::Assert:
+        os << " \"" << inst.text << "\"";
+        break;
+      default:
+        break;
+    }
+    // Generic operand tail for ops whose operands were not already
+    // rendered inline above.
+    switch (inst.op) {
+      case Op::Br:
+      case Op::Jmp:
+      case Op::Input:
+      case Op::OutputStr:
+        break;
+      default: {
+        std::string tail;
+        for (const Operand *o : {&inst.a, &inst.b, &inst.c}) {
+            if (o->present())
+                tail += (tail.empty() ? " " : ", ") +
+                        operandToString(*o);
+        }
+        os << tail;
+        break;
+      }
+    }
+    if (inst.loc.line > 0)
+        os << "  ; " << inst.loc.toString();
+    return os.str();
+}
+
+std::string
+programToString(const Program &p)
+{
+    std::ostringstream os;
+    os << "program " << p.name << "\n";
+    for (const auto &g : p.globals)
+        os << "global " << g.name << "[" << g.size << "]\n";
+    for (std::size_t i = 0; i < p.mutex_names.size(); ++i)
+        os << "mutex " << p.mutex_names[i] << "\n";
+    for (std::size_t i = 0; i < p.cond_names.size(); ++i)
+        os << "cond " << p.cond_names[i] << "\n";
+    for (std::size_t i = 0; i < p.barrier_names.size(); ++i) {
+        os << "barrier " << p.barrier_names[i] << "("
+           << p.barrier_counts[i] << ")\n";
+    }
+    for (const auto &f : p.functions) {
+        os << "\nfunc " << f.name << "(" << f.num_params << ") regs="
+           << f.num_regs << "\n";
+        for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+            os << "  b" << b;
+            if (!f.blocks[b].name.empty())
+                os << " <" << f.blocks[b].name << ">";
+            os << ":\n";
+            for (const auto &inst : f.blocks[b].insts) {
+                os << "    ";
+                if (inst.pc >= 0)
+                    os << "pc" << inst.pc << ": ";
+                os << instToString(p, inst) << "\n";
+            }
+        }
+    }
+    return os.str();
+}
+
+int
+programLineCount(const Program &p)
+{
+    const std::string text = programToString(p);
+    int lines = 0;
+    for (char c : text) {
+        if (c == '\n')
+            lines += 1;
+    }
+    return lines;
+}
+
+} // namespace portend::ir

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Textual rendering of PIL programs (diagnostics, golden tests).
+ */
+
+#ifndef PORTEND_IR_PRINTER_H
+#define PORTEND_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace portend::ir {
+
+/** Render one instruction (without its pc prefix). */
+std::string instToString(const Program &p, const Inst &inst);
+
+/** Render a whole program as assembler-like text. */
+std::string programToString(const Program &p);
+
+/** Count the source lines of the textual form (Table 1's LOC). */
+int programLineCount(const Program &p);
+
+} // namespace portend::ir
+
+#endif // PORTEND_IR_PRINTER_H

@@ -1,0 +1,304 @@
+#include "ir/serialize.h"
+
+#include <map>
+#include <sstream>
+
+namespace portend::ir {
+
+namespace {
+
+/** Opcode <-> mnemonic table (mnemonics from opName). */
+std::map<std::string, Op>
+opTable()
+{
+    std::map<std::string, Op> t;
+    for (int i = 0; i <= static_cast<int>(Op::Assert); ++i) {
+        Op op = static_cast<Op>(i);
+        t[opName(op)] = op;
+    }
+    return t;
+}
+
+std::map<std::string, sym::ExprKind>
+kindTable()
+{
+    std::map<std::string, sym::ExprKind> t;
+    for (int i = 0; i <= static_cast<int>(sym::ExprKind::Ite); ++i) {
+        sym::ExprKind k = static_cast<sym::ExprKind>(i);
+        t[sym::kindName(k)] = k;
+    }
+    return t;
+}
+
+std::string
+operandToken(const Operand &o)
+{
+    if (o.isReg())
+        return "r" + std::to_string(o.reg);
+    if (o.isImm())
+        return "i" + std::to_string(o.imm);
+    return "_";
+}
+
+bool
+parseOperand(const std::string &tok, Operand &out)
+{
+    if (tok == "_") {
+        out = Operand();
+        return true;
+    }
+    if (tok.size() < 2)
+        return false;
+    try {
+        if (tok[0] == 'r') {
+            out = Operand::r(std::stoi(tok.substr(1)));
+            return true;
+        }
+        if (tok[0] == 'i') {
+            out = Operand::i(std::stoll(tok.substr(1)));
+            return true;
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+    return false;
+}
+
+/** Quote a string token (spaces and backslashes escaped). */
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+/** Read a quoted token from the stream. */
+bool
+unquote(std::istringstream &is, std::string &out)
+{
+    std::string raw;
+    if (!(is >> raw) || raw.empty() || raw[0] != '"')
+        return false;
+    // Re-join tokens until the closing unescaped quote.
+    std::string acc = raw.substr(1);
+    while (true) {
+        // Count trailing backslashes before a final quote.
+        if (!acc.empty() && acc.back() == '"') {
+            std::size_t bs = 0;
+            while (bs + 1 < acc.size() &&
+                   acc[acc.size() - 2 - bs] == '\\') {
+                bs += 1;
+            }
+            if (bs % 2 == 0) {
+                acc.pop_back();
+                break;
+            }
+        }
+        std::string more;
+        if (!(is >> more))
+            return false;
+        acc += " " + more;
+    }
+    out.clear();
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        if (acc[i] == '\\' && i + 1 < acc.size())
+            i += 1;
+        out += acc[i];
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+serializeProgram(const Program &p)
+{
+    std::ostringstream os;
+    os << "pil v1 " << quote(p.name) << "\n";
+    for (const auto &g : p.globals) {
+        os << "global " << quote(g.name) << " " << g.size;
+        for (std::int64_t v : g.init)
+            os << " " << v;
+        os << "\n";
+    }
+    for (const auto &m : p.mutex_names)
+        os << "mutex " << quote(m) << "\n";
+    for (const auto &c : p.cond_names)
+        os << "cond " << quote(c) << "\n";
+    for (std::size_t i = 0; i < p.barrier_names.size(); ++i) {
+        os << "barrier " << quote(p.barrier_names[i]) << " "
+           << p.barrier_counts[i] << "\n";
+    }
+    for (const auto &f : p.functions) {
+        os << "func " << quote(f.name) << " " << f.num_params << " "
+           << f.num_regs << "\n";
+        for (const auto &b : f.blocks) {
+            os << "block " << quote(b.name) << "\n";
+            for (const auto &inst : b.insts) {
+                os << "inst " << opName(inst.op) << " " << inst.dst
+                   << " " << operandToken(inst.a) << " "
+                   << operandToken(inst.b) << " "
+                   << operandToken(inst.c) << " "
+                   << sym::kindName(inst.kind) << " "
+                   << widthBits(inst.width) << " " << inst.gid << " "
+                   << inst.sid << " " << inst.sid2 << " " << inst.fid
+                   << " " << inst.then_block << " " << inst.else_block
+                   << " " << inst.lo << " " << inst.hi << " "
+                   << quote(inst.text) << " " << quote(inst.loc.file)
+                   << " " << inst.loc.line << "\n";
+            }
+        }
+    }
+    os << "end\n";
+    return os.str();
+}
+
+std::optional<Program>
+deserializeProgram(const std::string &text, std::string *error)
+{
+    auto fail = [&](const std::string &msg) -> std::optional<Program> {
+        if (error)
+            *error = msg;
+        return std::nullopt;
+    };
+
+    static const std::map<std::string, Op> ops = opTable();
+    static const std::map<std::string, sym::ExprKind> kinds =
+        kindTable();
+
+    Program p;
+    Function *cur_func = nullptr;
+    BasicBlock *cur_block = nullptr;
+
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    bool saw_header = false;
+    bool saw_end = false;
+
+    while (std::getline(is, line)) {
+        lineno += 1;
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+
+        auto where = [&] {
+            return " (line " + std::to_string(lineno) + ")";
+        };
+
+        if (tag == "pil") {
+            std::string ver;
+            ls >> ver;
+            if (ver != "v1")
+                return fail("unsupported version" + where());
+            if (!unquote(ls, p.name))
+                return fail("bad program name" + where());
+            saw_header = true;
+        } else if (tag == "global") {
+            Global g;
+            if (!unquote(ls, g.name) || !(ls >> g.size))
+                return fail("bad global" + where());
+            std::int64_t v;
+            while (ls >> v)
+                g.init.push_back(v);
+            p.globals.push_back(std::move(g));
+        } else if (tag == "mutex") {
+            std::string n;
+            if (!unquote(ls, n))
+                return fail("bad mutex" + where());
+            p.mutex_names.push_back(n);
+        } else if (tag == "cond") {
+            std::string n;
+            if (!unquote(ls, n))
+                return fail("bad cond" + where());
+            p.cond_names.push_back(n);
+        } else if (tag == "barrier") {
+            std::string n;
+            int count = 0;
+            if (!unquote(ls, n) || !(ls >> count))
+                return fail("bad barrier" + where());
+            p.barrier_names.push_back(n);
+            p.barrier_counts.push_back(count);
+        } else if (tag == "func") {
+            Function f;
+            if (!unquote(ls, f.name) || !(ls >> f.num_params) ||
+                !(ls >> f.num_regs)) {
+                return fail("bad func" + where());
+            }
+            p.functions.push_back(std::move(f));
+            cur_func = &p.functions.back();
+            cur_block = nullptr;
+        } else if (tag == "block") {
+            if (!cur_func)
+                return fail("block outside func" + where());
+            BasicBlock b;
+            if (!unquote(ls, b.name))
+                return fail("bad block" + where());
+            cur_func->blocks.push_back(std::move(b));
+            cur_block = &cur_func->blocks.back();
+        } else if (tag == "inst") {
+            if (!cur_block)
+                return fail("inst outside block" + where());
+            Inst inst;
+            std::string opname, ta, tb, tc, kindname;
+            int width_bits = 64;
+            if (!(ls >> opname >> inst.dst >> ta >> tb >> tc >>
+                  kindname >> width_bits >> inst.gid >> inst.sid >>
+                  inst.sid2 >> inst.fid >> inst.then_block >>
+                  inst.else_block >> inst.lo >> inst.hi)) {
+                return fail("bad inst fields" + where());
+            }
+            auto oit = ops.find(opname);
+            if (oit == ops.end())
+                return fail("unknown op '" + opname + "'" + where());
+            inst.op = oit->second;
+            if (!parseOperand(ta, inst.a) ||
+                !parseOperand(tb, inst.b) ||
+                !parseOperand(tc, inst.c)) {
+                return fail("bad operand" + where());
+            }
+            auto kit = kinds.find(kindname);
+            if (kit == kinds.end())
+                return fail("unknown kind" + where());
+            inst.kind = kit->second;
+            switch (width_bits) {
+              case 1: inst.width = sym::Width::I1; break;
+              case 8: inst.width = sym::Width::I8; break;
+              case 16: inst.width = sym::Width::I16; break;
+              case 32: inst.width = sym::Width::I32; break;
+              case 64: inst.width = sym::Width::I64; break;
+              default: return fail("bad width" + where());
+            }
+            if (!unquote(ls, inst.text) ||
+                !unquote(ls, inst.loc.file) ||
+                !(ls >> inst.loc.line)) {
+                return fail("bad inst strings" + where());
+            }
+            cur_block->insts.push_back(std::move(inst));
+        } else if (tag == "end") {
+            saw_end = true;
+            break;
+        } else {
+            return fail("unknown tag '" + tag + "'" + where());
+        }
+    }
+
+    if (!saw_header)
+        return fail("missing 'pil v1' header");
+    if (!saw_end)
+        return fail("missing 'end'");
+    p.entry = p.findFunction("main");
+    if (p.entry < 0)
+        return fail("program has no main function");
+    p.finalize();
+    return p;
+}
+
+} // namespace portend::ir

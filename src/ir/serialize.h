@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Self-contained textual serialization of PIL programs.
+ *
+ * Unlike the diagnostic printer (ir/printer.h), this format round-
+ * trips: serialize() then deserialize() reproduces the program
+ * exactly (verified by property tests). It lets workload models,
+ * regression programs, and bug-report reproducers live as plain
+ * text artifacts next to the schedule traces they pair with
+ * (paper §3.6's replayable evidence).
+ *
+ * Format (line-based, whitespace-separated):
+ *
+ *   pil v1 <name>
+ *   global <name> <size> [init values...]
+ *   mutex <name> | cond <name> | barrier <name> <count>
+ *   func <name> <params> <regs>
+ *   block <name>
+ *   inst <op> dst=<r> a=<operand> ... ; operands are r<N>, i<V>, _
+ *   end
+ */
+
+#ifndef PORTEND_IR_SERIALIZE_H
+#define PORTEND_IR_SERIALIZE_H
+
+#include <optional>
+#include <string>
+
+#include "ir/program.h"
+
+namespace portend::ir {
+
+/** Render @p p in the round-trip text format. */
+std::string serializeProgram(const Program &p);
+
+/**
+ * Parse the round-trip text format.
+ *
+ * @return the finalized program, or nullopt with @p error filled
+ *         when the text is malformed
+ */
+std::optional<Program> deserializeProgram(const std::string &text,
+                                          std::string *error = nullptr);
+
+} // namespace portend::ir
+
+#endif // PORTEND_IR_SERIALIZE_H

@@ -1,0 +1,210 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+
+namespace portend::ir {
+
+namespace {
+
+/** Appends formatted diagnostics for one function. */
+class FunctionChecker
+{
+  public:
+    FunctionChecker(const Program &p, const Function &f,
+                    std::vector<std::string> &out)
+        : prog(p), func(f), errors(out)
+    {}
+
+    void
+    run()
+    {
+        if (func.blocks.empty()) {
+            report("function has no blocks");
+            return;
+        }
+        for (std::size_t b = 0; b < func.blocks.size(); ++b)
+            checkBlock(static_cast<BlockId>(b));
+    }
+
+  private:
+    void
+    report(const std::string &msg)
+    {
+        std::ostringstream os;
+        os << func.name << ": " << msg;
+        errors.push_back(os.str());
+    }
+
+    void
+    reportAt(BlockId b, std::size_t i, const std::string &msg)
+    {
+        std::ostringstream os;
+        os << func.name << "/" << func.blocks[b].name << "[" << i
+           << "]: " << msg;
+        errors.push_back(os.str());
+    }
+
+    void
+    checkOperand(BlockId b, std::size_t i, const Operand &o)
+    {
+        if (o.isReg() && (o.reg < 0 || o.reg >= func.num_regs)) {
+            reportAt(b, i, "register r" + std::to_string(o.reg) +
+                               " out of range");
+        }
+    }
+
+    void
+    checkBlockTarget(BlockId b, std::size_t i, BlockId target,
+                     const char *which)
+    {
+        if (target < 0 ||
+            target >= static_cast<BlockId>(func.blocks.size())) {
+            reportAt(b, i, std::string("bad ") + which + " target " +
+                               std::to_string(target));
+        }
+    }
+
+    void
+    checkBlock(BlockId b)
+    {
+        const auto &insts = func.blocks[b].insts;
+        if (insts.empty()) {
+            report("block '" + func.blocks[b].name + "' is empty");
+            return;
+        }
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            const Inst &inst = insts[i];
+            const bool last = i + 1 == insts.size();
+
+            if (isTerminator(inst.op) && !last)
+                reportAt(b, i, "terminator before end of block");
+            if (last && !isTerminator(inst.op))
+                reportAt(b, i, "block does not end in a terminator");
+
+            checkOperand(b, i, inst.a);
+            checkOperand(b, i, inst.b);
+            checkOperand(b, i, inst.c);
+            if (inst.dst >= func.num_regs) {
+                reportAt(b, i, "dst register r" +
+                                   std::to_string(inst.dst) +
+                                   " out of range");
+            }
+
+            switch (inst.op) {
+              case Op::Br:
+                checkBlockTarget(b, i, inst.then_block, "then");
+                checkBlockTarget(b, i, inst.else_block, "else");
+                if (!inst.a.present())
+                    reportAt(b, i, "br without condition");
+                break;
+              case Op::Jmp:
+                checkBlockTarget(b, i, inst.then_block, "jump");
+                break;
+              case Op::Load:
+              case Op::Store:
+              case Op::AtomicRmW:
+                if (inst.gid < 0 ||
+                    inst.gid >=
+                        static_cast<GlobalId>(prog.globals.size())) {
+                    reportAt(b, i, "bad global id " +
+                                       std::to_string(inst.gid));
+                }
+                break;
+              case Op::Call:
+              case Op::ThreadCreate: {
+                if (inst.fid < 0 ||
+                    inst.fid >=
+                        static_cast<FuncId>(prog.functions.size())) {
+                    reportAt(b, i, "bad callee id " +
+                                       std::to_string(inst.fid));
+                    break;
+                }
+                int given = (inst.a.present() ? 1 : 0) +
+                            (inst.b.present() ? 1 : 0) +
+                            (inst.c.present() ? 1 : 0);
+                int want = prog.functions[inst.fid].num_params;
+                if (inst.op == Op::ThreadCreate)
+                    given = 1; // spawned functions take one argument
+                if (given < want) {
+                    reportAt(b, i, "call to " +
+                                       prog.functions[inst.fid].name +
+                                       " passes " +
+                                       std::to_string(given) +
+                                       " args, needs " +
+                                       std::to_string(want));
+                }
+                break;
+              }
+              case Op::MutexLock:
+              case Op::MutexUnlock:
+                if (inst.sid < 0 ||
+                    inst.sid >= static_cast<SyncId>(
+                                    prog.mutex_names.size())) {
+                    reportAt(b, i, "bad mutex id " +
+                                       std::to_string(inst.sid));
+                }
+                break;
+              case Op::CondWait:
+                if (inst.sid2 < 0 ||
+                    inst.sid2 >= static_cast<SyncId>(
+                                     prog.mutex_names.size())) {
+                    reportAt(b, i, "bad cond-wait mutex id " +
+                                       std::to_string(inst.sid2));
+                }
+                [[fallthrough]];
+              case Op::CondSignal:
+              case Op::CondBroadcast:
+                if (inst.sid < 0 ||
+                    inst.sid >= static_cast<SyncId>(
+                                    prog.cond_names.size())) {
+                    reportAt(b, i, "bad cond id " +
+                                       std::to_string(inst.sid));
+                }
+                break;
+              case Op::BarrierWait:
+                if (inst.sid < 0 ||
+                    inst.sid >= static_cast<SyncId>(
+                                    prog.barrier_names.size())) {
+                    reportAt(b, i, "bad barrier id " +
+                                       std::to_string(inst.sid));
+                }
+                break;
+              case Op::Input:
+                if (inst.lo > inst.hi)
+                    reportAt(b, i, "input with empty domain");
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    const Program &prog;
+    const Function &func;
+    std::vector<std::string> &errors;
+};
+
+} // namespace
+
+std::vector<std::string>
+verifyProgram(const Program &p)
+{
+    std::vector<std::string> errors;
+    if (p.entry < 0 ||
+        p.entry >= static_cast<FuncId>(p.functions.size())) {
+        errors.push_back("program has no valid entry function");
+    }
+    for (const auto &f : p.functions) {
+        FunctionChecker checker(p, f, errors);
+        checker.run();
+    }
+    for (std::size_t i = 0; i < p.barrier_counts.size(); ++i) {
+        if (p.barrier_counts[i] <= 0) {
+            errors.push_back("barrier '" + p.barrier_names[i] +
+                             "' has non-positive count");
+        }
+    }
+    return errors;
+}
+
+} // namespace portend::ir

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Structural validation of PIL programs.
+ *
+ * The verifier rejects malformed programs before execution: bad
+ * block targets, register indices out of range, missing terminators,
+ * dangling function/global/sync references, empty input domains.
+ * Returning diagnostics (rather than aborting) lets tests assert on
+ * specific failure modes.
+ */
+
+#ifndef PORTEND_IR_VERIFIER_H
+#define PORTEND_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace portend::ir {
+
+/**
+ * Validate @p p structurally.
+ *
+ * @return list of human-readable diagnostics; empty means valid
+ */
+std::vector<std::string> verifyProgram(const Program &p);
+
+} // namespace portend::ir
+
+#endif // PORTEND_IR_VERIFIER_H

@@ -1,0 +1,899 @@
+#include "portend/analyzer.h"
+
+#include "portend/outputcmp.h"
+#include "support/logging.h"
+#include "support/stats.h"
+
+namespace portend::core {
+
+namespace {
+
+/** Concrete input vector for a symbolic env log under a model. */
+std::vector<std::int64_t>
+concretizeEnvLog(const std::vector<rt::VmState::EnvRead> &log,
+                 const sym::Model &model)
+{
+    std::vector<std::int64_t> out;
+    out.reserve(log.size());
+    for (const auto &r : log) {
+        if (!r.symbolic) {
+            out.push_back(r.value);
+        } else if (model.values.count(r.sym_id)) {
+            out.push_back(model.values.at(r.sym_id));
+        } else {
+            // Unconstrained symbol: any domain value works; use the
+            // lower bound for determinism.
+            out.push_back(r.lo);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+PrimarySearchPolicy::racePassed(const rt::VmState &state,
+                                const race::RaceReport &race)
+{
+    auto f = state.cell_access_counts.find({race.first.tid, race.cell});
+    if (f == state.cell_access_counts.end() ||
+        f->second < race.first.cell_occurrence) {
+        return false;
+    }
+    auto s =
+        state.cell_access_counts.find({race.second.tid, race.cell});
+    return s != state.cell_access_counts.end() &&
+           s->second >= race.second.cell_occurrence;
+}
+
+rt::ThreadId
+PrimarySearchPolicy::pick(const rt::VmState &state,
+                          const std::vector<rt::ThreadId> &runnable)
+{
+    const std::uint64_t idx = state.stats.preemption_points;
+    const bool passed = racePassed(state, race);
+
+    if (idx < trace.decisions.size()) {
+        const replay::SchedDecision &d = trace.decisions[idx];
+        for (rt::ThreadId t : runnable) {
+            if (t == d.tid)
+                return t;
+        }
+        if (!passed)
+            return -1; // strict pre-race: prune divergent path
+    } else if (!passed) {
+        return -1; // trace exhausted without reaching the race
+    }
+
+    // Tolerant post-race: rotate through runnable threads so that
+    // busy-wait phases keep making progress (a keep-current policy
+    // would spin one thread forever).
+    for (rt::ThreadId t : runnable) {
+        if (t > state.current)
+            return t;
+    }
+    return runnable.front();
+}
+
+RaceAnalyzer::RaceAnalyzer(const ir::Program &prog,
+                           const PortendOptions &opts)
+    : prog(prog), opts(opts), static_info(prog)
+{}
+
+rt::ExecOptions
+RaceAnalyzer::baseOptions() const
+{
+    rt::ExecOptions eo;
+    eo.preempt_on_memory = true;
+    eo.max_steps = opts.max_steps;
+    return eo;
+}
+
+ViolationKind
+RaceAnalyzer::violationOf(rt::RunOutcome o) const
+{
+    switch (o) {
+      case rt::RunOutcome::CrashOob:
+      case rt::RunOutcome::CrashDivZero:
+        return ViolationKind::Crash;
+      case rt::RunOutcome::Deadlock:
+        return ViolationKind::Deadlock;
+      case rt::RunOutcome::AssertFail:
+        return ViolationKind::SemanticAssert;
+      case rt::RunOutcome::TimedOut:
+        return ViolationKind::InfiniteLoop;
+      default:
+        return ViolationKind::None;
+    }
+}
+
+bool
+RaceAnalyzer::diagnoseInfiniteLoop(const rt::VmState &state) const
+{
+    // A timed-out execution spins in its runnable threads. If some
+    // other live thread may still write a global the spinner reads,
+    // the loop is ad-hoc synchronization held back by the enforced
+    // schedule; otherwise the exit condition is invariant and this
+    // is an infinite loop (paper §3.2, [60]).
+    // Only threads that executed recently are spinners; threads the
+    // enforcement policy held back are runnable but idle, and their
+    // (empty) read sets must not be mistaken for invariant loops.
+    const std::uint64_t activity_cutoff = 512;
+    for (const auto &spinner : state.threads) {
+        if (!spinner.runnable())
+            continue;
+        if (spinner.last_step + activity_cutoff < state.global_step)
+            continue;
+        std::set<ir::GlobalId> read_globals;
+        for (int cell : spinner.recent_reads) {
+            ir::GlobalId g = prog.cellGlobal(cell);
+            if (g >= 0)
+                read_globals.insert(g);
+        }
+        bool someone_can_write = false;
+        for (const auto &other : state.threads) {
+            if (other.tid == spinner.tid ||
+                other.status == rt::ThreadStatus::Exited) {
+                continue;
+            }
+            std::set<ir::GlobalId> writes =
+                static_info.mayWriteOnStack(state, other.tid);
+            for (ir::GlobalId g : read_globals) {
+                if (writes.count(g)) {
+                    someone_can_write = true;
+                    break;
+                }
+            }
+            if (someone_can_write)
+                break;
+        }
+        if (!someone_can_write)
+            return true; // invariant exit condition
+    }
+    return false;
+}
+
+namespace {
+
+/** Collect globals loaded into the defining chain of @p reg. */
+void
+collectChainLoads(const std::vector<ir::Inst> &insts, int from,
+                  ir::Reg reg, std::set<ir::GlobalId> &out,
+                  int depth = 0)
+{
+    if (depth > 16 || reg < 0)
+        return;
+    for (int i = from; i >= 0; --i) {
+        const ir::Inst &inst = insts[i];
+        if (inst.dst != reg)
+            continue;
+        if (inst.op == ir::Op::Load || inst.op == ir::Op::AtomicRmW) {
+            out.insert(inst.gid);
+            return;
+        }
+        for (const ir::Operand *o : {&inst.a, &inst.b, &inst.c}) {
+            if (o->isReg()) {
+                collectChainLoads(insts, i - 1, o->reg, out,
+                                  depth + 1);
+            }
+        }
+        return;
+    }
+}
+
+} // namespace
+
+bool
+RaceAnalyzer::crashInvolvesRaceCell(const rt::VmState &final_state,
+                                    const race::RaceReport &race) const
+{
+    const int pc = final_state.outcome_pc;
+    if (pc < 0 || pc >= prog.numInsts())
+        return true; // no faulting site: attribute conservatively
+    ir::GlobalId race_global = prog.cellGlobal(race.cell);
+    ir::Program::PcLoc loc = prog.pcLoc(pc);
+    const auto &insts =
+        prog.functions[loc.func].blocks[loc.block].insts;
+    const ir::Inst &fault = insts[loc.index];
+
+    // Direct access to the racing global at the faulting site.
+    if ((fault.op == ir::Op::Load || fault.op == ir::Op::Store ||
+         fault.op == ir::Op::AtomicRmW) &&
+        fault.gid == race_global) {
+        return true;
+    }
+
+    std::set<ir::GlobalId> chain;
+    for (const ir::Operand *o : {&fault.a, &fault.b, &fault.c}) {
+        if (o->isReg())
+            collectChainLoads(insts, loc.index - 1, o->reg, chain);
+    }
+    if (chain.empty())
+        return true; // nothing to pin the crash on: attribute
+    return chain.count(race_global) > 0;
+}
+
+bool
+RaceAnalyzer::statesEqual(const rt::VmState &a, const rt::VmState &b)
+{
+    // The Record/Replay-Analyzer criterion [45]: the *memory image*
+    // immediately after the race. Thread scheduling positions are
+    // deliberately excluded — the alternate ordering trivially
+    // perturbs them, and [45] diffs memory/registers, not schedules.
+    if (a.mem.size() != b.mem.size())
+        return false;
+    for (std::size_t i = 0; i < a.mem.size(); ++i) {
+        if (!a.mem[i]->equals(*b.mem[i]))
+            return false;
+    }
+    return true;
+}
+
+void
+RaceAnalyzer::absorbStats(AnalysisStats &stats, const rt::VmState &s)
+{
+    stats.preemptions += s.stats.preemption_points;
+    stats.sym_branches += s.stats.symbolic_branches;
+    stats.steps += s.stats.steps;
+}
+
+/**
+ * Enforce the alternate ordering from a pre-race state and observe
+ * the consequences. Returns OutSame with the alternate's outputs
+ * when the alternate completed normally (the caller compares
+ * outputs), or the violating/blocking verdict otherwise.
+ */
+RaceAnalyzer::SingleResult
+RaceAnalyzer::runAlternateFromState(
+    const rt::VmState &pre, const race::RaceReport &race,
+    const std::vector<std::int64_t> &inputs, std::uint64_t post_seed,
+    bool random_post, std::uint64_t primary_total_steps,
+    const rt::VmState *post_primary,
+    const replay::ScheduleTrace *post_trace,
+    std::uint64_t primary_second_count, AnalysisStats &stats)
+{
+    SingleResult r;
+
+    rt::ExecOptions eo = baseOptions();
+    eo.concrete_inputs = inputs;
+    rt::Interpreter alt(prog, eo);
+    alt.setState(pre);
+    // The checkpoint was taken mid-segment of the held thread; the
+    // alternate must start with a fresh scheduling decision so the
+    // enforcement policy can exclude that thread.
+    alt.state().resume_in_segment = false;
+    if (random_post)
+        alt.state().rng = Rng(post_seed * 0x9e3779b97f4a7c15ull + 1);
+
+    const std::uint64_t pre_steps = pre.global_step;
+    const std::uint64_t body =
+        primary_total_steps > pre_steps
+            ? primary_total_steps - pre_steps
+            : 1000;
+    alt.options().max_steps =
+        pre_steps + opts.timeout_factor * body + 2000;
+
+    SemanticMonitor sem(alt, opts.semantic_predicates);
+    alt.addSink(&sem);
+
+    // Deterministic rotation for the single-alternate stage (spin
+    // loops must progress); randomized for multi-schedule analysis.
+    // The deterministic alternate keeps following the original
+    // trace after enforcement so that orderings unrelated to the
+    // race are preserved.
+    rt::RotatePolicy rotate;
+    rt::RandomPolicy rnd;
+    rt::SchedulePolicy *post =
+        random_post ? static_cast<rt::SchedulePolicy *>(&rnd)
+                    : static_cast<rt::SchedulePolicy *>(&rotate);
+    replay::AlternatePolicy pol(race, post,
+                                random_post ? nullptr : post_trace);
+    alt.setPolicy(&pol);
+
+    // Snapshot the state right after both racing accesses completed
+    // in the alternate order (second accessor, then first).
+    int stage = 0;
+    rt::Interpreter::StopSpec spec;
+    const auto kind_of = [](bool is_write) {
+        return is_write ? rt::EventKind::MemWrite
+                        : rt::EventKind::MemRead;
+    };
+    spec.after_event = [&](const rt::Event &ev) {
+        if (ev.cell != race.cell)
+            return false;
+        if (stage == 0 && ev.tid == race.second.tid &&
+            ev.kind == kind_of(race.second.is_write)) {
+            stage = 1;
+            return false;
+        }
+        return stage == 1 && ev.tid == race.first.tid &&
+               ev.kind == kind_of(race.first.is_write);
+    };
+
+    rt::RunOutcome oc = alt.run(spec);
+    if (alt.stopped()) {
+        if (post_primary) {
+            // Compare the memory the racing threads can reach; other
+            // threads' private progress is scheduling noise, not
+            // race effect. Fall back to the full image when a racing
+            // thread is not alive at the checkpoint.
+            const auto nthreads =
+                static_cast<rt::ThreadId>(pre.threads.size());
+            bool scoped = race.first.tid < nthreads &&
+                          race.second.tid < nthreads;
+            std::set<ir::GlobalId> scope;
+            if (scoped) {
+                scope = static_info.mayWriteOnStack(pre,
+                                                    race.first.tid);
+                std::set<ir::GlobalId> more =
+                    static_info.mayWriteOnStack(pre,
+                                                race.second.tid);
+                scope.insert(more.begin(), more.end());
+            }
+            bool differ = false;
+            for (std::size_t i = 0;
+                 i < post_primary->mem.size() && !differ; ++i) {
+                if (scoped &&
+                    !scope.count(
+                        prog.cellGlobal(static_cast<int>(i)))) {
+                    continue;
+                }
+                differ = !post_primary->mem[i]->equals(
+                    *alt.state().mem[i]);
+            }
+            r.states_differ = differ;
+        }
+        oc = alt.run();
+    }
+    absorbStats(stats, alt.state());
+
+    if (!sem.violation().empty()) {
+        // Attribute only when the violated property concerns the
+        // racing global (unrelated violations are queued separately).
+        if (sem.violationCell() < 0 ||
+            prog.cellGlobal(sem.violationCell()) ==
+                prog.cellGlobal(race.cell)) {
+            r.kind = SingleResult::Kind::SpecViol;
+            r.viol = ViolationKind::SemanticAssert;
+            r.detail = sem.violation();
+            return r;
+        }
+        r.kind = SingleResult::Kind::Skipped;
+        r.detail = "unrelated semantic violation during alternate: " +
+                   sem.violation();
+        return r;
+    }
+
+    switch (oc) {
+      case rt::RunOutcome::Aborted:
+        if (pol.starved()) {
+            // Paper case (b): the second accessor cannot reach its
+            // access while the first is held — synchronization
+            // enforces a single ordering.
+            if (opts.adhoc_detection) {
+                r.kind = SingleResult::Kind::SingleOrd;
+                r.detail = "alternate starved: ordering enforced by "
+                           "synchronization";
+            } else {
+                r.kind = SingleResult::Kind::SpecViol;
+                r.viol = ViolationKind::ReplayFailure;
+                r.detail = "replay failure (alternate starved)";
+            }
+        } else {
+            r.kind = SingleResult::Kind::SpecViol;
+            r.viol = ViolationKind::ReplayFailure;
+            r.detail = "alternate schedule aborted";
+        }
+        return r;
+
+      case rt::RunOutcome::TimedOut:
+        if (diagnoseInfiniteLoop(alt.state())) {
+            r.kind = SingleResult::Kind::SpecViol;
+            r.viol = ViolationKind::InfiniteLoop;
+            r.detail = "loop with invariant exit condition in "
+                       "alternate execution";
+        } else if (opts.adhoc_detection) {
+            r.kind = SingleResult::Kind::SingleOrd;
+            r.detail = "busy-wait ad-hoc synchronization prevents the "
+                       "alternate ordering";
+        } else {
+            r.kind = SingleResult::Kind::SpecViol;
+            r.viol = ViolationKind::ReplayFailure;
+            r.detail = "replay failure (alternate timed out)";
+        }
+        return r;
+
+      case rt::RunOutcome::Deadlock:
+        r.kind = SingleResult::Kind::SpecViol;
+        r.viol = ViolationKind::Deadlock;
+        r.detail = alt.state().outcome_detail;
+        return r;
+
+      case rt::RunOutcome::CrashOob:
+      case rt::RunOutcome::CrashDivZero:
+        if (!crashInvolvesRaceCell(alt.state(), race)) {
+            // An unrelated bug surfaced by the perturbed schedule;
+            // the paper queues such discoveries as separate reports.
+            r.kind = SingleResult::Kind::Skipped;
+            r.detail = "unrelated failure during alternate (queued "
+                       "as separate report): " +
+                       alt.state().outcome_detail;
+            return r;
+        }
+        r.kind = SingleResult::Kind::SpecViol;
+        r.viol = ViolationKind::Crash;
+        r.detail = alt.state().outcome_detail;
+        return r;
+
+      case rt::RunOutcome::AssertFail:
+        r.kind = SingleResult::Kind::SpecViol;
+        r.viol = ViolationKind::SemanticAssert;
+        r.detail = alt.state().outcome_detail;
+        return r;
+
+      case rt::RunOutcome::Exited: {
+        if (!pol.enforced()) {
+            // The second accessor never touched the cell on this
+            // path: nothing was tested.
+            r.kind = SingleResult::Kind::Skipped;
+            r.detail = "alternate ordering not exercised on this path";
+            return r;
+        }
+        // Busy-wait signature: the second thread re-executed its
+        // racing access more often than the primary did — it looped
+        // back through the read waiting for the held writer, so the
+        // two accesses admit only one real ordering.
+        if (primary_second_count > 0) {
+            auto it = alt.state().access_counts.find(
+                {race.second.tid, race.second.pc});
+            std::uint64_t alt_count =
+                it == alt.state().access_counts.end() ? 0
+                                                      : it->second;
+            if (alt_count > primary_second_count) {
+                if (opts.adhoc_detection) {
+                    r.kind = SingleResult::Kind::SingleOrd;
+                    r.detail =
+                        "second accessor retried its racing access "
+                        "(busy-wait ad-hoc synchronization)";
+                } else {
+                    r.kind = SingleResult::Kind::SpecViol;
+                    r.viol = ViolationKind::ReplayFailure;
+                    r.detail = "replay diverged (access re-executed)";
+                }
+                return r;
+            }
+        }
+        r.kind = SingleResult::Kind::OutSame;
+        r.alternate_out = alt.state().output;
+        return r;
+      }
+
+      default:
+        r.kind = SingleResult::Kind::Skipped;
+        r.detail = "alternate run ended in unexpected state";
+        return r;
+    }
+}
+
+RaceAnalyzer::SingleResult
+RaceAnalyzer::singleClassify(const race::RaceReport &race,
+                             const replay::ScheduleTrace &trace,
+                             const std::vector<std::int64_t> &inputs,
+                             std::uint64_t post_seed, bool random_post,
+                             AnalysisStats &stats)
+{
+    SingleResult r;
+
+    rt::ExecOptions eo = baseOptions();
+    eo.concrete_inputs = inputs;
+    rt::Interpreter interp(prog, eo);
+    SemanticMonitor sem(interp, opts.semantic_predicates);
+    interp.addSink(&sem);
+
+    rt::RotatePolicy rotate;
+    replay::TracePolicy tp(trace, replay::TracePolicy::Mode::Strict,
+                           &rotate);
+    interp.setPolicy(&tp);
+
+    rt::Interpreter::StopSpec pre;
+    pre.before_cell.push_back(
+        {race.first.tid, race.cell, race.first.cell_occurrence});
+    rt::RunOutcome oc = interp.run(pre);
+
+    if (!interp.stopped()) {
+        absorbStats(stats, interp.state());
+        if (rt::isSpecViolation(oc)) {
+            r.kind = SingleResult::Kind::SpecViol;
+            r.viol = violationOf(oc);
+            r.detail = interp.state().outcome_detail;
+        } else {
+            r.kind = SingleResult::Kind::NotReached;
+            r.detail = "race point not reached during replay";
+        }
+        return r;
+    }
+
+    rt::VmState pre_ckpt = interp.state();
+
+    // Post-race primary snapshot: first accessor, then second.
+    int stage = 0;
+    rt::Interpreter::StopSpec post;
+    const auto kind_of = [](bool is_write) {
+        return is_write ? rt::EventKind::MemWrite
+                        : rt::EventKind::MemRead;
+    };
+    post.after_event = [&](const rt::Event &ev) {
+        if (ev.cell != race.cell)
+            return false;
+        if (stage == 0 && ev.tid == race.first.tid &&
+            ev.kind == kind_of(race.first.is_write)) {
+            stage = 1;
+            return false;
+        }
+        return stage == 1 && ev.tid == race.second.tid &&
+               ev.kind == kind_of(race.second.is_write);
+    };
+    oc = interp.run(post);
+    const bool have_post_primary = interp.stopped();
+    rt::VmState post_primary;
+    if (have_post_primary)
+        post_primary = interp.state();
+
+    if (!interp.state().finished())
+        oc = interp.run();
+    absorbStats(stats, interp.state());
+
+    if (!sem.violation().empty()) {
+        r.kind = SingleResult::Kind::SpecViol;
+        r.viol = ViolationKind::SemanticAssert;
+        r.detail = sem.violation();
+        return r;
+    }
+    if (rt::isSpecViolation(oc)) {
+        r.kind = SingleResult::Kind::SpecViol;
+        r.viol = violationOf(oc);
+        r.detail = interp.state().outcome_detail;
+        return r;
+    }
+    if (oc != rt::RunOutcome::Exited) {
+        r.kind = SingleResult::Kind::NotReached;
+        r.detail = std::string("primary replay ended with ") +
+                   rt::runOutcomeName(oc);
+        return r;
+    }
+
+    r.primary_out = interp.state().output;
+    r.primary_steps = interp.state().global_step;
+    std::uint64_t primary_second_count = 0;
+    {
+        auto it = interp.state().access_counts.find(
+            {race.second.tid, race.second.pc});
+        if (it != interp.state().access_counts.end())
+            primary_second_count = it->second;
+    }
+
+    SingleResult a = runAlternateFromState(
+        pre_ckpt, race, inputs, post_seed, random_post,
+        r.primary_steps, have_post_primary ? &post_primary : nullptr,
+        &trace, primary_second_count, stats);
+    r.states_differ = a.states_differ;
+    if (a.kind != SingleResult::Kind::OutSame) {
+        a.states_differ = r.states_differ;
+        a.primary_out = r.primary_out;
+        a.primary_steps = r.primary_steps;
+        return a;
+    }
+
+    r.alternate_out = a.alternate_out;
+    OutputComparison cmp = compareConcreteOutputs(
+        r.primary_out, a.alternate_out, race.first.tid,
+        race.second.tid);
+    if (!cmp.match) {
+        r.kind = SingleResult::Kind::OutDiff;
+        r.output_diff = cmp.diff;
+    } else {
+        r.kind = SingleResult::Kind::OutSame;
+    }
+    return r;
+}
+
+RaceAnalyzer::SingleResult
+RaceAnalyzer::runAlternate(const race::RaceReport &race,
+                           const replay::ScheduleTrace &trace,
+                           const std::vector<std::int64_t> &inputs,
+                           std::uint64_t post_seed, bool random_post,
+                           std::uint64_t budget_steps,
+                           AnalysisStats &stats)
+{
+    rt::ExecOptions eo = baseOptions();
+    eo.concrete_inputs = inputs;
+    rt::Interpreter interp(prog, eo);
+    PrimarySearchPolicy pol(trace, race);
+    interp.setPolicy(&pol);
+
+    rt::Interpreter::StopSpec pre;
+    pre.before_cell.push_back(
+        {race.first.tid, race.cell, race.first.cell_occurrence});
+    rt::RunOutcome oc = interp.run(pre);
+    absorbStats(stats, interp.state());
+
+    SingleResult r;
+    if (!interp.stopped()) {
+        if (rt::isSpecViolation(oc)) {
+            r.kind = SingleResult::Kind::SpecViol;
+            r.viol = violationOf(oc);
+            r.detail = interp.state().outcome_detail;
+        } else {
+            r.kind = SingleResult::Kind::Skipped;
+            r.detail = "pre-race replay did not reach the race";
+        }
+        return r;
+    }
+    return runAlternateFromState(interp.state(), race, inputs,
+                                 post_seed, random_post, budget_steps,
+                                 nullptr, &trace, 0, stats);
+}
+
+RaceAnalyzer::EvidenceReplay
+RaceAnalyzer::replayEvidence(const race::RaceReport &race,
+                             const replay::ScheduleTrace &trace,
+                             const Classification &verdict)
+{
+    EvidenceReplay out;
+    AnalysisStats scratch;
+    const std::vector<std::int64_t> inputs =
+        verdict.evidence_inputs.empty() ? trace.concreteInputs()
+                                        : verdict.evidence_inputs;
+
+    if (!verdict.evidence_alternate) {
+        // The primary ordering itself is the evidence: replay it.
+        rt::ExecOptions eo = baseOptions();
+        eo.concrete_inputs = inputs;
+        rt::Interpreter interp(prog, eo);
+        PrimarySearchPolicy pol(trace, race);
+        interp.setPolicy(&pol);
+        out.outcome = interp.run();
+        out.detail = interp.state().outcome_detail;
+        out.output = interp.state().output;
+        return out;
+    }
+
+    const std::uint64_t budget =
+        trace.decisions.empty() ? opts.max_steps
+                                : trace.decisions.back().step + 1;
+    SingleResult r = runAlternate(
+        race, trace, inputs, verdict.evidence_seed,
+        verdict.evidence_seed != 0, budget, scratch);
+    switch (r.kind) {
+      case SingleResult::Kind::SpecViol:
+        // Reconstruct the concrete outcome class from the verdict.
+        out.outcome =
+            r.viol == ViolationKind::Deadlock
+                ? rt::RunOutcome::Deadlock
+                : r.viol == ViolationKind::InfiniteLoop
+                      ? rt::RunOutcome::TimedOut
+                      : r.viol == ViolationKind::SemanticAssert
+                            ? rt::RunOutcome::AssertFail
+                            : rt::RunOutcome::CrashOob;
+        break;
+      default:
+        out.outcome = rt::RunOutcome::Exited;
+        break;
+    }
+    out.detail = r.detail;
+    out.output = r.alternate_out;
+    return out;
+}
+
+Classification
+RaceAnalyzer::classify(const race::RaceReport &race,
+                       const replay::ScheduleTrace &trace)
+{
+    Stopwatch sw;
+    Classification c;
+    const std::vector<std::int64_t> inputs0 = trace.concreteInputs();
+
+    // ---- Stage 1: single-pre/single-post (Algorithm 1). ----
+    SingleResult s1 =
+        singleClassify(race, trace, inputs0, 0, false, c.stats);
+    c.states_differ = s1.states_differ;
+
+    bool done = true;
+    switch (s1.kind) {
+      case SingleResult::Kind::SpecViol:
+        c.cls = RaceClass::SpecViolated;
+        c.viol = s1.viol;
+        c.detail = s1.detail;
+        c.evidence_inputs = inputs0;
+        c.evidence_alternate = true;
+        break;
+      case SingleResult::Kind::SingleOrd:
+        c.cls = RaceClass::SingleOrdering;
+        c.detail = s1.detail;
+        break;
+      case SingleResult::Kind::OutDiff:
+        c.cls = RaceClass::OutputDiffers;
+        c.detail = s1.detail;
+        c.output_diff = s1.output_diff;
+        c.evidence_inputs = inputs0;
+        c.evidence_alternate = true;
+        break;
+      case SingleResult::Kind::NotReached:
+      case SingleResult::Kind::Skipped:
+        c.cls = RaceClass::Unclassified;
+        c.detail = s1.detail;
+        break;
+      case SingleResult::Kind::OutSame:
+        done = false;
+        break;
+    }
+    if (done) {
+        c.stats.seconds = sw.seconds();
+        return c;
+    }
+
+    int witnesses = 1; // stage 1 matched
+    c.stats.schedules_explored = 1;
+
+    // ---- Stage 2+3: multi-path, multi-schedule. ----
+    if (opts.multi_path) {
+        rt::ExecOptions eo = baseOptions();
+        eo.input_mode = rt::InputMode::Symbolic;
+        eo.max_symbolic_inputs = opts.max_symbolic_inputs;
+        rt::Interpreter sym_interp(prog, eo);
+
+        exec::ExecutorOptions xo;
+        xo.max_paths = opts.mp;
+        xo.max_states = opts.executor_max_states;
+        xo.solver = opts.solver;
+        exec::Executor ex(xo);
+
+        SemanticMonitor sem(sym_interp, opts.semantic_predicates);
+        sym_interp.addSink(&sem);
+
+        std::vector<exec::PathResult> paths = ex.explore(
+            sym_interp,
+            [&] {
+                return std::make_unique<PrimarySearchPolicy>(trace,
+                                                             race);
+            },
+            [&](const rt::VmState &s) {
+                return PrimarySearchPolicy::racePassed(s, race);
+            });
+        c.stats.paths_explored = static_cast<int>(paths.size());
+        absorbStats(c.stats, sym_interp.state());
+
+        // A primary path itself violating the specification is
+        // direct evidence of harm (when attributable to this race).
+        for (const auto &p : paths) {
+            if (rt::isSpecViolation(p.state.outcome)) {
+                if ((p.state.outcome == rt::RunOutcome::CrashOob ||
+                     p.state.outcome ==
+                         rt::RunOutcome::CrashDivZero) &&
+                    !crashInvolvesRaceCell(p.state, race)) {
+                    continue;
+                }
+                c.cls = RaceClass::SpecViolated;
+                c.viol = violationOf(p.state.outcome);
+                c.detail = p.state.outcome_detail;
+                c.evidence_inputs =
+                    concretizeEnvLog(p.state.env_log, p.model);
+                c.evidence_alternate = false;
+                c.stats.seconds = sw.seconds();
+                return c;
+            }
+        }
+        if (!sem.violation().empty()) {
+            c.cls = RaceClass::SpecViolated;
+            c.viol = ViolationKind::SemanticAssert;
+            c.detail = sem.violation();
+            c.stats.seconds = sw.seconds();
+            return c;
+        }
+
+        const std::uint64_t budget =
+            trace.decisions.empty() ? opts.max_steps
+                                    : trace.decisions.back().step + 1;
+
+        int path_index = 0;
+        for (const auto &p : paths) {
+            path_index += 1;
+            // Only cleanly-completed primaries have comparable
+            // output streams (crashed ones were handled above).
+            if (p.state.outcome != rt::RunOutcome::Exited)
+                continue;
+            std::vector<std::int64_t> inputs_p =
+                concretizeEnvLog(p.state.env_log, p.model);
+            const int nsched = opts.multi_schedule ? opts.ma : 1;
+            for (int j = 0; j < nsched; ++j) {
+                c.stats.schedules_explored += 1;
+                // Distinct seed per (path, schedule) pair so every
+                // alternate explores a genuinely different
+                // post-race interleaving.
+                const std::uint64_t seed =
+                    static_cast<std::uint64_t>(path_index) * 16 +
+                    static_cast<std::uint64_t>(j) + 1;
+                SingleResult a = runAlternate(
+                    race, trace, inputs_p, seed,
+                    opts.multi_schedule, budget, c.stats);
+                switch (a.kind) {
+                  case SingleResult::Kind::SpecViol:
+                    c.cls = RaceClass::SpecViolated;
+                    c.viol = a.viol;
+                    c.detail = a.detail;
+                    c.evidence_inputs = inputs_p;
+                    c.evidence_seed = seed;
+                    c.evidence_alternate = true;
+                    c.stats.seconds = sw.seconds();
+                    return c;
+                  case SingleResult::Kind::OutSame: {
+                    OutputComparison cmp = compareSymbolicOutputs(
+                        p.state.output, p.state.path.constraints(),
+                        a.alternate_out, ex.solver(),
+                        race.first.tid, race.second.tid);
+                    if (!cmp.match) {
+                        c.cls = RaceClass::OutputDiffers;
+                        c.output_diff = cmp.diff;
+                        c.detail = "outputs diverge on an explored "
+                                   "path/schedule";
+                        c.evidence_inputs = inputs_p;
+                        c.evidence_seed = seed;
+                        c.evidence_alternate = true;
+                        c.stats.seconds = sw.seconds();
+                        return c;
+                    }
+                    witnesses += 1;
+                    break;
+                  }
+                  case SingleResult::Kind::SingleOrd:
+                  case SingleResult::Kind::Skipped:
+                  case SingleResult::Kind::NotReached:
+                    break; // no witness from this combination
+                  case SingleResult::Kind::OutDiff:
+                    PORTEND_PANIC("alternate runner cannot produce "
+                                  "OutDiff directly");
+                }
+            }
+        }
+    } else if (opts.multi_schedule) {
+        // Multi-schedule without multi-path: rerun Algorithm 1 with
+        // randomized post-race schedules on the original inputs.
+        for (int j = 1; j <= opts.ma; ++j) {
+            c.stats.schedules_explored += 1;
+            SingleResult s = singleClassify(
+                race, trace, inputs0, static_cast<std::uint64_t>(j),
+                true, c.stats);
+            if (s.kind == SingleResult::Kind::SpecViol) {
+                c.cls = RaceClass::SpecViolated;
+                c.viol = s.viol;
+                c.detail = s.detail;
+                c.evidence_inputs = inputs0;
+                c.evidence_seed = static_cast<std::uint64_t>(j);
+                c.evidence_alternate = true;
+                c.stats.seconds = sw.seconds();
+                return c;
+            }
+            if (s.kind == SingleResult::Kind::OutDiff) {
+                c.cls = RaceClass::OutputDiffers;
+                c.output_diff = s.output_diff;
+                c.evidence_inputs = inputs0;
+                c.evidence_seed = static_cast<std::uint64_t>(j);
+                c.evidence_alternate = true;
+                c.stats.seconds = sw.seconds();
+                return c;
+            }
+            if (s.kind == SingleResult::Kind::OutSame)
+                witnesses += 1;
+        }
+    }
+
+    c.cls = RaceClass::KWitnessHarmless;
+    c.k = witnesses;
+    c.detail = "outputs equivalent across " +
+               std::to_string(witnesses) +
+               " path-schedule combinations";
+    c.stats.seconds = sw.seconds();
+    return c;
+}
+
+} // namespace portend::core

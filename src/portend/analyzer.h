@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Portend's race analysis engine.
+ *
+ * Implements the paper's analysis pipeline per race:
+ *
+ *  1. Single-pre/single-post analysis (Algorithm 1): replay the
+ *     recorded trace to just before the first racing access, take
+ *     the pre-race checkpoint, finish the primary, then enforce the
+ *     alternate ordering from the checkpoint and observe the
+ *     consequences (crash, deadlock, hang/ad-hoc sync, output
+ *     difference).
+ *  2. Multi-path analysis (Algorithm 2): explore up to Mp primary
+ *     paths that still satisfy the schedule trace but take different
+ *     input-dependent branches (symbolic inputs), recording
+ *     symbolic outputs.
+ *  3. Multi-schedule analysis: for each primary, run Ma alternate
+ *     executions with randomized post-race schedules and compare
+ *     their concrete outputs against the primary's symbolic outputs.
+ *
+ * The verdict is one of the four taxonomy categories; "k-witness
+ * harmless" verdicts carry k, the number of successful path x
+ * schedule witnesses.
+ */
+
+#ifndef PORTEND_PORTEND_ANALYZER_H
+#define PORTEND_PORTEND_ANALYZER_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "ir/program.h"
+#include "portend/classify.h"
+#include "race/report.h"
+#include "replay/replayer.h"
+#include "replay/trace.h"
+#include "rt/interpreter.h"
+#include "rt/staticinfo.h"
+
+namespace portend::core {
+
+/**
+ * A semantic predicate: invoked on every event of an analysis run;
+ * returns a non-empty violation description when the "high level"
+ * specification is broken (paper §3.5, e.g. "fmm timestamps must
+ * not go backwards"). The scratch map is private to one execution
+ * (fresh per run), letting predicates express stateful properties
+ * like monotonicity without leaking state across replays.
+ */
+using SemanticPredicate = std::function<std::string(
+    const rt::Interpreter &, const rt::Event &,
+    std::map<std::string, std::int64_t> &scratch)>;
+
+/** Which race detector feeds the classifier. */
+enum class DetectorKind : std::uint8_t {
+    HappensBefore,        ///< vector-clock detector (default)
+    HappensBeforeNoMutex, ///< HB blind to mutexes (imperfect detector)
+    Lockset,              ///< Eraser-style lockset detector
+};
+
+/** Portend configuration (the paper's dials). */
+struct PortendOptions
+{
+    int mp = 5;                 ///< primary paths (Mp)
+    int ma = 2;                 ///< alternate schedules per primary (Ma)
+    bool adhoc_detection = true;   ///< classify hangs as single ordering
+    bool multi_path = true;        ///< enable stage 2
+    bool multi_schedule = true;    ///< enable stage 3
+    int max_symbolic_inputs = 2;   ///< inputs made symbolic in stage 2
+    std::uint64_t timeout_factor = 5; ///< alternate budget multiplier
+    std::uint64_t max_steps = 2000000; ///< absolute step budget
+    std::uint64_t detection_seed = 1;  ///< seed for detection run
+    DetectorKind detector = DetectorKind::HappensBefore;
+    std::vector<SemanticPredicate> semantic_predicates;
+    sym::SolverOptions solver;
+    int executor_max_states = 512;
+};
+
+/**
+ * Event sink evaluating semantic predicates during a run.
+ */
+class SemanticMonitor : public rt::EventSink
+{
+  public:
+    SemanticMonitor(const rt::Interpreter &interp,
+                    const std::vector<SemanticPredicate> &preds)
+        : interp(interp), preds(preds)
+    {}
+
+    void
+    onEvent(const rt::Event &ev) override
+    {
+        if (!violation_.empty())
+            return;
+        for (const auto &p : preds) {
+            std::string msg = p(interp, ev, scratch);
+            if (!msg.empty()) {
+                violation_ = msg;
+                violation_cell_ = ev.cell;
+                return;
+            }
+        }
+    }
+
+    /** Non-empty when a predicate was violated. */
+    const std::string &violation() const { return violation_; }
+
+    /** Cell of the violating event (-1 when not cell-related). */
+    int violationCell() const { return violation_cell_; }
+
+  private:
+    const rt::Interpreter &interp;
+    const std::vector<SemanticPredicate> &preds;
+    std::map<std::string, std::int64_t> scratch;
+    std::string violation_;
+    int violation_cell_ = -1;
+};
+
+/**
+ * Schedule policy for multi-path primary exploration: follows the
+ * recorded trace strictly until the racing accesses have happened
+ * (pruning divergent paths, Fig. 5), then tolerantly.
+ */
+class PrimarySearchPolicy : public rt::SchedulePolicy
+{
+  public:
+    PrimarySearchPolicy(const replay::ScheduleTrace &trace,
+                        const race::RaceReport &race)
+        : trace(trace), race(race)
+    {}
+
+    rt::ThreadId pick(const rt::VmState &state,
+                      const std::vector<rt::ThreadId> &runnable) override;
+
+    /** True once both racing accesses reached their occurrence. */
+    static bool racePassed(const rt::VmState &state,
+                           const race::RaceReport &race);
+
+  private:
+    const replay::ScheduleTrace &trace;
+    const race::RaceReport &race;
+};
+
+/**
+ * Classifies one race at a time; construct once per program.
+ */
+class RaceAnalyzer
+{
+  public:
+    RaceAnalyzer(const ir::Program &prog, const PortendOptions &opts);
+
+    /**
+     * Classify @p race given the recorded @p trace of the execution
+     * that exposed it.
+     */
+    Classification classify(const race::RaceReport &race,
+                            const replay::ScheduleTrace &trace);
+
+    /** Result of replaying a classification's evidence (§3.6). */
+    struct EvidenceReplay
+    {
+        rt::RunOutcome outcome = rt::RunOutcome::Running;
+        std::string detail;
+        rt::OutputLog output;
+    };
+
+    /**
+     * Deterministically re-execute the interleaving a verdict's
+     * evidence describes (inputs + enforced alternate ordering +
+     * post-race schedule seed). For a "spec violated" verdict the
+     * replay reproduces the crash/deadlock/hang; this is the
+     * replayable trace the paper hands to the developer's debugger.
+     */
+    EvidenceReplay replayEvidence(const race::RaceReport &race,
+                                  const replay::ScheduleTrace &trace,
+                                  const Classification &verdict);
+
+  private:
+    /** Outcome of one primary/alternate pair (Algorithm 1). */
+    struct SingleResult
+    {
+        enum class Kind {
+            SpecViol,
+            OutDiff,
+            OutSame,
+            SingleOrd,
+            NotReached, ///< replay did not reach the race
+            Skipped,    ///< alternate unenforceable on this path
+        };
+
+        Kind kind = Kind::NotReached;
+        ViolationKind viol = ViolationKind::None;
+        std::string detail;
+        std::string output_diff;
+        bool states_differ = false;
+        std::uint64_t primary_steps = 0;
+        rt::OutputLog primary_out;
+        rt::OutputLog alternate_out;
+    };
+
+    /** Full Algorithm 1 on concrete inputs. */
+    SingleResult singleClassify(const race::RaceReport &race,
+                                const replay::ScheduleTrace &trace,
+                                const std::vector<std::int64_t> &inputs,
+                                std::uint64_t post_seed,
+                                bool random_post,
+                                AnalysisStats &stats);
+
+    /**
+     * Alternate-only analysis for a multi-path primary: replays
+     * concretized inputs to the pre-race point, enforces the
+     * alternate ordering, and returns its outcome and outputs.
+     */
+    SingleResult runAlternate(const race::RaceReport &race,
+                              const replay::ScheduleTrace &trace,
+                              const std::vector<std::int64_t> &inputs,
+                              std::uint64_t post_seed, bool random_post,
+                              std::uint64_t budget_steps,
+                              AnalysisStats &stats);
+
+    /**
+     * Core of Algorithm 1 lines 5-22: enforce the alternate ordering
+     * from a pre-race state and observe the consequences.
+     *
+     * @param pre            state stopped just before the first
+     *                       racing access
+     * @param post_primary   primary's post-race snapshot for the
+     *                       state-diff criterion (may be null)
+     * @param post_trace     original trace for deterministic
+     *                       post-race scheduling (null = policy only)
+     * @param primary_second_count  dynamic executions of the second
+     *                       racing instruction in the primary; when
+     *                       non-zero and the alternate re-executes
+     *                       it more often, the second thread looped
+     *                       back through its racing access — the
+     *                       busy-wait signature of ad-hoc
+     *                       synchronization ("single ordering")
+     */
+    SingleResult runAlternateFromState(
+        const rt::VmState &pre, const race::RaceReport &race,
+        const std::vector<std::int64_t> &inputs,
+        std::uint64_t post_seed, bool random_post,
+        std::uint64_t primary_total_steps,
+        const rt::VmState *post_primary,
+        const replay::ScheduleTrace *post_trace,
+        std::uint64_t primary_second_count, AnalysisStats &stats);
+
+    /** Base interpreter options for analysis runs. */
+    rt::ExecOptions baseOptions() const;
+
+    /**
+     * Infinite-loop vs ad-hoc-sync diagnosis at a timeout: true when
+     * no live thread can write the cells the spinners read.
+     */
+    bool diagnoseInfiniteLoop(const rt::VmState &state) const;
+
+    /** Map a final run outcome to a violation kind. */
+    ViolationKind violationOf(rt::RunOutcome o) const;
+
+    /**
+     * Attribution check: does the crash at the final state's
+     * outcome pc involve the racing cell's global in the value
+     * chains of its operands? A crash whose faulting data has
+     * nothing to do with the analyzed race is an *unrelated* bug
+     * surfaced by schedule perturbation; the paper queues such
+     * finds as separate reports (§6) rather than blaming the race
+     * under analysis. Deadlocks and hangs are global conditions and
+     * are always attributed.
+     */
+    bool crashInvolvesRaceCell(const rt::VmState &final_state,
+                               const race::RaceReport &race) const;
+
+    /** Concrete post-race state comparison (RR-Analyzer criterion). */
+    static bool statesEqual(const rt::VmState &a, const rt::VmState &b);
+
+    /** Fold a run's counters into @p stats. */
+    static void absorbStats(AnalysisStats &stats, const rt::VmState &s);
+
+    const ir::Program &prog;
+    PortendOptions opts;
+    rt::StaticInfo static_info;
+};
+
+} // namespace portend::core
+
+#endif // PORTEND_PORTEND_ANALYZER_H

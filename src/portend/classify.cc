@@ -1,0 +1,32 @@
+#include "portend/classify.h"
+
+namespace portend::core {
+
+const char *
+raceClassName(RaceClass c)
+{
+    switch (c) {
+      case RaceClass::SpecViolated: return "spec violated";
+      case RaceClass::OutputDiffers: return "output differs";
+      case RaceClass::KWitnessHarmless: return "k-witness harmless";
+      case RaceClass::SingleOrdering: return "single ordering";
+      case RaceClass::Unclassified: return "unclassified";
+    }
+    return "?";
+}
+
+const char *
+violationKindName(ViolationKind v)
+{
+    switch (v) {
+      case ViolationKind::None: return "none";
+      case ViolationKind::Crash: return "crash";
+      case ViolationKind::Deadlock: return "deadlock";
+      case ViolationKind::InfiniteLoop: return "infinite-loop";
+      case ViolationKind::SemanticAssert: return "semantic";
+      case ViolationKind::ReplayFailure: return "replay-failure";
+    }
+    return "?";
+}
+
+} // namespace portend::core

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Portend's four-category race taxonomy (paper §2.3, Fig. 1).
+ *
+ * True races are classified as:
+ *  - "spec violated":      some ordering crashes, deadlocks, hangs,
+ *                          or violates a semantic predicate;
+ *  - "output differs":     the orderings can produce different
+ *                          program output;
+ *  - "k-witness harmless": k path x schedule combinations witnessed
+ *                          equivalent (symbolically compared) output;
+ *  - "single ordering":    only one ordering is possible (ad-hoc
+ *                          synchronization), including false-positive
+ *                          reports from imperfect detectors.
+ */
+
+#ifndef PORTEND_PORTEND_CLASSIFY_H
+#define PORTEND_PORTEND_CLASSIFY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace portend::core {
+
+/** Top-level classification category. */
+enum class RaceClass : std::uint8_t {
+    SpecViolated,
+    OutputDiffers,
+    KWitnessHarmless,
+    SingleOrdering,
+    Unclassified, ///< analysis could not reproduce the race
+};
+
+/** Printable category name (paper spelling). */
+const char *raceClassName(RaceClass c);
+
+/** What kind of specification violation was observed. */
+enum class ViolationKind : std::uint8_t {
+    None,
+    Crash,          ///< memory error / division by zero
+    Deadlock,
+    InfiniteLoop,   ///< loop with an invariant exit condition
+    SemanticAssert, ///< developer-provided predicate violated
+    ReplayFailure,  ///< alternate not enforceable and ad-hoc
+                    ///< detection disabled (baseline behaviour)
+};
+
+/** Printable violation-kind name. */
+const char *violationKindName(ViolationKind v);
+
+/** Work performed during one race's classification (Fig. 9 data). */
+struct AnalysisStats
+{
+    std::uint64_t preemptions = 0;     ///< scheduling decisions taken
+    std::uint64_t sym_branches = 0;    ///< symbolic decisions seen
+    std::uint64_t steps = 0;           ///< instructions interpreted
+    int paths_explored = 0;            ///< primary paths analyzed
+    int schedules_explored = 0;        ///< alternate schedules run
+    double seconds = 0.0;              ///< wall-clock analysis time
+};
+
+/** The verdict for one race, with evidence (paper §3.6). */
+struct Classification
+{
+    RaceClass cls = RaceClass::Unclassified;
+    ViolationKind viol = ViolationKind::None;
+
+    /** Number of path x schedule witnesses (k-witness verdicts). */
+    int k = 0;
+
+    /**
+     * Whether the concrete post-race states of primary and
+     * alternate differed (the Record/Replay-Analyzer criterion;
+     * Table 3's "states same/differ" columns).
+     */
+    bool states_differ = false;
+
+    /** Human-readable explanation of the verdict. */
+    std::string detail;
+
+    /** For "output differs": where and how the outputs diverged. */
+    std::string output_diff;
+
+    /** Inputs reproducing the harmful/divergent behaviour. */
+    std::vector<std::int64_t> evidence_inputs;
+
+    /** Post-race schedule seed reproducing the behaviour. */
+    std::uint64_t evidence_seed = 0;
+
+    /** True when the harmful ordering is the alternate one. */
+    bool evidence_alternate = false;
+
+    AnalysisStats stats;
+
+    /** True for verdicts the paper counts as harmful. */
+    bool
+    harmful() const
+    {
+        return cls == RaceClass::SpecViolated;
+    }
+};
+
+} // namespace portend::core
+
+#endif // PORTEND_PORTEND_CLASSIFY_H

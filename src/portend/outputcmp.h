@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Program-output comparison (paper §3.3.1).
+ *
+ * Two comparison modes:
+ *
+ *  - Concrete: record-by-record equality of two fully-concrete
+ *    output logs (used by single-pre/single-post analysis).
+ *  - Symbolic: the primary's outputs are symbolic formulae under a
+ *    path condition; the alternate's are concrete values. The
+ *    alternate matches if the conjunction of the path condition with
+ *    per-record equalities is satisfiable — i.e., the concrete
+ *    outputs lie in the set of values the primary's constraints
+ *    allow. This generalizes one comparison over the whole input
+ *    equivalence class of the primary path.
+ */
+
+#ifndef PORTEND_PORTEND_OUTPUTCMP_H
+#define PORTEND_PORTEND_OUTPUTCMP_H
+
+#include <string>
+
+#include "rt/vmstate.h"
+#include "sym/solver.h"
+
+namespace portend::core {
+
+/** Result of an output comparison. */
+struct OutputComparison
+{
+    bool match = false;
+    std::string diff; ///< description of the first difference
+};
+
+/**
+ * Compare two fully-concrete output logs.
+ *
+ * Records are compared per-thread; in addition, the *relative
+ * global order* of records from the two racing threads (@p tid1,
+ * @p tid2, pass -1 to disable) is compared, since reordering those
+ * is precisely the observable effect a race can have. Other
+ * threads' interleavings are scheduler noise.
+ */
+OutputComparison compareConcreteOutputs(const rt::OutputLog &a,
+                                        const rt::OutputLog &b,
+                                        int tid1 = -1, int tid2 = -1);
+
+/**
+ * Check whether concrete @p alternate outputs satisfy the symbolic
+ * @p primary outputs under @p path_condition.
+ *
+ * @param primary        output log possibly containing symbolic values
+ * @param path_condition constraints of the primary execution
+ * @param alternate      fully-concrete output log
+ * @param solver         solver used for the satisfiability query
+ * @param tid1,tid2      racing threads whose records are also
+ *                       order-compared globally (-1 to disable)
+ */
+OutputComparison
+compareSymbolicOutputs(const rt::OutputLog &primary,
+                       const std::vector<sym::ExprPtr> &path_condition,
+                       const rt::OutputLog &alternate,
+                       sym::Solver &solver, int tid1 = -1,
+                       int tid2 = -1);
+
+} // namespace portend::core
+
+#endif // PORTEND_PORTEND_OUTPUTCMP_H

@@ -1,0 +1,134 @@
+#include "portend/portend.h"
+
+#include <sstream>
+
+#include "race/hb.h"
+#include "race/lockset.h"
+#include "replay/replayer.h"
+#include "rt/interpreter.h"
+#include "support/stats.h"
+
+namespace portend::core {
+
+std::vector<const PortendReport *>
+PortendResult::byClass(RaceClass c) const
+{
+    std::vector<const PortendReport *> out;
+    for (const auto &r : reports) {
+        if (r.classification.cls == c)
+            out.push_back(&r);
+    }
+    return out;
+}
+
+Portend::Portend(const ir::Program &prog, PortendOptions opts)
+    : prog(prog), opts(std::move(opts))
+{}
+
+DetectionResult
+Portend::detect()
+{
+    Stopwatch sw;
+    DetectionResult result;
+
+    rt::ExecOptions eo;
+    eo.preempt_on_memory = true;
+    eo.max_steps = opts.max_steps;
+    eo.rng_seed = opts.detection_seed;
+    rt::Interpreter interp(prog, eo);
+
+    // Rotate through runnable threads at every preemption point to
+    // exercise many interleavings in a single deterministic run.
+    rt::RotatePolicy rotate;
+    replay::RecordingPolicy recorder(prog, &rotate, &result.trace);
+    interp.setPolicy(&recorder);
+
+    race::HbDetector hb(prog,
+                        race::HbOptions{
+                            opts.detector ==
+                                DetectorKind::HappensBeforeNoMutex,
+                            true, 4096});
+    race::LocksetDetector lockset(prog);
+    if (opts.detector == DetectorKind::Lockset)
+        interp.addSink(&lockset);
+    else
+        interp.addSink(&hb);
+
+    result.outcome = interp.run();
+    replay::RecordingPolicy::captureInputs(interp.state(),
+                                           &result.trace);
+    result.steps = interp.state().global_step;
+
+    const std::vector<race::RaceReport> &found =
+        opts.detector == DetectorKind::Lockset ? lockset.races()
+                                               : hb.races();
+    result.dynamic_races = found.size();
+    result.clusters = race::clusterRaces(found);
+    result.seconds = sw.seconds();
+    return result;
+}
+
+Classification
+Portend::classifyRace(const race::RaceReport &race,
+                      const replay::ScheduleTrace &trace)
+{
+    RaceAnalyzer analyzer(prog, opts);
+    return analyzer.classify(race, trace);
+}
+
+PortendResult
+Portend::run()
+{
+    PortendResult result;
+    result.detection = detect();
+
+    RaceAnalyzer analyzer(prog, opts);
+    for (const auto &cluster : result.detection.clusters) {
+        PortendReport report;
+        report.cluster = cluster;
+        report.classification = analyzer.classify(
+            cluster.representative, result.detection.trace);
+        result.reports.push_back(std::move(report));
+    }
+    return result;
+}
+
+std::string
+formatReport(const ir::Program &prog, const PortendReport &report)
+{
+    const race::RaceReport &race = report.cluster.representative;
+    const Classification &c = report.classification;
+
+    std::ostringstream os;
+    os << race.describe(prog);
+    os << "  instances observed: " << report.cluster.instances << "\n";
+    os << "  classification: " << raceClassName(c.cls);
+    if (c.cls == RaceClass::SpecViolated)
+        os << " (" << violationKindName(c.viol) << ")";
+    if (c.cls == RaceClass::KWitnessHarmless)
+        os << " (k = " << c.k << ")";
+    os << "\n";
+    if (!c.detail.empty())
+        os << "  detail: " << c.detail << "\n";
+    if (!c.output_diff.empty())
+        os << "  output difference: " << c.output_diff << "\n";
+    if (c.cls == RaceClass::SpecViolated ||
+        c.cls == RaceClass::OutputDiffers) {
+        os << "  evidence inputs:";
+        if (c.evidence_inputs.empty()) {
+            os << " (none required)";
+        } else {
+            for (std::int64_t v : c.evidence_inputs)
+                os << " " << v;
+        }
+        os << "\n";
+        os << "  evidence ordering: "
+           << (c.evidence_alternate ? "alternate" : "primary")
+           << ", post-race schedule seed " << c.evidence_seed << "\n";
+    }
+    os << "  post-race concrete states: "
+       << (c.states_differ ? "differ" : "same") << "\n";
+    return os.str();
+}
+
+} // namespace portend::core

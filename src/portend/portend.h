@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Portend public API.
+ *
+ * The facade runs the full pipeline from the paper's Fig. 2: execute
+ * the program under the dynamic race detector while recording a
+ * schedule trace, cluster the reported races, then classify each
+ * cluster's representative with multi-path multi-schedule analysis
+ * and symbolic output comparison.
+ *
+ * Typical use:
+ * @code
+ *   core::Portend portend(program);
+ *   core::PortendResult result = portend.run();
+ *   for (const core::PortendReport &r : result.reports)
+ *       std::cout << core::formatReport(program, r);
+ * @endcode
+ */
+
+#ifndef PORTEND_PORTEND_PORTEND_H
+#define PORTEND_PORTEND_PORTEND_H
+
+#include <string>
+#include <vector>
+
+#include "portend/analyzer.h"
+#include "race/report.h"
+#include "replay/trace.h"
+
+namespace portend::core {
+
+/** One classified race cluster. */
+struct PortendReport
+{
+    race::RaceCluster cluster;
+    Classification classification;
+};
+
+/** Result of a detection run. */
+struct DetectionResult
+{
+    std::vector<race::RaceCluster> clusters; ///< distinct races
+    std::size_t dynamic_races = 0;           ///< total instances
+    replay::ScheduleTrace trace;             ///< recorded schedule
+    rt::RunOutcome outcome = rt::RunOutcome::Running;
+    std::uint64_t steps = 0;                 ///< instructions run
+    double seconds = 0.0;
+};
+
+/** Result of the full pipeline. */
+struct PortendResult
+{
+    DetectionResult detection;
+    std::vector<PortendReport> reports;
+
+    /** Reports of a given class. */
+    std::vector<const PortendReport *> byClass(RaceClass c) const;
+};
+
+/**
+ * The Portend tool: detector + classifier over one program.
+ */
+class Portend
+{
+  public:
+    /**
+     * @param prog finalized program under test (kept by reference)
+     * @param opts analysis configuration
+     */
+    explicit Portend(const ir::Program &prog, PortendOptions opts = {});
+
+    /**
+     * Run the detection phase only: execute the program with the
+     * configured detector attached, recording the schedule trace.
+     */
+    DetectionResult detect();
+
+    /** Classify one race against a recorded trace. */
+    Classification classifyRace(const race::RaceReport &race,
+                                const replay::ScheduleTrace &trace);
+
+    /** Full pipeline: detect, then classify every cluster. */
+    PortendResult run();
+
+    /** The options in effect. */
+    const PortendOptions &options() const { return opts; }
+
+  private:
+    const ir::Program &prog;
+    PortendOptions opts;
+};
+
+/**
+ * Render a classified race in the style of the paper's Fig. 6
+ * debugging-aid report.
+ */
+std::string formatReport(const ir::Program &prog,
+                         const PortendReport &report);
+
+} // namespace portend::core
+
+#endif // PORTEND_PORTEND_PORTEND_H

@@ -1,0 +1,159 @@
+#include "race/hb.h"
+
+namespace portend::race {
+
+HbDetector::HbDetector(const ir::Program &p, HbOptions opts)
+    : prog(p), opts(opts)
+{
+    reset();
+}
+
+void
+HbDetector::reset()
+{
+    thread_clocks.clear();
+    mutex_clocks.clear();
+    cond_clocks.clear();
+    exit_clocks.clear();
+    barrier_pending.clear();
+    history.clear();
+    reports.clear();
+    // Main thread starts with its own component at 1.
+    clockOf(0).tick(0);
+}
+
+VectorClock &
+HbDetector::clockOf(rt::ThreadId tid)
+{
+    if (tid >= static_cast<int>(thread_clocks.size()))
+        thread_clocks.resize(tid + 1);
+    return thread_clocks[tid];
+}
+
+void
+HbDetector::handleAccess(const rt::Event &ev, bool is_write)
+{
+    VectorClock &me = clockOf(ev.tid);
+
+    RaceAccess acc;
+    acc.tid = ev.tid;
+    acc.pc = ev.pc;
+    acc.is_write = is_write;
+    acc.atomic = ev.atomic;
+    acc.occurrence = ev.occurrence;
+    acc.cell_occurrence = ev.cell_occurrence;
+    acc.step = ev.step;
+    acc.loc = ev.loc;
+
+    auto &hist = history[ev.cell];
+    for (const auto &old : hist) {
+        if (old.access.tid == ev.tid)
+            continue;
+        if (!old.access.is_write && !is_write)
+            continue; // read-read never races
+        if (opts.ignore_atomic_pairs && old.access.atomic && ev.atomic)
+            continue;
+        if (!old.clock.lessOrEqual(me)) {
+            RaceReport r;
+            r.cell = ev.cell;
+            r.first = old.access;
+            r.second = acc;
+            reports.push_back(std::move(r));
+        }
+    }
+
+    CellAccess rec;
+    rec.access = acc;
+    rec.clock = me;
+    hist.push_back(std::move(rec));
+    if (hist.size() > opts.max_history)
+        hist.erase(hist.begin());
+}
+
+void
+HbDetector::onEvent(const rt::Event &ev)
+{
+    switch (ev.kind) {
+      case rt::EventKind::MemRead:
+        handleAccess(ev, false);
+        break;
+      case rt::EventKind::MemWrite:
+        handleAccess(ev, true);
+        break;
+
+      case rt::EventKind::MutexLock:
+        if (!opts.ignore_mutexes)
+            clockOf(ev.tid).join(mutex_clocks[ev.sid]);
+        break;
+      case rt::EventKind::MutexUnlock:
+        if (!opts.ignore_mutexes) {
+            mutex_clocks[ev.sid] = clockOf(ev.tid);
+            clockOf(ev.tid).tick(ev.tid);
+        }
+        break;
+
+      case rt::EventKind::CondSignal: {
+        VectorClock &me = clockOf(ev.tid);
+        cond_clocks[ev.sid].join(me);
+        me.tick(ev.tid);
+        break;
+      }
+      case rt::EventKind::CondWait:
+        clockOf(ev.tid).join(cond_clocks[ev.sid]);
+        break;
+
+      case rt::EventKind::BarrierWait: {
+        auto &pending = barrier_pending[ev.sid];
+        pending.push_back(ev.tid);
+        int count = prog.barrier_counts.empty()
+                        ? 0
+                        : prog.barrier_counts[ev.sid];
+        if (static_cast<int>(pending.size()) >= count) {
+            // All participants emitted their pass events: join all
+            // clocks and restart the generation.
+            VectorClock joint;
+            for (rt::ThreadId t : pending)
+                joint.join(clockOf(t));
+            for (rt::ThreadId t : pending) {
+                clockOf(t) = joint;
+                clockOf(t).tick(t);
+            }
+            pending.clear();
+        }
+        break;
+      }
+
+      case rt::EventKind::ThreadCreate: {
+        // Grow the clock vector first: taking both references before
+        // growth would leave one dangling after the resize.
+        clockOf(std::max(ev.tid, ev.other));
+        VectorClock &parent = clockOf(ev.tid);
+        VectorClock &child = clockOf(ev.other);
+        child.join(parent);
+        child.tick(ev.other);
+        parent.tick(ev.tid);
+        break;
+      }
+      case rt::EventKind::ThreadExit:
+        exit_clocks[ev.tid] = clockOf(ev.tid);
+        break;
+      case rt::EventKind::ThreadJoin: {
+        auto it = exit_clocks.find(ev.other);
+        if (it != exit_clocks.end())
+            clockOf(ev.tid).join(it->second);
+        break;
+      }
+
+      case rt::EventKind::ThreadStart:
+      case rt::EventKind::Output:
+        break;
+    }
+}
+
+std::vector<RaceCluster>
+HbDetector::clusters() const
+{
+    return clusterRaces(reports);
+}
+
+} // namespace portend::race

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dynamic happens-before data race detector.
+ *
+ * Consumes the interpreter's event stream and maintains vector
+ * clocks per thread, release clocks per mutex, signal clocks per
+ * condition variable, and generation clocks per barrier. Every
+ * memory access is compared against the cell's recent access
+ * history; two conflicting accesses by different threads that are
+ * unordered by happens-before constitute a race (paper §3.1, [31]).
+ *
+ * The detector can be configured to ignore mutex events, which
+ * recreates the paper's "imperfect detector" experiment (§5.2): a
+ * detector that misses synchronization reports false positives,
+ * which Portend must then classify as "single ordering".
+ */
+
+#ifndef PORTEND_RACE_HB_H
+#define PORTEND_RACE_HB_H
+
+#include <map>
+#include <vector>
+
+#include "ir/program.h"
+#include "race/report.h"
+#include "race/vclock.h"
+#include "rt/events.h"
+
+namespace portend::race {
+
+/** Detector configuration. */
+struct HbOptions
+{
+    /** Drop mutex lock/unlock edges (imperfect-detector mode). */
+    bool ignore_mutexes = false;
+
+    /** Do not report atomic-atomic conflicts as races. */
+    bool ignore_atomic_pairs = true;
+
+    /** Per-cell access history bound (oldest evicted first). */
+    std::size_t max_history = 4096;
+};
+
+/**
+ * Happens-before detector; attach as an event sink to an
+ * Interpreter, run, then read races()/clusters().
+ */
+class HbDetector : public rt::EventSink
+{
+  public:
+    /**
+     * @param p    the program under test (for barrier counts)
+     * @param opts detector configuration
+     */
+    explicit HbDetector(const ir::Program &p, HbOptions opts = {});
+
+    void onEvent(const rt::Event &ev) override;
+
+    /** All dynamic race occurrences, in detection order. */
+    const std::vector<RaceReport> &races() const { return reports; }
+
+    /** Static clusters of races() (paper §4 clustering). */
+    std::vector<RaceCluster> clusters() const;
+
+    /** Reset all detector state (for a fresh run). */
+    void reset();
+
+  private:
+    struct CellAccess
+    {
+        RaceAccess access;
+        VectorClock clock;
+    };
+
+    /** Thread clock, growing on demand. */
+    VectorClock &clockOf(rt::ThreadId tid);
+
+    void handleAccess(const rt::Event &ev, bool is_write);
+
+    const ir::Program &prog;
+    HbOptions opts;
+
+    std::vector<VectorClock> thread_clocks;
+    std::map<int, VectorClock> mutex_clocks;
+    std::map<int, VectorClock> cond_clocks;
+    std::map<int, VectorClock> exit_clocks;
+    std::map<int, std::vector<rt::ThreadId>> barrier_pending;
+    std::map<int, std::vector<CellAccess>> history;
+
+    std::vector<RaceReport> reports;
+};
+
+} // namespace portend::race
+
+#endif // PORTEND_RACE_HB_H

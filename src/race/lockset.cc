@@ -1,0 +1,91 @@
+#include "race/lockset.h"
+
+#include <algorithm>
+
+namespace portend::race {
+
+LocksetDetector::LocksetDetector(const ir::Program &p) : prog(p)
+{
+    reset();
+}
+
+void
+LocksetDetector::reset()
+{
+    held.clear();
+    cells.clear();
+    reports.clear();
+}
+
+void
+LocksetDetector::onEvent(const rt::Event &ev)
+{
+    switch (ev.kind) {
+      case rt::EventKind::MutexLock:
+        held[ev.tid].insert(ev.sid);
+        return;
+      case rt::EventKind::MutexUnlock:
+        held[ev.tid].erase(ev.sid);
+        return;
+      case rt::EventKind::MemRead:
+      case rt::EventKind::MemWrite:
+        break;
+      default:
+        return;
+    }
+
+    const bool is_write = ev.kind == rt::EventKind::MemWrite;
+    CellState &cs = cells[ev.cell];
+
+    RaceAccess acc;
+    acc.tid = ev.tid;
+    acc.pc = ev.pc;
+    acc.is_write = is_write;
+    acc.atomic = ev.atomic;
+    acc.occurrence = ev.occurrence;
+    acc.cell_occurrence = ev.cell_occurrence;
+    acc.step = ev.step;
+    acc.loc = ev.loc;
+
+    const std::set<int> &mine = held[ev.tid];
+    if (!cs.lockset_valid) {
+        cs.candidate = mine;
+        cs.lockset_valid = true;
+    } else {
+        std::set<int> inter;
+        std::set_intersection(cs.candidate.begin(), cs.candidate.end(),
+                              mine.begin(), mine.end(),
+                              std::inserter(inter, inter.begin()));
+        cs.candidate = std::move(inter);
+    }
+    cs.accessors.insert(ev.tid);
+    cs.any_write = cs.any_write || is_write;
+
+    if (cs.candidate.empty() && cs.accessors.size() > 1 &&
+        cs.any_write) {
+        // Pair the new access with the most recent conflicting one
+        // from another thread.
+        for (auto it = cs.accesses.rbegin(); it != cs.accesses.rend();
+             ++it) {
+            if (it->tid != ev.tid && (it->is_write || is_write)) {
+                RaceReport r;
+                r.cell = ev.cell;
+                r.first = *it;
+                r.second = acc;
+                reports.push_back(std::move(r));
+                break;
+            }
+        }
+    }
+    cs.accesses.push_back(acc);
+    if (cs.accesses.size() > 4096)
+        cs.accesses.erase(cs.accesses.begin());
+}
+
+std::vector<RaceCluster>
+LocksetDetector::clusters() const
+{
+    return clusterRaces(reports);
+}
+
+} // namespace portend::race

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Race reports and clustering.
+ *
+ * A report names the two unordered accesses; clustering groups
+ * dynamic occurrences of the same static race (same cell, same
+ * program counters) so Portend analyzes one representative per
+ * cluster and reports the instance count (paper §4, Table 3).
+ */
+
+#ifndef PORTEND_RACE_REPORT_H
+#define PORTEND_RACE_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "rt/events.h"
+
+namespace portend::race {
+
+/** One side of a racing pair. */
+struct RaceAccess
+{
+    rt::ThreadId tid = -1;
+    int pc = -1;
+    bool is_write = false;
+    bool atomic = false;
+    std::uint64_t occurrence = 0; ///< nth dynamic execution of (tid, pc)
+    std::uint64_t cell_occurrence = 0; ///< nth access of (tid, cell)
+    std::uint64_t step = 0;       ///< global step of the access
+    ir::SourceLoc loc;
+};
+
+/** A dynamic race occurrence: two unordered conflicting accesses. */
+struct RaceReport
+{
+    int cell = -1;          ///< flat cell id
+    RaceAccess first;       ///< earlier access in the observed run
+    RaceAccess second;      ///< later access in the observed run
+
+    /** Stable identity of the static race: (cell, low pc, high pc). */
+    std::string key() const;
+
+    /** Fig. 6-style textual report. */
+    std::string describe(const ir::Program &p) const;
+};
+
+/** A static race with its dynamic occurrence count. */
+struct RaceCluster
+{
+    RaceReport representative; ///< first occurrence observed
+    int instances = 0;         ///< dynamic occurrences
+};
+
+/** Group dynamic reports into static clusters (stable order). */
+std::vector<RaceCluster>
+clusterRaces(const std::vector<RaceReport> &reports);
+
+} // namespace portend::race
+
+#endif // PORTEND_RACE_REPORT_H

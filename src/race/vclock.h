@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Vector clocks for happens-before tracking.
+ *
+ * The classic Lamport/Mattern construction [31]: each thread carries
+ * a clock vector; synchronization operations join vectors; an access
+ * A happens before access B iff A's snapshot is pointwise <= B's
+ * thread clock at B. Lattice laws are property-tested in
+ * tests/race_vclock_test.cc.
+ */
+
+#ifndef PORTEND_RACE_VCLOCK_H
+#define PORTEND_RACE_VCLOCK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace portend::race {
+
+/**
+ * A grow-on-demand vector clock.
+ */
+class VectorClock
+{
+  public:
+    /** Component for thread @p tid (0 when never set). */
+    std::uint64_t
+    get(int tid) const
+    {
+        return tid < static_cast<int>(c.size()) ? c[tid] : 0;
+    }
+
+    /** Set component @p tid to @p v. */
+    void
+    set(int tid, std::uint64_t v)
+    {
+        grow(tid);
+        c[tid] = v;
+    }
+
+    /** Increment component @p tid. */
+    void
+    tick(int tid)
+    {
+        grow(tid);
+        c[tid] += 1;
+    }
+
+    /** Pointwise maximum with @p o (least upper bound). */
+    void
+    join(const VectorClock &o)
+    {
+        if (o.c.size() > c.size())
+            c.resize(o.c.size(), 0);
+        for (std::size_t i = 0; i < o.c.size(); ++i) {
+            if (o.c[i] > c[i])
+                c[i] = o.c[i];
+        }
+    }
+
+    /**
+     * True iff this clock is pointwise <= @p o (i.e., everything
+     * this clock has seen, @p o has seen).
+     */
+    bool
+    lessOrEqual(const VectorClock &o) const
+    {
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            if (c[i] > o.get(static_cast<int>(i)))
+                return false;
+        }
+        return true;
+    }
+
+    bool operator==(const VectorClock &o) const
+    {
+        std::size_t n = std::max(c.size(), o.c.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            if (get(static_cast<int>(i)) !=
+                o.get(static_cast<int>(i))) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /** Render as "<a, b, c>". */
+    std::string
+    toString() const
+    {
+        std::string out = "<";
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += std::to_string(c[i]);
+        }
+        return out + ">";
+    }
+
+  private:
+    void
+    grow(int tid)
+    {
+        if (tid >= static_cast<int>(c.size()))
+            c.resize(tid + 1, 0);
+    }
+
+    std::vector<std::uint64_t> c;
+};
+
+} // namespace portend::race
+
+#endif // PORTEND_RACE_VCLOCK_H

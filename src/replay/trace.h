@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Schedule traces and the input log.
+ *
+ * A trace is the paper's record of an execution (§3.1): the thread
+ * id and program counter at each preemption point, plus the log of
+ * system-call inputs (Input/GetTime values). Together with the
+ * program, a trace deterministically reproduces a run:
+ * (T0:pc0) -> (T1 -> RaceyAccessT1:pc1) -> (T2 -> RaceyAccessT2:pc2).
+ */
+
+#ifndef PORTEND_REPLAY_TRACE_H
+#define PORTEND_REPLAY_TRACE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rt/vmstate.h"
+
+namespace portend::replay {
+
+/** One scheduling decision: thread @p tid resumed at @p pc. */
+struct SchedDecision
+{
+    rt::ThreadId tid = -1;
+    int pc = -1;             ///< pc of the first instruction executed
+    std::uint64_t step = 0;  ///< global step at the decision
+
+    bool operator==(const SchedDecision &o) const = default;
+};
+
+/**
+ * A recorded execution: scheduling decisions plus environment
+ * inputs. Serializable so traces can be stored in bug reports and
+ * replayed later (paper §3.6).
+ */
+struct ScheduleTrace
+{
+    std::vector<SchedDecision> decisions;
+    std::vector<rt::VmState::EnvRead> inputs;
+
+    /** Concrete input values, in consumption order. */
+    std::vector<std::int64_t> concreteInputs() const;
+
+    /** Text form: one line per decision / input. */
+    std::string serialize() const;
+
+    /** Parse the text form; nullopt on malformed input. */
+    static std::optional<ScheduleTrace>
+    deserialize(const std::string &text);
+
+    /** Paper-style one-line rendering of the first @p n decisions. */
+    std::string summary(std::size_t n = 8) const;
+
+    bool operator==(const ScheduleTrace &o) const;
+};
+
+} // namespace portend::replay
+
+#endif // PORTEND_REPLAY_TRACE_H

@@ -1,0 +1,960 @@
+#include "rt/interpreter.h"
+
+#include "support/logging.h"
+#include "sym/simplify.h"
+
+namespace portend::rt {
+
+Interpreter::Interpreter(const ir::Program &p, ExecOptions opts)
+    : prog(p), opts(std::move(opts))
+{
+    PORTEND_ASSERT(p.finalized(), "program must be finalized");
+    reset();
+}
+
+void
+Interpreter::reset()
+{
+    st = VmState();
+    st.rng = Rng(opts.rng_seed);
+
+    // Memory image.
+    st.mem.reserve(prog.numCells());
+    for (const auto &g : prog.globals) {
+        for (int i = 0; i < g.size; ++i) {
+            std::int64_t init =
+                i < static_cast<int>(g.init.size()) ? g.init[i] : 0;
+            st.mem.push_back(sym::Expr::constant(init));
+        }
+    }
+
+    st.mutexes.assign(prog.mutex_names.size(), MutexState{});
+    st.conds.assign(prog.cond_names.size(), CondState{});
+    BarrierState empty_barrier;
+    st.barriers.assign(prog.barrier_names.size(), empty_barrier);
+
+    // Main thread.
+    ThreadState main;
+    main.tid = 0;
+    Frame f;
+    f.func = prog.entry;
+    f.regs.assign(prog.function(prog.entry).num_regs,
+                  sym::Expr::constant(0));
+    main.stack.push_back(std::move(f));
+    st.threads.push_back(std::move(main));
+}
+
+sym::ExprPtr
+Interpreter::evalOperand(const ThreadState &t, const ir::Operand &o) const
+{
+    if (o.isImm())
+        return sym::Expr::constant(o.imm);
+    PORTEND_ASSERT(o.isReg(), "evaluating absent operand");
+    const Frame &f = t.stack.back();
+    PORTEND_ASSERT(o.reg >= 0 &&
+                       o.reg < static_cast<int>(f.regs.size()),
+                   "register out of range");
+    return f.regs[o.reg];
+}
+
+const ir::Inst &
+Interpreter::fetch(const ThreadState &t) const
+{
+    const Frame &f = t.stack.back();
+    return prog.function(f.func).blocks[f.block].insts[f.inst];
+}
+
+bool
+Interpreter::isPreemptionPoint(const ThreadState &t,
+                               const ir::Inst &inst) const
+{
+    switch (inst.op) {
+      case ir::Op::MutexLock:
+      case ir::Op::MutexUnlock:
+      case ir::Op::CondWait:
+      case ir::Op::CondSignal:
+      case ir::Op::CondBroadcast:
+      case ir::Op::BarrierWait:
+      case ir::Op::ThreadCreate:
+      case ir::Op::ThreadJoin:
+      case ir::Op::Yield:
+      case ir::Op::Sleep:
+        return true;
+      case ir::Op::Output:
+      case ir::Op::OutputStr:
+        return opts.preempt_on_output;
+      case ir::Op::Load:
+      case ir::Op::Store:
+      case ir::Op::AtomicRmW: {
+        if (opts.preempt_on_memory)
+            return true;
+        if (opts.watched_cells.empty())
+            return false;
+        sym::ExprPtr idx = evalOperand(t, inst.a);
+        if (!idx->isConcrete()) {
+            // Symbolic index: conservatively a preemption point when
+            // any cell of this global is watched.
+            for (int i = 0; i < prog.global(inst.gid).size; ++i) {
+                if (opts.watched_cells.count(
+                        prog.cellId(inst.gid, i))) {
+                    return true;
+                }
+            }
+            return false;
+        }
+        std::int64_t v = idx->constValue();
+        if (v < 0 || v >= prog.global(inst.gid).size)
+            return false; // the crash is reported at execution
+        return opts.watched_cells.count(
+                   prog.cellId(inst.gid, static_cast<int>(v))) > 0;
+      }
+      default:
+        return false;
+    }
+}
+
+void
+Interpreter::publish(Event ev)
+{
+    ev.step = st.global_step;
+    for (EventSink *s : sinks)
+        s->onEvent(ev);
+    if (policy)
+        policy->onEvent(ev);
+    if (active_stop && active_stop->after_event &&
+        active_stop->after_event(ev)) {
+        stop_event_fired = true;
+    }
+}
+
+void
+Interpreter::finish(RunOutcome o, ThreadId tid, int pc,
+                    const std::string &detail)
+{
+    st.outcome = o;
+    st.outcome_tid = tid;
+    st.outcome_pc = pc;
+    st.outcome_detail = detail;
+}
+
+bool
+Interpreter::decideCondition(const sym::ExprPtr &cond, DecisionKind kind)
+{
+    st.stats.symbolic_branches += 1;
+    bool take;
+    if (!st.forced_decisions.empty()) {
+        take = st.forced_decisions.front();
+        st.forced_decisions.pop_front();
+    } else if (hook) {
+        take = hook->decide(*this, cond, kind);
+    } else {
+        PORTEND_FATAL("symbolic decision (", static_cast<int>(kind),
+                      ") reached without a fork hook; run with "
+                      "concrete inputs or install exec::Executor");
+    }
+    st.path.add(take ? cond : sym::negate(cond));
+    return take;
+}
+
+bool
+Interpreter::resolveIndex(ThreadId tid, const ir::Inst &inst,
+                          const sym::ExprPtr &idx, int size,
+                          std::int64_t &out)
+{
+    if (idx->isConcrete()) {
+        std::int64_t v = idx->constValue();
+        if (v < 0 || v >= size) {
+            finish(RunOutcome::CrashOob, tid, inst.pc,
+                   "index " + std::to_string(v) + " out of bounds of " +
+                       prog.global(inst.gid).name + "[" +
+                       std::to_string(size) + "] at " +
+                       inst.loc.toString());
+            return false;
+        }
+        out = v;
+        return true;
+    }
+
+    sym::ExprPtr in_bounds = sym::Expr::binary(
+        sym::ExprKind::LAnd,
+        sym::mkSle(sym::mkConst(0), idx),
+        sym::mkSlt(idx, sym::mkConst(size)));
+    if (!decideCondition(in_bounds, DecisionKind::Bounds)) {
+        finish(RunOutcome::CrashOob, tid, inst.pc,
+               "symbolic index out of bounds of " +
+                   prog.global(inst.gid).name + " at " +
+                   inst.loc.toString());
+        return false;
+    }
+    PORTEND_ASSERT(hook, "bounds decision without hook");
+    std::int64_t v = hook->concretize(*this, idx);
+    PORTEND_ASSERT(v >= 0 && v < size, "concretized index escaped");
+    st.path.add(sym::mkEq(idx, sym::mkConst(v)));
+    out = v;
+    return true;
+}
+
+void
+Interpreter::advance(ThreadState &t)
+{
+    t.stack.back().inst += 1;
+}
+
+bool
+Interpreter::tryLock(ThreadId tid, ir::SyncId m)
+{
+    MutexState &mu = st.mutexes.at(m);
+    if (mu.owner == -1) {
+        mu.owner = tid;
+        return true;
+    }
+    if (mu.owner == tid) {
+        finish(RunOutcome::Deadlock, tid, fetch(st.thread(tid)).pc,
+               "recursive acquisition of mutex " + prog.mutex_names[m]);
+        return false;
+    }
+    ThreadState &t = st.thread(tid);
+    t.status = ThreadStatus::BlockedMutex;
+    t.wait_sync = m;
+    for (ThreadId w : mu.waiters) {
+        if (w == tid)
+            return false;
+    }
+    mu.waiters.push_back(tid);
+    return false;
+}
+
+void
+Interpreter::unlockMutex(ThreadId tid, ir::SyncId m, int pc,
+                         const ir::SourceLoc &loc)
+{
+    MutexState &mu = st.mutexes.at(m);
+    if (mu.owner != tid) {
+        finish(RunOutcome::AssertFail, tid, pc,
+               "unlock of mutex " + prog.mutex_names[m] +
+                   " not owned by thread");
+        return;
+    }
+    mu.owner = -1;
+    if (!mu.waiters.empty()) {
+        // Barging semantics: wake the first waiter; it re-attempts
+        // the acquisition when scheduled and may lose the race.
+        ThreadId w = mu.waiters.front();
+        mu.waiters.erase(mu.waiters.begin());
+        ThreadState &wt = st.thread(w);
+        wt.status = ThreadStatus::Runnable;
+        wt.wait_sync = -1;
+    }
+    Event ev;
+    ev.kind = EventKind::MutexUnlock;
+    ev.tid = tid;
+    ev.pc = pc;
+    ev.sid = m;
+    ev.loc = loc;
+    publish(ev);
+}
+
+void
+Interpreter::exitThread(ThreadId tid)
+{
+    ThreadState &t = st.thread(tid);
+    t.status = ThreadStatus::Exited;
+
+    Event ev;
+    ev.kind = EventKind::ThreadExit;
+    ev.tid = tid;
+    publish(ev);
+
+    // Wake joiners; their pending ThreadJoin completes now.
+    for (auto &joiner : st.threads) {
+        if (joiner.status == ThreadStatus::BlockedJoin &&
+            joiner.wait_tid == tid) {
+            joiner.status = ThreadStatus::Runnable;
+            joiner.wait_tid = -1;
+            const ir::Inst &ji = fetch(joiner);
+            advance(joiner);
+            Event je;
+            je.kind = EventKind::ThreadJoin;
+            je.tid = joiner.tid;
+            je.other = tid;
+            je.pc = ji.pc;
+            je.loc = ji.loc;
+            publish(je);
+        }
+    }
+
+    // Returning from main terminates the program (C semantics).
+    if (tid == 0 && !st.finished())
+        finish(RunOutcome::Exited, tid, -1, "main returned");
+}
+
+void
+Interpreter::execute(ThreadId tid, const ir::Inst &inst)
+{
+    st.global_step += 1;
+    st.stats.steps += 1;
+    st.thread(tid).steps += 1;
+    st.thread(tid).last_step = st.global_step;
+
+    switch (inst.op) {
+      case ir::Op::Nop:
+        advance(st.thread(tid));
+        break;
+
+      case ir::Op::ConstOp: {
+        ThreadState &t = st.thread(tid);
+        t.stack.back().regs[inst.dst] =
+            sym::Expr::constant(inst.a.imm);
+        advance(t);
+        break;
+      }
+
+      case ir::Op::Mov: {
+        ThreadState &t = st.thread(tid);
+        t.stack.back().regs[inst.dst] = evalOperand(t, inst.a);
+        advance(t);
+        break;
+      }
+
+      case ir::Op::Bin: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr a = evalOperand(t, inst.a);
+        sym::ExprPtr b = evalOperand(t, inst.b);
+        if (inst.kind == sym::ExprKind::SDiv ||
+            inst.kind == sym::ExprKind::SRem) {
+            if (b->isConcrete()) {
+                if (b->constValue() == 0) {
+                    finish(RunOutcome::CrashDivZero, tid, inst.pc,
+                           "division by zero at " +
+                               inst.loc.toString());
+                    return;
+                }
+            } else {
+                sym::ExprPtr nz =
+                    sym::mkNe(b, sym::mkConst(0, b->width()));
+                if (!decideCondition(nz, DecisionKind::DivZero)) {
+                    finish(RunOutcome::CrashDivZero, tid, inst.pc,
+                           "symbolic division by zero at " +
+                               inst.loc.toString());
+                    return;
+                }
+            }
+        }
+        ThreadState &t2 = st.thread(tid);
+        t2.stack.back().regs[inst.dst] =
+            sym::Expr::binary(inst.kind, a, b);
+        advance(t2);
+        break;
+      }
+
+      case ir::Op::Un: {
+        ThreadState &t = st.thread(tid);
+        t.stack.back().regs[inst.dst] =
+            sym::Expr::unary(inst.kind, evalOperand(t, inst.a));
+        advance(t);
+        break;
+      }
+
+      case ir::Op::Select: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr c = evalOperand(t, inst.a);
+        sym::ExprPtr cond =
+            sym::mkNe(c, sym::mkConst(0, c->width()));
+        t.stack.back().regs[inst.dst] =
+            sym::Expr::ite(cond, evalOperand(t, inst.b),
+                           evalOperand(t, inst.c));
+        advance(t);
+        break;
+      }
+
+      case ir::Op::Load: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr idx = evalOperand(t, inst.a);
+        std::int64_t i = 0;
+        if (!resolveIndex(tid, inst, idx,
+                          prog.global(inst.gid).size, i)) {
+            return;
+        }
+        int cell = prog.cellId(inst.gid, static_cast<int>(i));
+        ThreadState &t2 = st.thread(tid);
+        t2.stack.back().regs[inst.dst] = st.mem[cell];
+        st.access_counts[{tid, inst.pc}] += 1;
+        st.cell_access_counts[{tid, cell}] += 1;
+        t2.recent_reads.push_back(cell);
+        if (static_cast<int>(t2.recent_reads.size()) >
+            opts.spin_window) {
+            t2.recent_reads.erase(t2.recent_reads.begin());
+        }
+        advance(t2);
+        Event ev;
+        ev.kind = EventKind::MemRead;
+        ev.tid = tid;
+        ev.pc = inst.pc;
+        ev.cell = cell;
+        ev.occurrence = st.access_counts[{tid, inst.pc}];
+        ev.cell_occurrence = st.cell_access_counts[{tid, cell}];
+        ev.loc = inst.loc;
+        publish(ev);
+        break;
+      }
+
+      case ir::Op::Store: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr idx = evalOperand(t, inst.a);
+        std::int64_t i = 0;
+        if (!resolveIndex(tid, inst, idx,
+                          prog.global(inst.gid).size, i)) {
+            return;
+        }
+        int cell = prog.cellId(inst.gid, static_cast<int>(i));
+        sym::ExprPtr val = evalOperand(st.thread(tid), inst.b);
+        st.mem[cell] = val;
+        st.access_counts[{tid, inst.pc}] += 1;
+        st.cell_access_counts[{tid, cell}] += 1;
+        advance(st.thread(tid));
+        Event ev;
+        ev.kind = EventKind::MemWrite;
+        ev.tid = tid;
+        ev.pc = inst.pc;
+        ev.cell = cell;
+        ev.occurrence = st.access_counts[{tid, inst.pc}];
+        ev.cell_occurrence = st.cell_access_counts[{tid, cell}];
+        ev.loc = inst.loc;
+        publish(ev);
+        break;
+      }
+
+      case ir::Op::AtomicRmW: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr idx = evalOperand(t, inst.a);
+        std::int64_t i = 0;
+        if (!resolveIndex(tid, inst, idx,
+                          prog.global(inst.gid).size, i)) {
+            return;
+        }
+        int cell = prog.cellId(inst.gid, static_cast<int>(i));
+        sym::ExprPtr delta = evalOperand(st.thread(tid), inst.b);
+        sym::ExprPtr old = st.mem[cell];
+        st.mem[cell] = sym::mkAdd(old, delta);
+        ThreadState &t2 = st.thread(tid);
+        if (inst.dst >= 0)
+            t2.stack.back().regs[inst.dst] = old;
+        st.access_counts[{tid, inst.pc}] += 1;
+        st.cell_access_counts[{tid, cell}] += 1;
+        advance(t2);
+        Event r;
+        r.kind = EventKind::MemRead;
+        r.tid = tid;
+        r.pc = inst.pc;
+        r.cell = cell;
+        r.atomic = true;
+        r.occurrence = st.access_counts[{tid, inst.pc}];
+        r.cell_occurrence = st.cell_access_counts[{tid, cell}];
+        r.loc = inst.loc;
+        publish(r);
+        Event w = r;
+        w.kind = EventKind::MemWrite;
+        publish(w);
+        break;
+      }
+
+      case ir::Op::Br: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr c = evalOperand(t, inst.a);
+        bool take;
+        if (c->isConcrete()) {
+            take = c->constValue() != 0;
+        } else {
+            sym::ExprPtr cond =
+                sym::mkNe(c, sym::mkConst(0, c->width()));
+            take = decideCondition(cond, DecisionKind::Branch);
+            if (st.finished())
+                return;
+        }
+        ThreadState &t2 = st.thread(tid);
+        Frame &f = t2.stack.back();
+        f.block = take ? inst.then_block : inst.else_block;
+        f.inst = 0;
+        break;
+      }
+
+      case ir::Op::Jmp: {
+        Frame &f = st.thread(tid).stack.back();
+        f.block = inst.then_block;
+        f.inst = 0;
+        break;
+      }
+
+      case ir::Op::Call: {
+        ThreadState &t = st.thread(tid);
+        const ir::Function &callee = prog.function(inst.fid);
+        Frame nf;
+        nf.func = inst.fid;
+        nf.regs.assign(callee.num_regs, sym::Expr::constant(0));
+        nf.ret_dst = inst.dst;
+        const ir::Operand *args[3] = {&inst.a, &inst.b, &inst.c};
+        for (int i = 0; i < callee.num_params && i < 3; ++i) {
+            if (args[i]->present())
+                nf.regs[i] = evalOperand(t, *args[i]);
+        }
+        advance(t); // return resumes after the call
+        t.stack.push_back(std::move(nf));
+        break;
+      }
+
+      case ir::Op::Ret: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr rv =
+            inst.a.present() ? evalOperand(t, inst.a) : nullptr;
+        ir::Reg dst = t.stack.back().ret_dst;
+        t.stack.pop_back();
+        if (t.stack.empty()) {
+            exitThread(tid);
+        } else if (rv && dst >= 0) {
+            t.stack.back().regs[dst] = rv;
+        }
+        break;
+      }
+
+      case ir::Op::Halt:
+        finish(RunOutcome::Exited, tid, inst.pc, "halt");
+        break;
+
+      case ir::Op::ThreadCreate: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr arg = evalOperand(t, inst.a);
+        advance(t);
+
+        ThreadState child;
+        child.tid = static_cast<ThreadId>(st.threads.size());
+        Frame cf;
+        cf.func = inst.fid;
+        cf.regs.assign(prog.function(inst.fid).num_regs,
+                       sym::Expr::constant(0));
+        if (prog.function(inst.fid).num_params > 0)
+            cf.regs[0] = arg;
+        child.stack.push_back(std::move(cf));
+        ThreadId child_tid = child.tid;
+        st.threads.push_back(std::move(child));
+
+        // Reacquire after the push_back (vector may reallocate).
+        ThreadState &t2 = st.thread(tid);
+        if (inst.dst >= 0) {
+            t2.stack.back().regs[inst.dst] =
+                sym::Expr::constant(child_tid);
+        }
+        Event ev;
+        ev.kind = EventKind::ThreadCreate;
+        ev.tid = tid;
+        ev.pc = inst.pc;
+        ev.other = child_tid;
+        ev.loc = inst.loc;
+        publish(ev);
+        break;
+      }
+
+      case ir::Op::ThreadJoin: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr targ = evalOperand(t, inst.a);
+        std::int64_t target;
+        if (targ->isConcrete()) {
+            target = targ->constValue();
+        } else {
+            PORTEND_ASSERT(hook, "symbolic join target without hook");
+            target = hook->concretize(*this, targ);
+            st.path.add(sym::mkEq(targ, sym::mkConst(target)));
+        }
+        if (target < 0 ||
+            target >= static_cast<std::int64_t>(st.threads.size())) {
+            finish(RunOutcome::AssertFail, tid, inst.pc,
+                   "join of invalid thread id " +
+                       std::to_string(target));
+            return;
+        }
+        ThreadState &t2 = st.thread(tid);
+        if (st.thread(static_cast<ThreadId>(target)).status ==
+            ThreadStatus::Exited) {
+            advance(t2);
+            Event ev;
+            ev.kind = EventKind::ThreadJoin;
+            ev.tid = tid;
+            ev.pc = inst.pc;
+            ev.other = static_cast<ThreadId>(target);
+            ev.loc = inst.loc;
+            publish(ev);
+        } else {
+            t2.status = ThreadStatus::BlockedJoin;
+            t2.wait_tid = static_cast<ThreadId>(target);
+        }
+        break;
+      }
+
+      case ir::Op::MutexLock: {
+        if (tryLock(tid, inst.sid)) {
+            ThreadState &t = st.thread(tid);
+            advance(t);
+            Event ev;
+            ev.kind = EventKind::MutexLock;
+            ev.tid = tid;
+            ev.pc = inst.pc;
+            ev.sid = inst.sid;
+            ev.loc = inst.loc;
+            publish(ev);
+        }
+        break;
+      }
+
+      case ir::Op::MutexUnlock:
+        unlockMutex(tid, inst.sid, inst.pc, inst.loc);
+        if (!st.finished())
+            advance(st.thread(tid));
+        break;
+
+      case ir::Op::CondWait: {
+        ThreadState &t = st.thread(tid);
+        if (!t.cond_relock) {
+            if (st.mutexes.at(inst.sid2).owner != tid) {
+                finish(RunOutcome::AssertFail, tid, inst.pc,
+                       "cond_wait without holding mutex " +
+                           prog.mutex_names[inst.sid2]);
+                return;
+            }
+            unlockMutex(tid, inst.sid2, inst.pc, inst.loc);
+            if (st.finished())
+                return;
+            ThreadState &t2 = st.thread(tid);
+            t2.status = ThreadStatus::BlockedCond;
+            t2.wait_sync = inst.sid;
+            st.conds.at(inst.sid).waiters.push_back(tid);
+        } else {
+            // Woken by signal/broadcast; re-acquire the mutex.
+            if (tryLock(tid, inst.sid2)) {
+                ThreadState &t2 = st.thread(tid);
+                t2.cond_relock = false;
+                advance(t2);
+                // The re-acquisition is a real lock operation: emit
+                // it so happens-before edges through the mutex hold.
+                Event lk;
+                lk.kind = EventKind::MutexLock;
+                lk.tid = tid;
+                lk.pc = inst.pc;
+                lk.sid = inst.sid2;
+                lk.loc = inst.loc;
+                publish(lk);
+                Event ev;
+                ev.kind = EventKind::CondWait;
+                ev.tid = tid;
+                ev.pc = inst.pc;
+                ev.sid = inst.sid;
+                ev.loc = inst.loc;
+                publish(ev);
+            }
+        }
+        break;
+      }
+
+      case ir::Op::CondSignal:
+      case ir::Op::CondBroadcast: {
+        CondState &cv = st.conds.at(inst.sid);
+        std::size_t wake =
+            inst.op == ir::Op::CondSignal
+                ? (cv.waiters.empty() ? 0 : 1)
+                : cv.waiters.size();
+        for (std::size_t i = 0; i < wake; ++i) {
+            ThreadId w = cv.waiters.front();
+            cv.waiters.erase(cv.waiters.begin());
+            ThreadState &wt = st.thread(w);
+            wt.status = ThreadStatus::Runnable;
+            wt.wait_sync = -1;
+            wt.cond_relock = true;
+        }
+        advance(st.thread(tid));
+        Event ev;
+        ev.kind = EventKind::CondSignal;
+        ev.tid = tid;
+        ev.pc = inst.pc;
+        ev.sid = inst.sid;
+        ev.loc = inst.loc;
+        publish(ev);
+        break;
+      }
+
+      case ir::Op::BarrierWait: {
+        BarrierState &bar = st.barriers.at(inst.sid);
+        bar.arrived += 1;
+        if (bar.arrived <
+            prog.barrier_counts[inst.sid]) {
+            ThreadState &t = st.thread(tid);
+            t.status = ThreadStatus::BlockedBarrier;
+            t.wait_sync = inst.sid;
+            bar.waiting.push_back(tid);
+        } else {
+            // Release everyone, including the arriving thread.
+            std::vector<ThreadId> all = bar.waiting;
+            bar.waiting.clear();
+            bar.arrived = 0;
+            for (ThreadId w : all) {
+                ThreadState &wt = st.thread(w);
+                wt.status = ThreadStatus::Runnable;
+                wt.wait_sync = -1;
+                const ir::Inst &wi = fetch(wt);
+                advance(wt);
+                Event ev;
+                ev.kind = EventKind::BarrierWait;
+                ev.tid = w;
+                ev.pc = wi.pc;
+                ev.sid = inst.sid;
+                ev.loc = wi.loc;
+                publish(ev);
+            }
+            ThreadState &t = st.thread(tid);
+            advance(t);
+            Event ev;
+            ev.kind = EventKind::BarrierWait;
+            ev.tid = tid;
+            ev.pc = inst.pc;
+            ev.sid = inst.sid;
+            ev.loc = inst.loc;
+            publish(ev);
+        }
+        break;
+      }
+
+      case ir::Op::Yield:
+        advance(st.thread(tid));
+        break;
+
+      case ir::Op::Sleep: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr ticks = evalOperand(t, inst.a);
+        st.virtual_time +=
+            ticks->isConcrete() ? ticks->constValue() : 1;
+        advance(t);
+        break;
+      }
+
+      case ir::Op::Input: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr v;
+        VmState::EnvRead read;
+        if (opts.input_mode == InputMode::Symbolic &&
+            st.next_symbol < opts.max_symbolic_inputs) {
+            int id = st.next_symbol++;
+            v = sym::Expr::symbol(inst.text, id, sym::Width::I64,
+                                  inst.lo, inst.hi);
+            read.symbolic = true;
+            read.sym_id = id;
+            read.lo = inst.lo;
+        } else {
+            std::size_t cursor = st.env_log.size();
+            std::int64_t cv =
+                cursor < opts.concrete_inputs.size()
+                    ? opts.concrete_inputs[cursor]
+                    : inst.lo;
+            v = sym::Expr::constant(cv);
+            read.value = cv;
+        }
+        st.env_log.push_back(read);
+        t.stack.back().regs[inst.dst] = v;
+        advance(t);
+        break;
+      }
+
+      case ir::Op::GetTime: {
+        ThreadState &t = st.thread(tid);
+        std::size_t cursor = st.env_log.size();
+        std::int64_t cv;
+        if (opts.input_mode != InputMode::Symbolic &&
+            cursor < opts.concrete_inputs.size()) {
+            cv = opts.concrete_inputs[cursor];
+        } else {
+            cv = st.virtual_time;
+        }
+        st.virtual_time += 1;
+        VmState::EnvRead read;
+        read.value = cv;
+        st.env_log.push_back(read);
+        t.stack.back().regs[inst.dst] = sym::Expr::constant(cv);
+        advance(t);
+        break;
+      }
+
+      case ir::Op::Output:
+      case ir::Op::OutputStr: {
+        ThreadState &t = st.thread(tid);
+        OutputRecord rec;
+        rec.label = inst.text;
+        if (inst.op == ir::Op::Output)
+            rec.value = evalOperand(t, inst.a);
+        rec.tid = tid;
+        rec.pc = inst.pc;
+        rec.loc = inst.loc;
+        st.output.append(std::move(rec));
+        advance(t);
+        Event ev;
+        ev.kind = EventKind::Output;
+        ev.tid = tid;
+        ev.pc = inst.pc;
+        ev.loc = inst.loc;
+        publish(ev);
+        break;
+      }
+
+      case ir::Op::Assert: {
+        ThreadState &t = st.thread(tid);
+        sym::ExprPtr c = evalOperand(t, inst.a);
+        bool holds;
+        if (c->isConcrete()) {
+            holds = c->constValue() != 0;
+        } else {
+            sym::ExprPtr cond =
+                sym::mkNe(c, sym::mkConst(0, c->width()));
+            holds = decideCondition(cond, DecisionKind::Assert);
+            if (st.finished())
+                return;
+        }
+        if (!holds) {
+            finish(RunOutcome::AssertFail, tid, inst.pc,
+                   "assertion '" + inst.text + "' failed at " +
+                       inst.loc.toString());
+            return;
+        }
+        advance(st.thread(tid));
+        break;
+      }
+    }
+}
+
+RunOutcome
+Interpreter::run()
+{
+    return run(StopSpec{});
+}
+
+RunOutcome
+Interpreter::run(const StopSpec &stop)
+{
+    active_stop = stop.empty() ? nullptr : &stop;
+    stopped_at_spec = false;
+    stop_event_fired = false;
+    SchedulePolicy *pol = policy ? policy : &default_policy;
+
+    while (!st.finished()) {
+        if (st.global_step >= opts.max_steps) {
+            finish(RunOutcome::TimedOut, st.current, -1,
+                   "step budget exhausted");
+            break;
+        }
+        std::vector<ThreadId> runnable = st.runnableThreads();
+        if (runnable.empty()) {
+            if (st.allExited()) {
+                finish(RunOutcome::Exited, -1, -1, "all threads done");
+            } else {
+                finish(RunOutcome::Deadlock, -1, -1,
+                       "all live threads blocked");
+            }
+            break;
+        }
+
+        ThreadId tid;
+        bool first;
+        if (st.resume_in_segment && st.current >= 0 &&
+            st.current < static_cast<ThreadId>(st.threads.size()) &&
+            st.thread(st.current).runnable()) {
+            // Continue the interrupted segment without a scheduling
+            // decision, keeping trace cursors aligned.
+            tid = st.current;
+            first = st.resume_first;
+            st.resume_in_segment = false;
+        } else {
+            st.resume_in_segment = false;
+            tid = pol->pick(st, runnable);
+            if (tid < 0) {
+                finish(RunOutcome::Aborted, -1, -1,
+                       "schedule policy aborted");
+                break;
+            }
+            PORTEND_ASSERT(st.thread(tid).runnable(),
+                           "policy picked non-runnable thread ", tid);
+            st.current = tid;
+            st.stats.preemption_points += 1;
+            first = true;
+        }
+        while (!st.finished() && st.thread(tid).runnable()) {
+            if (st.global_step >= opts.max_steps) {
+                finish(RunOutcome::TimedOut, tid, -1,
+                       "step budget exhausted");
+                break;
+            }
+            const ir::Inst &inst = fetch(st.thread(tid));
+
+            if (active_stop) {
+                bool hit = false;
+                for (const auto &p : active_stop->before) {
+                    if (p.tid == tid && p.pc == inst.pc) {
+                        auto it = st.access_counts.find({tid, inst.pc});
+                        std::uint64_t seen =
+                            it == st.access_counts.end() ? 0
+                                                         : it->second;
+                        if (seen + 1 == p.occurrence)
+                            hit = true;
+                    }
+                }
+                if (!hit && !active_stop->before_cell.empty() &&
+                    (inst.op == ir::Op::Load ||
+                     inst.op == ir::Op::Store ||
+                     inst.op == ir::Op::AtomicRmW)) {
+                    sym::ExprPtr idx =
+                        evalOperand(st.thread(tid), inst.a);
+                    if (idx->isConcrete()) {
+                        std::int64_t iv = idx->constValue();
+                        if (iv >= 0 &&
+                            iv < prog.global(inst.gid).size) {
+                            int cell = prog.cellId(
+                                inst.gid, static_cast<int>(iv));
+                            for (const auto &p :
+                                 active_stop->before_cell) {
+                                if (p.tid != tid || p.cell != cell)
+                                    continue;
+                                auto it = st.cell_access_counts.find(
+                                    {tid, cell});
+                                std::uint64_t seen =
+                                    it == st.cell_access_counts.end()
+                                        ? 0
+                                        : it->second;
+                                if (seen + 1 == p.occurrence)
+                                    hit = true;
+                            }
+                        }
+                    }
+                }
+                if (hit) {
+                    st.resume_in_segment = true;
+                    st.resume_first = first;
+                    stopped_at_spec = true;
+                    active_stop = nullptr;
+                    return RunOutcome::Running;
+                }
+            }
+
+            if (!first && isPreemptionPoint(st.thread(tid), inst))
+                break;
+
+            execute(tid, inst);
+            first = false;
+
+            if (stop_event_fired) {
+                st.resume_in_segment = true;
+                st.resume_first = false;
+                stopped_at_spec = true;
+                active_stop = nullptr;
+                return RunOutcome::Running;
+            }
+        }
+    }
+
+    active_stop = nullptr;
+    return st.outcome;
+}
+
+} // namespace portend::rt

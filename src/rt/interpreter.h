@@ -1,0 +1,280 @@
+/**
+ * @file
+ * The PIL interpreter — this repository's Cloud9.
+ *
+ * A deterministic single-processor cooperative interpreter for
+ * multi-threaded PIL programs. Preemption points are synchronization
+ * operations, thread operations, yields, and memory accesses to
+ * watched (racy) cells; at each one the schedule policy picks the
+ * next runnable thread (paper §3.1). Values are symbolic expressions;
+ * a ForkHook (implemented by exec::Executor) resolves symbolic
+ * control decisions, enabling KLEE-style state forking.
+ *
+ * The interpreter detects the paper's "basic" specification
+ * violations natively: out-of-bounds accesses, division by zero,
+ * deadlocks (all live threads blocked, including self-deadlock),
+ * failed semantic assertions, and step-budget timeouts (the raw
+ * material for infinite-loop vs ad-hoc-synchronization diagnosis).
+ */
+
+#ifndef PORTEND_RT_INTERPRETER_H
+#define PORTEND_RT_INTERPRETER_H
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/program.h"
+#include "rt/events.h"
+#include "rt/policy.h"
+#include "rt/vmstate.h"
+
+namespace portend::rt {
+
+class Interpreter;
+
+/** Where a symbolic decision arose. */
+enum class DecisionKind : std::uint8_t {
+    Branch,   ///< conditional branch on symbolic data
+    Bounds,   ///< in-bounds check of a symbolic index
+    DivZero,  ///< divisor-is-nonzero check
+    Assert,   ///< semantic predicate
+};
+
+/**
+ * Resolver for symbolic control decisions.
+ *
+ * When the interpreter must decide a symbolic I1 condition, it asks
+ * the hook which way *this* execution goes; the hook may clone the
+ * interpreter's state beforehand to explore the other way (forking).
+ * The interpreter then records the matching path constraint itself.
+ */
+class ForkHook
+{
+  public:
+    virtual ~ForkHook() = default;
+
+    /**
+     * Decide symbolic condition @p cond.
+     *
+     * @return true when this execution should proceed as if the
+     *         condition held
+     */
+    virtual bool decide(Interpreter &interp, const sym::ExprPtr &cond,
+                        DecisionKind kind) = 0;
+
+    /**
+     * Choose a concrete value for symbolic @p val (KLEE-style
+     * address concretization); the interpreter adds val == result
+     * to the path condition.
+     */
+    virtual std::int64_t concretize(Interpreter &interp,
+                                    const sym::ExprPtr &val) = 0;
+};
+
+/** How Input instructions produce values. */
+enum class InputMode : std::uint8_t {
+    Concrete, ///< fixed values (explicit list, else the domain lo)
+    Replay,   ///< replay the recorded input log
+    Symbolic, ///< fresh symbols with the declared domains
+};
+
+/** Interpreter configuration. */
+struct ExecOptions
+{
+    InputMode input_mode = InputMode::Concrete;
+
+    /** Values consumed in order by Input in Concrete mode. */
+    std::vector<std::int64_t> concrete_inputs;
+
+    /** Step budget; exceeding it sets RunOutcome::TimedOut. */
+    std::uint64_t max_steps = 2000000;
+
+    /** Cells whose accesses become preemption points. */
+    std::set<int> watched_cells;
+
+    /**
+     * Make every global-memory access a preemption point. Portend
+     * uses this for detection and analysis runs so that recorded
+     * schedule traces align decision-for-decision with replays
+     * regardless of which cells are racy.
+     */
+    bool preempt_on_memory = false;
+
+    /**
+     * How many Input instructions become symbolic in Symbolic mode;
+     * later inputs take their concrete domain lower bound (the
+     * paper's "number of symbolic inputs" dial, §3.3).
+     */
+    int max_symbolic_inputs = INT32_MAX;
+
+    /** Make every Output instruction a preemption point. */
+    bool preempt_on_output = false;
+
+    /** Seed for the state-carried RNG. */
+    std::uint64_t rng_seed = 1;
+
+    /** Ring size of per-thread recent reads (spin diagnosis). */
+    int spin_window = 64;
+};
+
+/**
+ * Drives a VmState over a finalized PIL program.
+ *
+ * The interpreter itself holds no analysis logic; detectors and
+ * recorders observe the event stream, and the schedule policy and
+ * fork hook steer execution.
+ */
+class Interpreter
+{
+  public:
+    /** Stop conditions for partial runs (checkpoint placement). */
+    struct StopSpec
+    {
+        /** Stop *before* the given dynamic instruction execution. */
+        struct Point
+        {
+            ThreadId tid;
+            int pc;
+            std::uint64_t occurrence; ///< 1-based per (tid, pc)
+        };
+
+        std::vector<Point> before;
+
+        /**
+         * Stop *before* the given (thread, cell) access. Cell-based
+         * stops are robust against path divergence moving the racing
+         * access to a different pc (paper §3.3, Fig. 4).
+         */
+        struct CellPoint
+        {
+            ThreadId tid;
+            int cell;
+            std::uint64_t occurrence; ///< 1-based per (tid, cell)
+        };
+
+        std::vector<CellPoint> before_cell;
+
+        /** Stop once an emitted event satisfies this predicate. */
+        std::function<bool(const Event &)> after_event;
+
+        bool
+        empty() const
+        {
+            return before.empty() && before_cell.empty() &&
+                   !after_event;
+        }
+    };
+
+    /**
+     * @param p     finalized program (kept by reference)
+     * @param opts  execution configuration
+     */
+    Interpreter(const ir::Program &p, ExecOptions opts);
+
+    /** Rebuild the initial state (main thread ready at entry). */
+    void reset();
+
+    /** Mutable access to the current state (checkpoint = copy). */
+    VmState &state() { return st; }
+    const VmState &state() const { return st; }
+
+    /** Replace the state (restore a checkpoint / adopt a fork). */
+    void setState(VmState s) { st = std::move(s); }
+
+    /** Install the scheduling policy (non-owning; default FIFO). */
+    void setPolicy(SchedulePolicy *p) { policy = p; }
+
+    /** Install the symbolic-decision hook (non-owning). */
+    void setForkHook(ForkHook *h) { hook = h; }
+
+    /** Attach an event sink (non-owning). */
+    void addSink(EventSink *s) { sinks.push_back(s); }
+
+    /** Detach all event sinks. */
+    void clearSinks() { sinks.clear(); }
+
+    /** Run to completion (or budget/abort). */
+    RunOutcome run();
+
+    /**
+     * Run until a stop condition fires or execution finishes.
+     *
+     * @return the outcome; RunOutcome::Running means a stop
+     *         condition fired and the state is resumable
+     */
+    RunOutcome run(const StopSpec &stop);
+
+    /** True when the last run() returned because a stop fired. */
+    bool stopped() const { return stopped_at_spec; }
+
+    /** The program being executed. */
+    const ir::Program &program() const { return prog; }
+
+    /** The execution options. */
+    const ExecOptions &options() const { return opts; }
+    ExecOptions &options() { return opts; }
+
+    /**
+     * Evaluate an operand in a thread's top frame (pure).
+     */
+    sym::ExprPtr evalOperand(const ThreadState &t,
+                             const ir::Operand &o) const;
+
+  private:
+    /** Next instruction of thread @p t (checked). */
+    const ir::Inst &fetch(const ThreadState &t) const;
+
+    /** True when @p inst is a preemption point for @p t. */
+    bool isPreemptionPoint(const ThreadState &t,
+                           const ir::Inst &inst) const;
+
+    /** Execute one instruction of thread @p tid. */
+    void execute(ThreadId tid, const ir::Inst &inst);
+
+    /** Advance past the current instruction of @p t. */
+    void advance(ThreadState &t);
+
+    /** Emit @p ev to all sinks and the policy. */
+    void publish(Event ev);
+
+    /** Resolve a symbolic I1 decision (hook / forced queue). */
+    bool decideCondition(const sym::ExprPtr &cond, DecisionKind kind);
+
+    /** Resolve a possibly-symbolic index to a concrete value. */
+    bool resolveIndex(ThreadId tid, const ir::Inst &inst,
+                      const sym::ExprPtr &idx, int size,
+                      std::int64_t &out);
+
+    /** Set a final outcome. */
+    void finish(RunOutcome o, ThreadId tid, int pc,
+                const std::string &detail);
+
+    /** Mutex acquisition step; true when acquired. */
+    bool tryLock(ThreadId tid, ir::SyncId m);
+
+    /** Release @p m, waking one waiter (barging semantics). */
+    void unlockMutex(ThreadId tid, ir::SyncId m, int pc,
+                     const ir::SourceLoc &loc);
+
+    /** Thread exit bookkeeping: wake joiners, maybe end program. */
+    void exitThread(ThreadId tid);
+
+    const ir::Program &prog;
+    ExecOptions opts;
+    VmState st;
+
+    SchedulePolicy *policy = nullptr;
+    FifoPolicy default_policy;
+    ForkHook *hook = nullptr;
+    std::vector<EventSink *> sinks;
+
+    const StopSpec *active_stop = nullptr;
+    bool stopped_at_spec = false;
+    bool stop_event_fired = false;
+};
+
+} // namespace portend::rt
+
+#endif // PORTEND_RT_INTERPRETER_H

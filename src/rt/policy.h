@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Thread scheduling policies.
+ *
+ * The interpreter is a single-processor cooperative scheduler (paper
+ * §3.1/§6): at every preemption point it asks its SchedulePolicy
+ * which runnable thread runs next. Policies also observe the event
+ * stream, which is how the replayer enforces racy-access orderings.
+ */
+
+#ifndef PORTEND_RT_POLICY_H
+#define PORTEND_RT_POLICY_H
+
+#include <vector>
+
+#include "rt/events.h"
+#include "rt/vmstate.h"
+
+namespace portend::rt {
+
+/**
+ * Scheduling decision provider.
+ */
+class SchedulePolicy
+{
+  public:
+    virtual ~SchedulePolicy() = default;
+
+    /**
+     * Choose the next thread to run.
+     *
+     * @param state     current VM state
+     * @param runnable  non-empty ascending list of runnable tids
+     * @return a tid from @p runnable, or -1 to abort the execution
+     *         (reported as RunOutcome::Aborted)
+     */
+    virtual ThreadId pick(const VmState &state,
+                          const std::vector<ThreadId> &runnable) = 0;
+
+    /** Observe an event (default: ignore). */
+    virtual void onEvent(const Event &ev) { (void)ev; }
+};
+
+/**
+ * Run the current thread as long as possible; otherwise the lowest
+ * runnable tid. Deterministic; the default for plain execution.
+ */
+class FifoPolicy : public SchedulePolicy
+{
+  public:
+    ThreadId
+    pick(const VmState &state,
+         const std::vector<ThreadId> &runnable) override
+    {
+        for (ThreadId t : runnable) {
+            if (t == state.current)
+                return t;
+        }
+        return runnable.front();
+    }
+};
+
+/**
+ * Uniformly random choice at every preemption point, from the seeded
+ * RNG carried in the VM state (so forks replay deterministically).
+ */
+class RandomPolicy : public SchedulePolicy
+{
+  public:
+    ThreadId
+    pick(const VmState &state,
+         const std::vector<ThreadId> &runnable) override
+    {
+        // The RNG lives in the state; pick() is conceptually part of
+        // the execution, so we cast away the observer constness here
+        // deliberately (documented exception).
+        auto &rng = const_cast<VmState &>(state).rng;
+        return runnable[rng.below(runnable.size())];
+    }
+};
+
+/**
+ * Round-robin rotation at every preemption point: always yields to
+ * the next runnable thread after the current one. Maximizes
+ * interleaving for race *detection* runs.
+ */
+class RotatePolicy : public SchedulePolicy
+{
+  public:
+    ThreadId
+    pick(const VmState &state,
+         const std::vector<ThreadId> &runnable) override
+    {
+        for (ThreadId t : runnable) {
+            if (t > state.current)
+                return t;
+        }
+        return runnable.front();
+    }
+};
+
+} // namespace portend::rt
+
+#endif // PORTEND_RT_POLICY_H

@@ -1,0 +1,76 @@
+#include "rt/staticinfo.h"
+
+namespace portend::rt {
+
+StaticInfo::StaticInfo(const ir::Program &p) : prog(p)
+{
+    const std::size_t n = p.functions.size();
+    may_write.assign(n, {});
+    std::vector<std::set<ir::FuncId>> callees(n);
+
+    for (std::size_t f = 0; f < n; ++f) {
+        for (const auto &b : p.functions[f].blocks) {
+            for (const auto &inst : b.insts) {
+                switch (inst.op) {
+                  case ir::Op::Store:
+                  case ir::Op::AtomicRmW:
+                    may_write[f].insert(inst.gid);
+                    break;
+                  case ir::Op::Call:
+                  case ir::Op::ThreadCreate:
+                    callees[f].insert(inst.fid);
+                    break;
+                  case ir::Op::Br:
+                    num_branches += 1;
+                    break;
+                  case ir::Op::MutexLock:
+                  case ir::Op::MutexUnlock:
+                  case ir::Op::CondWait:
+                  case ir::Op::CondSignal:
+                  case ir::Op::CondBroadcast:
+                  case ir::Op::BarrierWait:
+                  case ir::Op::ThreadJoin:
+                  case ir::Op::Yield:
+                    num_preemption_points += 1;
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+
+    // Transitive closure by fixpoint; programs are small, so the
+    // quadratic loop is fine.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t f = 0; f < n; ++f) {
+            for (ir::FuncId callee : callees[f]) {
+                for (ir::GlobalId g : may_write[callee]) {
+                    if (may_write[f].insert(g).second)
+                        changed = true;
+                }
+            }
+        }
+    }
+}
+
+const std::set<ir::GlobalId> &
+StaticInfo::mayWrite(ir::FuncId f) const
+{
+    return may_write.at(f);
+}
+
+std::set<ir::GlobalId>
+StaticInfo::mayWriteOnStack(const VmState &state, ThreadId tid) const
+{
+    std::set<ir::GlobalId> out;
+    for (const auto &frame : state.thread(tid).stack) {
+        const auto &mw = mayWrite(frame.func);
+        out.insert(mw.begin(), mw.end());
+    }
+    return out;
+}
+
+} // namespace portend::rt

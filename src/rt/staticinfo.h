@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Static may-write analysis over PIL programs.
+ *
+ * Computes, per function, the set of globals the function (or any
+ * function it may transitively call or spawn) can write. Portend's
+ * timeout diagnosis uses this to tell an infinite loop (the spin
+ * condition can never change: no live thread may write the cells the
+ * spinner reads) from ad-hoc synchronization (another thread could
+ * write them — only the enforced ordering prevents it), mirroring
+ * the loop-invariant exit-condition analysis of the paper (§3.2).
+ */
+
+#ifndef PORTEND_RT_STATICINFO_H
+#define PORTEND_RT_STATICINFO_H
+
+#include <set>
+#include <vector>
+
+#include "ir/program.h"
+#include "rt/vmstate.h"
+
+namespace portend::rt {
+
+/**
+ * Per-program static facts; compute once, share across analyses.
+ */
+class StaticInfo
+{
+  public:
+    /** Run the fixpoint analysis on @p p. */
+    explicit StaticInfo(const ir::Program &p);
+
+    /** Globals function @p f may write, transitively (gid set). */
+    const std::set<ir::GlobalId> &mayWrite(ir::FuncId f) const;
+
+    /**
+     * Globals thread @p tid of @p state may still write, from any
+     * function on its current call stack.
+     */
+    std::set<ir::GlobalId> mayWriteOnStack(const VmState &state,
+                                           ThreadId tid) const;
+
+    /** Number of branch instructions in the whole program. */
+    int numBranches() const { return num_branches; }
+
+    /** Number of potential preemption-point instructions. */
+    int numPreemptionPoints() const { return num_preemption_points; }
+
+  private:
+    const ir::Program &prog;
+    std::vector<std::set<ir::GlobalId>> may_write;
+    int num_branches = 0;
+    int num_preemption_points = 0;
+};
+
+} // namespace portend::rt
+
+#endif // PORTEND_RT_STATICINFO_H

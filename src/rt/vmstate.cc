@@ -1,0 +1,119 @@
+#include "rt/vmstate.h"
+
+#include <sstream>
+
+namespace portend::rt {
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::MemRead: return "mem_read";
+      case EventKind::MemWrite: return "mem_write";
+      case EventKind::MutexLock: return "mutex_lock";
+      case EventKind::MutexUnlock: return "mutex_unlock";
+      case EventKind::CondWait: return "cond_wait";
+      case EventKind::CondSignal: return "cond_signal";
+      case EventKind::BarrierWait: return "barrier_wait";
+      case EventKind::ThreadCreate: return "thread_create";
+      case EventKind::ThreadJoin: return "thread_join";
+      case EventKind::ThreadStart: return "thread_start";
+      case EventKind::ThreadExit: return "thread_exit";
+      case EventKind::Output: return "output";
+    }
+    return "?";
+}
+
+const char *
+threadStatusName(ThreadStatus s)
+{
+    switch (s) {
+      case ThreadStatus::Runnable: return "runnable";
+      case ThreadStatus::BlockedMutex: return "blocked-mutex";
+      case ThreadStatus::BlockedCond: return "blocked-cond";
+      case ThreadStatus::BlockedJoin: return "blocked-join";
+      case ThreadStatus::BlockedBarrier: return "blocked-barrier";
+      case ThreadStatus::Exited: return "exited";
+    }
+    return "?";
+}
+
+const char *
+runOutcomeName(RunOutcome o)
+{
+    switch (o) {
+      case RunOutcome::Running: return "running";
+      case RunOutcome::Exited: return "exited";
+      case RunOutcome::CrashOob: return "crash-oob";
+      case RunOutcome::CrashDivZero: return "crash-div-zero";
+      case RunOutcome::AssertFail: return "assert-fail";
+      case RunOutcome::Deadlock: return "deadlock";
+      case RunOutcome::TimedOut: return "timed-out";
+      case RunOutcome::Aborted: return "aborted";
+    }
+    return "?";
+}
+
+bool
+isSpecViolation(RunOutcome o)
+{
+    switch (o) {
+      case RunOutcome::CrashOob:
+      case RunOutcome::CrashDivZero:
+      case RunOutcome::AssertFail:
+      case RunOutcome::Deadlock:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+OutputRecord::toString() const
+{
+    std::ostringstream os;
+    os << label;
+    if (value) {
+        os << "=";
+        if (value->isConcrete())
+            os << value->constValue();
+        else
+            os << value->toString();
+    }
+    return os.str();
+}
+
+void
+OutputLog::append(OutputRecord rec)
+{
+    if (!rec.value || rec.value->isConcrete()) {
+        concrete_chain.append(rec.label);
+        if (rec.value)
+            concrete_chain.append(
+                static_cast<std::uint64_t>(rec.value->constValue()));
+    }
+    records.push_back(std::move(rec));
+}
+
+std::vector<ThreadId>
+VmState::runnableThreads() const
+{
+    std::vector<ThreadId> out;
+    for (const auto &t : threads) {
+        if (t.runnable())
+            out.push_back(t.tid);
+    }
+    return out;
+}
+
+bool
+VmState::allExited() const
+{
+    for (const auto &t : threads) {
+        if (t.status != ThreadStatus::Exited)
+            return false;
+    }
+    return true;
+}
+
+} // namespace portend::rt

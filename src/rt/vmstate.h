@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Value-semantic virtual machine state.
+ *
+ * Everything the interpreter mutates lives in VmState, and VmState is
+ * plainly copyable: copying it is Portend's checkpoint primitive
+ * (pre-race / post-race checkpoints of Algorithm 1) and the fork
+ * primitive of multi-path exploration. Expression nodes are immutable
+ * and shared between copies.
+ */
+
+#ifndef PORTEND_RT_VMSTATE_H
+#define PORTEND_RT_VMSTATE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/program.h"
+#include "rt/events.h"
+#include "support/hash.h"
+#include "support/rng.h"
+#include "sym/solver.h"
+
+namespace portend::rt {
+
+/** Scheduling status of one thread. */
+enum class ThreadStatus : std::uint8_t {
+    Runnable,
+    BlockedMutex,   ///< waiting to acquire a mutex
+    BlockedCond,    ///< waiting on a condition variable
+    BlockedJoin,    ///< waiting for another thread to exit
+    BlockedBarrier, ///< waiting at a barrier
+    Exited,
+};
+
+/** Printable status name. */
+const char *threadStatusName(ThreadStatus s);
+
+/** One stack frame of a thread. */
+struct Frame
+{
+    ir::FuncId func = -1;
+    ir::BlockId block = 0;
+    int inst = 0;              ///< next instruction index in block
+    std::vector<sym::ExprPtr> regs;
+    ir::Reg ret_dst = -1;      ///< caller register receiving the result
+};
+
+/** One thread of execution. */
+struct ThreadState
+{
+    ThreadId tid = -1;
+    ThreadStatus status = ThreadStatus::Runnable;
+    std::vector<Frame> stack;
+
+    ir::SyncId wait_sync = -1;   ///< sync object blocked on
+    ThreadId wait_tid = -1;      ///< thread blocked on (join)
+    bool cond_relock = false;    ///< woken from cond, waiting on mutex
+
+    std::uint64_t steps = 0;     ///< instructions executed
+    std::uint64_t last_step = 0; ///< global step of last execution
+    std::int64_t spawn_arg = 0;  ///< argument passed at creation
+
+    /** Recent read cells (ring) for spin-loop diagnosis. */
+    std::vector<int> recent_reads;
+
+    /** True when the thread can be scheduled. */
+    bool runnable() const { return status == ThreadStatus::Runnable; }
+};
+
+/** Mutex runtime state. */
+struct MutexState
+{
+    ThreadId owner = -1;
+    std::vector<ThreadId> waiters;
+};
+
+/** Condition variable runtime state. */
+struct CondState
+{
+    std::vector<ThreadId> waiters;
+};
+
+/** Barrier runtime state. */
+struct BarrierState
+{
+    int arrived = 0;
+    std::vector<ThreadId> waiting;
+};
+
+/** One output system call. */
+struct OutputRecord
+{
+    std::string label;          ///< format label ("stats: %d")
+    sym::ExprPtr value;         ///< possibly-symbolic payload (may be null
+                                ///< for pure string outputs)
+    ThreadId tid = -1;
+    int pc = -1;
+    ir::SourceLoc loc;
+
+    /** Render with a concrete payload (diagnostics). */
+    std::string toString() const;
+};
+
+/** Aggregated program output: records plus a concrete hash chain. */
+struct OutputLog
+{
+    std::vector<OutputRecord> records;
+    HashChain concrete_chain; ///< folded over fully-concrete records
+
+    /** Append a record, folding concrete payloads into the chain. */
+    void append(OutputRecord rec);
+
+    std::size_t size() const { return records.size(); }
+};
+
+/** Why execution stopped. */
+enum class RunOutcome : std::uint8_t {
+    Running,      ///< not stopped yet
+    Exited,       ///< normal termination
+    CrashOob,     ///< out-of-bounds memory access
+    CrashDivZero, ///< division/remainder by zero
+    AssertFail,   ///< semantic predicate violated
+    Deadlock,     ///< all live threads blocked
+    TimedOut,     ///< step budget exhausted
+    Aborted,      ///< schedule policy gave up (replay divergence)
+};
+
+/** Printable outcome name. */
+const char *runOutcomeName(RunOutcome o);
+
+/** True for outcomes the paper calls "basic" spec violations. */
+bool isSpecViolation(RunOutcome o);
+
+/** Execution statistics used by the evaluation harnesses. */
+struct VmStats
+{
+    std::uint64_t steps = 0;             ///< instructions executed
+    std::uint64_t preemption_points = 0; ///< scheduling decisions taken
+    std::uint64_t symbolic_branches = 0; ///< forks offered to the hook
+};
+
+/**
+ * Complete interpreter state; copy to checkpoint or fork.
+ */
+struct VmState
+{
+    /** Flat memory cells across all globals. */
+    std::vector<sym::ExprPtr> mem;
+
+    std::vector<ThreadState> threads;
+    std::vector<MutexState> mutexes;
+    std::vector<CondState> conds;
+    std::vector<BarrierState> barriers;
+
+    /** Currently scheduled thread; -1 before first pick. */
+    ThreadId current = -1;
+
+    /** Path condition accumulated from symbolic decisions. */
+    sym::PathCondition path;
+
+    /** Program output so far. */
+    OutputLog output;
+
+    /**
+     * One environment read (Input or GetTime instruction).
+     *
+     * Symbolic reads record the symbol id; concrete reads record the
+     * value. The log is the paper's "log of system call inputs": a
+     * replay run reproduces it by passing the same values back in
+     * order (after substituting solver-model values for symbols).
+     */
+    struct EnvRead
+    {
+        bool symbolic = false;
+        int sym_id = -1;
+        std::int64_t value = 0;
+        std::int64_t lo = 0; ///< domain lower bound (symbolic reads)
+    };
+
+    /** Environment reads in consumption order. */
+    std::vector<EnvRead> env_log;
+
+    /** Dynamic execution counts of memory-access instructions. */
+    std::map<std::pair<ThreadId, int>, std::uint64_t> access_counts;
+
+    /**
+     * Per (thread, cell) access counts. Race identity is cell-based
+     * because a divergent path may perform the racing access at a
+     * different program counter (paper §3.3, Fig. 4).
+     */
+    std::map<std::pair<ThreadId, int>, std::uint64_t> cell_access_counts;
+
+    /** Forced outcomes of pending symbolic decisions (set on fork). */
+    std::deque<bool> forced_decisions;
+
+    /**
+     * True when the state was captured mid-scheduling-segment (a
+     * stop condition fired, or a fork was taken). Resuming such a
+     * state continues the current thread without consulting the
+     * scheduler, so replayed schedules stay aligned with recordings.
+     */
+    bool resume_in_segment = false;
+
+    /** Segment-start flag to restore on resume (see Interpreter). */
+    bool resume_first = true;
+
+    /** Next fresh symbol id for symbolic inputs. */
+    int next_symbol = 0;
+
+    std::uint64_t global_step = 0;
+    std::int64_t virtual_time = 0;
+
+    RunOutcome outcome = RunOutcome::Running;
+    std::string outcome_detail;
+    int outcome_pc = -1;
+    ThreadId outcome_tid = -1;
+
+    VmStats stats;
+
+    /** Deterministic RNG carried with the state (schedule decisions). */
+    Rng rng;
+
+    /** Thread by id (checked). */
+    ThreadState &thread(ThreadId t) { return threads.at(t); }
+    const ThreadState &thread(ThreadId t) const { return threads.at(t); }
+
+    /** Ids of currently runnable threads, ascending. */
+    std::vector<ThreadId> runnableThreads() const;
+
+    /** True when every thread has exited. */
+    bool allExited() const;
+
+    /** True once outcome is final. */
+    bool finished() const { return outcome != RunOutcome::Running; }
+};
+
+} // namespace portend::rt
+
+#endif // PORTEND_RT_VMSTATE_H

@@ -1,0 +1,3 @@
+#include "support/rng.h"
+
+// Rng is header-only; this translation unit anchors the library target.

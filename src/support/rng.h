@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Portend's multi-schedule analysis randomizes thread scheduling; to
+ * keep analyses replayable, every random decision flows through a
+ * seeded SplitMix64/xoshiro-style generator rather than std::rand.
+ */
+
+#ifndef PORTEND_SUPPORT_RNG_H
+#define PORTEND_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace portend {
+
+/**
+ * Small, fast, deterministic RNG (splitmix64 core).
+ *
+ * Copyable: forking an execution state forks the RNG stream with it,
+ * which keeps replay exact.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /**
+     * Uniform value in [0, bound).
+     *
+     * @param bound exclusive upper bound; must be > 0
+     */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** Uniform value in [lo, hi] (inclusive). */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** Current internal state (for checkpointing). */
+    std::uint64_t rawState() const { return state; }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace portend
+
+#endif // PORTEND_SUPPORT_RNG_H

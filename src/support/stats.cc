@@ -1,0 +1,3 @@
+#include "support/stats.h"
+
+// Accumulator and Stopwatch are header-only; this file anchors the target.

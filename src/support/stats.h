@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Simple statistics accumulators and wall-clock timers.
+ *
+ * Used by the benchmark harnesses to report avg/min/max rows in the
+ * style of the paper's Table 4.
+ */
+
+#ifndef PORTEND_SUPPORT_STATS_H
+#define PORTEND_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace portend {
+
+/** Running min/max/mean accumulator over double samples. */
+class Accumulator
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void
+    add(double v)
+    {
+        n += 1;
+        total += v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    /** Number of samples. */
+    std::uint64_t count() const { return n; }
+
+    /** Sum of samples. */
+    double sum() const { return total; }
+
+    /** Mean of samples; 0 when empty. */
+    double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+
+    /** Minimum sample; +inf when empty. */
+    double min() const { return lo; }
+
+    /** Maximum sample; -inf when empty. */
+    double max() const { return hi; }
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/** Wall-clock stopwatch reporting elapsed seconds. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace portend
+
+#endif // PORTEND_SUPPORT_STATS_H

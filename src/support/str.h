@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string helpers shared across modules.
+ */
+
+#ifndef PORTEND_SUPPORT_STR_H
+#define PORTEND_SUPPORT_STR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace portend {
+
+/** Join the elements of @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Split @p s on character @p sep (no empty-token suppression). */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Left-pad @p s with spaces to at least @p width characters. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad @p s with spaces to at least @p width characters. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Render a double with @p decimals fractional digits. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+} // namespace portend
+
+#endif // PORTEND_SUPPORT_STR_H

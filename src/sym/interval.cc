@@ -1,0 +1,266 @@
+#include "sym/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace portend::sym {
+
+namespace {
+
+/** Saturating add of two int64 values using 128-bit intermediate. */
+std::int64_t
+satAdd(std::int64_t a, std::int64_t b)
+{
+    __int128 r = static_cast<__int128>(a) + b;
+    if (r > INT64_MAX)
+        return INT64_MAX;
+    if (r < INT64_MIN)
+        return INT64_MIN;
+    return static_cast<std::int64_t>(r);
+}
+
+/** Saturating multiply. */
+std::int64_t
+satMul(std::int64_t a, std::int64_t b)
+{
+    __int128 r = static_cast<__int128>(a) * b;
+    if (r > INT64_MAX)
+        return INT64_MAX;
+    if (r < INT64_MIN)
+        return INT64_MIN;
+    return static_cast<std::int64_t>(r);
+}
+
+} // namespace
+
+std::uint64_t
+Interval::size() const
+{
+    if (empty())
+        return 0;
+    // Width computed unsigned to avoid overflow on huge ranges.
+    std::uint64_t w = static_cast<std::uint64_t>(hi) -
+                      static_cast<std::uint64_t>(lo);
+    if (w == UINT64_MAX)
+        return INT64_MAX;
+    std::uint64_t n = w + 1;
+    return n > static_cast<std::uint64_t>(INT64_MAX)
+               ? static_cast<std::uint64_t>(INT64_MAX)
+               : n;
+}
+
+Interval
+Interval::meet(const Interval &o) const
+{
+    if (empty() || o.empty())
+        return bottom();
+    Interval r{std::max(lo, o.lo), std::min(hi, o.hi)};
+    return r;
+}
+
+Interval
+Interval::join(const Interval &o) const
+{
+    if (empty())
+        return o;
+    if (o.empty())
+        return *this;
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+std::string
+Interval::toString() const
+{
+    if (empty())
+        return "[]";
+    std::ostringstream os;
+    os << "[" << lo << ", " << hi << "]";
+    return os.str();
+}
+
+Interval
+ivAdd(const Interval &a, const Interval &b)
+{
+    if (a.empty() || b.empty())
+        return Interval::bottom();
+    return {satAdd(a.lo, b.lo), satAdd(a.hi, b.hi)};
+}
+
+Interval
+ivSub(const Interval &a, const Interval &b)
+{
+    if (a.empty() || b.empty())
+        return Interval::bottom();
+    return {satAdd(a.lo, b.hi == INT64_MIN ? INT64_MAX : -b.hi),
+            satAdd(a.hi, b.lo == INT64_MIN ? INT64_MAX : -b.lo)};
+}
+
+Interval
+ivNeg(const Interval &a)
+{
+    if (a.empty())
+        return Interval::bottom();
+    std::int64_t nlo = a.hi == INT64_MIN ? INT64_MAX : -a.hi;
+    std::int64_t nhi = a.lo == INT64_MIN ? INT64_MAX : -a.lo;
+    return {nlo, nhi};
+}
+
+Interval
+ivMul(const Interval &a, const Interval &b)
+{
+    if (a.empty() || b.empty())
+        return Interval::bottom();
+    std::int64_t c[4] = {satMul(a.lo, b.lo), satMul(a.lo, b.hi),
+                         satMul(a.hi, b.lo), satMul(a.hi, b.hi)};
+    return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+namespace {
+
+/** Interval of all values representable at width @p w. */
+Interval
+widthRange(Width w)
+{
+    switch (w) {
+      case Width::I1: return {0, 1};
+      case Width::I8: return {INT8_MIN, INT8_MAX};
+      case Width::I16: return {INT16_MIN, INT16_MAX};
+      case Width::I32: return {INT32_MIN, INT32_MAX};
+      case Width::I64: return Interval::top();
+    }
+    return Interval::top();
+}
+
+/** Clamp @p iv to the representable range of @p w (conservative). */
+Interval
+clampToWidth(const Interval &iv, Width w)
+{
+    Interval wr = widthRange(w);
+    // If iv fits within the width range, keep it; otherwise the
+    // arithmetic may have wrapped, so fall back to the full range.
+    if (iv.lo >= wr.lo && iv.hi <= wr.hi)
+        return iv;
+    return wr;
+}
+
+Interval
+cmpInterval(ExprKind k, const Interval &a, const Interval &b)
+{
+    if (a.empty() || b.empty())
+        return Interval::bottom();
+    switch (k) {
+      case ExprKind::Eq:
+        if (a.singleton() && b.singleton())
+            return Interval::point(a.lo == b.lo ? 1 : 0);
+        if (a.meet(b).empty())
+            return Interval::point(0);
+        return {0, 1};
+      case ExprKind::Ne:
+        if (a.singleton() && b.singleton())
+            return Interval::point(a.lo != b.lo ? 1 : 0);
+        if (a.meet(b).empty())
+            return Interval::point(1);
+        return {0, 1};
+      case ExprKind::Slt:
+        if (a.hi < b.lo)
+            return Interval::point(1);
+        if (a.lo >= b.hi)
+            return Interval::point(0);
+        return {0, 1};
+      case ExprKind::Sle:
+        if (a.hi <= b.lo)
+            return Interval::point(1);
+        if (a.lo > b.hi)
+            return Interval::point(0);
+        return {0, 1};
+      case ExprKind::Sgt:
+        return cmpInterval(ExprKind::Slt, b, a);
+      case ExprKind::Sge:
+        return cmpInterval(ExprKind::Sle, b, a);
+      default:
+        return {0, 1};
+    }
+}
+
+} // namespace
+
+Interval
+evalInterval(const ExprPtr &e, const IntervalEnv &env)
+{
+    switch (e->kind()) {
+      case ExprKind::Const:
+        return Interval::point(e->constValue());
+      case ExprKind::Symbol: {
+        Interval base{e->symbolLo(), e->symbolHi()};
+        auto it = env.find(e->symbolId());
+        if (it != env.end())
+            base = base.meet(it->second);
+        return base.meet(widthRange(e->width()));
+      }
+      case ExprKind::Neg:
+        return clampToWidth(ivNeg(evalInterval(e->child(0), env)),
+                            e->width());
+      case ExprKind::BNot:
+        return widthRange(e->width());
+      case ExprKind::LNot: {
+        Interval a = evalInterval(e->child(0), env);
+        if (a.singleton())
+            return Interval::point(a.lo == 0 ? 1 : 0);
+        if (!a.contains(0))
+            return Interval::point(0);
+        return {0, 1};
+      }
+      case ExprKind::Add:
+        return clampToWidth(ivAdd(evalInterval(e->child(0), env),
+                                  evalInterval(e->child(1), env)),
+                            e->width());
+      case ExprKind::Sub:
+        return clampToWidth(ivSub(evalInterval(e->child(0), env),
+                                  evalInterval(e->child(1), env)),
+                            e->width());
+      case ExprKind::Mul:
+        return clampToWidth(ivMul(evalInterval(e->child(0), env),
+                                  evalInterval(e->child(1), env)),
+                            e->width());
+      case ExprKind::Eq:
+      case ExprKind::Ne:
+      case ExprKind::Slt:
+      case ExprKind::Sle:
+      case ExprKind::Sgt:
+      case ExprKind::Sge:
+        return cmpInterval(e->kind(), evalInterval(e->child(0), env),
+                           evalInterval(e->child(1), env));
+      case ExprKind::LAnd: {
+        Interval a = evalInterval(e->child(0), env);
+        Interval b = evalInterval(e->child(1), env);
+        if ((a.singleton() && a.lo == 0) || (b.singleton() && b.lo == 0))
+            return Interval::point(0);
+        if (a.singleton() && b.singleton())
+            return Interval::point((a.lo != 0 && b.lo != 0) ? 1 : 0);
+        return {0, 1};
+      }
+      case ExprKind::LOr: {
+        Interval a = evalInterval(e->child(0), env);
+        Interval b = evalInterval(e->child(1), env);
+        if ((a.singleton() && a.lo != 0) || (b.singleton() && b.lo != 0))
+            return Interval::point(1);
+        if (a.singleton() && b.singleton())
+            return Interval::point((a.lo != 0 || b.lo != 0) ? 1 : 0);
+        return {0, 1};
+      }
+      case ExprKind::Ite: {
+        Interval c = evalInterval(e->child(0), env);
+        if (c.singleton()) {
+            return c.lo != 0 ? evalInterval(e->child(1), env)
+                             : evalInterval(e->child(2), env);
+        }
+        return evalInterval(e->child(1), env)
+            .join(evalInterval(e->child(2), env));
+      }
+      default:
+        // Division, remainder, shifts: conservatively width-bounded.
+        return widthRange(e->width());
+    }
+}
+
+} // namespace portend::sym

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Signed 64-bit interval abstract domain.
+ *
+ * The solver uses intervals in two ways: to narrow symbol domains
+ * from atomic constraints, and to bound whole expressions bottom-up
+ * so that clearly-infeasible queries are rejected without search.
+ */
+
+#ifndef PORTEND_SYM_INTERVAL_H
+#define PORTEND_SYM_INTERVAL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sym/expr.h"
+
+namespace portend::sym {
+
+/**
+ * Closed signed interval [lo, hi]; lo > hi encodes bottom (empty).
+ */
+struct Interval
+{
+    std::int64_t lo = INT64_MIN;
+    std::int64_t hi = INT64_MAX;
+
+    /** Full 64-bit range. */
+    static Interval top() { return {}; }
+
+    /** Empty interval. */
+    static Interval bottom() { return {1, 0}; }
+
+    /** Singleton interval. */
+    static Interval point(std::int64_t v) { return {v, v}; }
+
+    /** True when the interval contains no values. */
+    bool empty() const { return lo > hi; }
+
+    /** True when the interval contains exactly one value. */
+    bool singleton() const { return lo == hi; }
+
+    /** True when @p v lies within the interval. */
+    bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+
+    /** Number of values, clamped to INT64_MAX. */
+    std::uint64_t size() const;
+
+    /** Set intersection. */
+    Interval meet(const Interval &o) const;
+
+    /** Convex hull (join). */
+    Interval join(const Interval &o) const;
+
+    bool operator==(const Interval &o) const = default;
+
+    std::string toString() const;
+};
+
+/** @name Interval arithmetic (conservative, overflow-safe)
+ * @{
+ */
+Interval ivAdd(const Interval &a, const Interval &b);
+Interval ivSub(const Interval &a, const Interval &b);
+Interval ivMul(const Interval &a, const Interval &b);
+Interval ivNeg(const Interval &a);
+/** @} */
+
+/** Map from symbol id to its current interval. */
+using IntervalEnv = std::map<int, Interval>;
+
+/**
+ * Conservatively bound @p e given symbol bounds in @p env.
+ *
+ * Symbols absent from @p env fall back to their declared domain.
+ * The result always over-approximates the set of values @p e can
+ * take (soundness property tested in tests/sym_interval_test.cc).
+ */
+Interval evalInterval(const ExprPtr &e, const IntervalEnv &env);
+
+} // namespace portend::sym
+
+#endif // PORTEND_SYM_INTERVAL_H

@@ -1,0 +1,249 @@
+#include "sym/simplify.h"
+
+#include "support/logging.h"
+
+namespace portend::sym {
+
+namespace {
+
+/** True when both operands are Const nodes. */
+bool
+bothConst(const ExprPtr &a, const ExprPtr &b)
+{
+    return a->kind() == ExprKind::Const && b->kind() == ExprKind::Const;
+}
+
+/** Is @p k a comparison producing I1? */
+bool
+isCmp(ExprKind k)
+{
+    switch (k) {
+      case ExprKind::Eq:
+      case ExprKind::Ne:
+      case ExprKind::Slt:
+      case ExprKind::Sle:
+      case ExprKind::Sgt:
+      case ExprKind::Sge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Is @p k commutative? */
+bool
+isCommutative(ExprKind k)
+{
+    switch (k) {
+      case ExprKind::Add:
+      case ExprKind::Mul:
+      case ExprKind::And:
+      case ExprKind::Or:
+      case ExprKind::Xor:
+      case ExprKind::Eq:
+      case ExprKind::Ne:
+      case ExprKind::LAnd:
+      case ExprKind::LOr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+ExprPtr
+Expr::unary(ExprKind k, const ExprPtr &a)
+{
+    const Width w = k == ExprKind::LNot ? Width::I1 : a->width();
+    if (a->kind() == ExprKind::Const)
+        return constant(applyUnary(k, a->constValue(), w), w);
+    // not(not(x)) == x for both logical and bitwise flavors.
+    if ((k == ExprKind::LNot || k == ExprKind::BNot) && a->kind() == k)
+        return a->child(0);
+    // neg(neg(x)) == x
+    if (k == ExprKind::Neg && a->kind() == ExprKind::Neg)
+        return a->child(0);
+    // lnot(cmp) → inverted cmp
+    if (k == ExprKind::LNot) {
+        switch (a->kind()) {
+          case ExprKind::Eq:
+            return binary(ExprKind::Ne, a->child(0), a->child(1));
+          case ExprKind::Ne:
+            return binary(ExprKind::Eq, a->child(0), a->child(1));
+          case ExprKind::Slt:
+            return binary(ExprKind::Sge, a->child(0), a->child(1));
+          case ExprKind::Sle:
+            return binary(ExprKind::Sgt, a->child(0), a->child(1));
+          case ExprKind::Sgt:
+            return binary(ExprKind::Sle, a->child(0), a->child(1));
+          case ExprKind::Sge:
+            return binary(ExprKind::Slt, a->child(0), a->child(1));
+          default:
+            break;
+        }
+    }
+    return make(k, w, {a});
+}
+
+ExprPtr
+Expr::binary(ExprKind k, const ExprPtr &a, const ExprPtr &b)
+{
+    const Width opw =
+        widthBits(a->width()) >= widthBits(b->width()) ? a->width()
+                                                       : b->width();
+    const Width w = (isCmp(k) || k == ExprKind::LAnd ||
+                     k == ExprKind::LOr)
+                        ? Width::I1
+                        : opw;
+
+    if (bothConst(a, b))
+        return constant(applyBinary(k, a->constValue(), b->constValue(),
+                                    opw),
+                        w);
+
+    // Canonicalize: constant operand of a commutative op on the right.
+    if (isCommutative(k) && a->kind() == ExprKind::Const &&
+        b->kind() != ExprKind::Const) {
+        return binary(k, b, a);
+    }
+
+    const bool rhs_const = b->kind() == ExprKind::Const;
+    const std::int64_t rc = rhs_const ? b->constValue() : 0;
+
+    switch (k) {
+      case ExprKind::Add:
+      case ExprKind::Sub:
+        if (rhs_const && rc == 0)
+            return a;
+        break;
+      case ExprKind::Mul:
+        if (rhs_const && rc == 0)
+            return constant(0, w);
+        if (rhs_const && rc == 1)
+            return a;
+        break;
+      case ExprKind::And:
+        if (rhs_const && rc == 0)
+            return constant(0, w);
+        if (a->equals(*b))
+            return a;
+        break;
+      case ExprKind::Or:
+        if (rhs_const && rc == 0)
+            return a;
+        if (a->equals(*b))
+            return a;
+        break;
+      case ExprKind::Xor:
+        if (rhs_const && rc == 0)
+            return a;
+        if (a->equals(*b))
+            return constant(0, w);
+        break;
+      case ExprKind::Shl:
+      case ExprKind::AShr:
+      case ExprKind::LShr:
+        if (rhs_const && rc == 0)
+            return a;
+        break;
+      case ExprKind::Eq:
+        if (a->equals(*b))
+            return boolean(true);
+        break;
+      case ExprKind::Ne:
+        if (a->equals(*b))
+            return boolean(false);
+        break;
+      case ExprKind::Slt:
+      case ExprKind::Sgt:
+        if (a->equals(*b))
+            return boolean(false);
+        break;
+      case ExprKind::Sle:
+      case ExprKind::Sge:
+        if (a->equals(*b))
+            return boolean(true);
+        break;
+      case ExprKind::LAnd:
+        if (rhs_const)
+            return rc != 0 ? a : boolean(false);
+        if (a->kind() == ExprKind::Const)
+            return a->constValue() != 0 ? b : boolean(false);
+        if (a->equals(*b))
+            return a;
+        break;
+      case ExprKind::LOr:
+        if (rhs_const)
+            return rc != 0 ? boolean(true) : a;
+        if (a->kind() == ExprKind::Const)
+            return a->constValue() != 0 ? boolean(true) : b;
+        if (a->equals(*b))
+            return a;
+        break;
+      default:
+        break;
+    }
+    return make(k, w, {a, b});
+}
+
+ExprPtr
+Expr::ite(const ExprPtr &c, const ExprPtr &t, const ExprPtr &f)
+{
+    PORTEND_ASSERT(c->width() == Width::I1, "ite condition must be i1");
+    if (c->kind() == ExprKind::Const)
+        return c->constValue() != 0 ? t : f;
+    if (t->equals(*f))
+        return t;
+    const Width w = t->width();
+    return make(ExprKind::Ite, w, {c, t, f});
+}
+
+ExprPtr
+simplify(const ExprPtr &e)
+{
+    switch (e->kind()) {
+      case ExprKind::Const:
+      case ExprKind::Symbol:
+        return e;
+      case ExprKind::Neg:
+      case ExprKind::BNot:
+      case ExprKind::LNot:
+        return Expr::unary(e->kind(), simplify(e->child(0)));
+      case ExprKind::Ite:
+        return Expr::ite(simplify(e->child(0)), simplify(e->child(1)),
+                         simplify(e->child(2)));
+      default:
+        return Expr::binary(e->kind(), simplify(e->child(0)),
+                            simplify(e->child(1)));
+    }
+}
+
+bool
+isTrue(const ExprPtr &e)
+{
+    return e->kind() == ExprKind::Const && e->constValue() != 0;
+}
+
+bool
+isFalse(const ExprPtr &e)
+{
+    return e->kind() == ExprKind::Const && e->constValue() == 0;
+}
+
+ExprPtr
+negate(const ExprPtr &e)
+{
+    return Expr::unary(ExprKind::LNot, e);
+}
+
+ExprPtr
+conjoin(const std::vector<ExprPtr> &cs)
+{
+    ExprPtr acc = Expr::boolean(true);
+    for (const auto &c : cs)
+        acc = Expr::binary(ExprKind::LAnd, acc, c);
+    return acc;
+}
+
+} // namespace portend::sym

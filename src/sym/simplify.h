@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Expression rewrite rules.
+ *
+ * The factory functions on sym::Expr already apply these rules at
+ * construction time; this header exposes the entry point for callers
+ * that want to re-normalize an existing expression (e.g., after
+ * substitution) plus a handful of query helpers used by the solver.
+ */
+
+#ifndef PORTEND_SYM_SIMPLIFY_H
+#define PORTEND_SYM_SIMPLIFY_H
+
+#include "sym/expr.h"
+
+namespace portend::sym {
+
+/**
+ * Rebuild @p e bottom-up through the simplifying factories.
+ *
+ * Idempotent: simplify(simplify(e)) is structurally equal to
+ * simplify(e).
+ */
+ExprPtr simplify(const ExprPtr &e);
+
+/** True if @p e is an I1 expression that is the literal true. */
+bool isTrue(const ExprPtr &e);
+
+/** True if @p e is an I1 expression that is the literal false. */
+bool isFalse(const ExprPtr &e);
+
+/** Negate a boolean expression (with double-negation elimination). */
+ExprPtr negate(const ExprPtr &e);
+
+/** Conjunction of @p cs (returns true literal when empty). */
+ExprPtr conjoin(const std::vector<ExprPtr> &cs);
+
+} // namespace portend::sym
+
+#endif // PORTEND_SYM_SIMPLIFY_H

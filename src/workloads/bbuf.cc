@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bbuf 1.0 model.
+ *
+ * Table 1: 261 LOC of C, 8 forked threads (4 producers, 4
+ * consumers over a shared bounded buffer). Table 3: 6 distinct
+ * races, all "output differs", 6 instances; per Fig. 7 all of them
+ * are invisible to single-path analysis — three require multi-path
+ * exploration (verbose-gated dumps of racy slots) and three require
+ * multi-schedule exploration (post-race log-record ordering).
+ */
+
+#include "workloads/patterns.h"
+
+using portend::ir::I;
+using portend::ir::R;
+
+namespace portend::workloads {
+
+Workload
+buildBbuf()
+{
+    ir::ProgramBuilder pb("bbuf");
+    ir::GlobalId cfg_verbose = pb.global("cfg_verbose");
+
+    std::vector<ir::FunctionBuilder *> prod, cons;
+    for (int i = 0; i < 4; ++i) {
+        auto &p = pb.function("producer" + std::to_string(i + 1), 1);
+        p.file("bbuf.c").line(40 + 10 * i);
+        p.to(p.block("entry"));
+        prod.push_back(&p);
+        auto &c = pb.function("consumer" + std::to_string(i + 1), 1);
+        c.file("bbuf.c").line(90 + 10 * i);
+        c.to(c.block("entry"));
+        cons.push_back(&c);
+    }
+
+    Workload w;
+    w.name = "bbuf 1.0";
+    w.language = "C";
+    w.paper_loc = 261;
+    w.forked_threads = 8;
+    w.paper_instances = 6;
+
+    // Three verbose-gated slot dumps (multi-path).
+    {
+        PatternCtx c1{&pb, prod[0], cons[0]};
+        w.expected.push_back(
+            emitInputGatedPrintRace(c1, "bb_slot1", 101, cfg_verbose));
+        PatternCtx c2{&pb, prod[1], cons[1]};
+        w.expected.push_back(
+            emitInputGatedPrintRace(c2, "bb_slot2", 102, cfg_verbose));
+        PatternCtx c3{&pb, prod[2], cons[2]};
+        w.expected.push_back(
+            emitInputGatedPrintRace(c3, "bb_slot3", 103, cfg_verbose));
+    }
+
+    // Three stale-poll races (multi-schedule), each in its own
+    // barrier-bounded round so the races stay independent.
+    {
+        auto round = [&](int i) {
+            ir::SyncId bar =
+                pb.barrier("bb_round" + std::to_string(i), 8);
+            for (auto *p : prod)
+                p->barrierWait(bar);
+            for (auto *c : cons)
+                c->barrierWait(bar);
+        };
+        round(0);
+        PatternCtx c4{&pb, prod[3], cons[3]};
+        w.expected.push_back(emitLogOrderRace(c4, "bb_count"));
+        round(1);
+        PatternCtx c5{&pb, prod[0], cons[1]};
+        w.expected.push_back(emitLogOrderRace(c5, "bb_in_idx"));
+        round(2);
+        PatternCtx c6{&pb, prod[1], cons[2]};
+        w.expected.push_back(emitLogOrderRace(c6, "bb_out_idx"));
+    }
+
+    for (auto *p : prod)
+        p->retVoid();
+    for (auto *c : cons)
+        c->retVoid();
+
+    auto &m0 = pb.function("main", 0);
+    m0.file("bbuf.c").line(7);
+    m0.to(m0.block("entry"));
+    ir::Reg verbose = m0.input("verbose", 0, 1);
+    m0.store(cfg_verbose, I(0), R(verbose));
+    std::vector<ir::Reg> tids;
+    for (int i = 0; i < 4; ++i) {
+        tids.push_back(
+            m0.threadCreate("producer" + std::to_string(i + 1), I(0)));
+        tids.push_back(
+            m0.threadCreate("consumer" + std::to_string(i + 1), I(0)));
+    }
+    for (ir::Reg t : tids)
+        m0.threadJoin(R(t));
+    m0.outputStr("bbuf:done");
+    m0.halt();
+
+    w.program = pb.build();
+    return w;
+}
+
+} // namespace portend::workloads

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Ctrace 1.2 model.
+ *
+ * Table 1: 886 LOC of C, 3 forked threads. Table 3: 15 distinct
+ * races (19 instances): 1 "spec violated" crash — the paper's
+ * Fig. 4 running example, where the request id incremented under a
+ * lock by the handler is read without the lock by the statistics
+ * thread, and on the non-default (--no-hash-table) input path a
+ * stale bounds check followed by a re-read of the id overflows the
+ * statically sized stats array — plus 10 "output differs" debug-log
+ * races at varying analysis depths and 4 "k-witness harmless"
+ * last-writer tags (Fig. 8a/8b flavors).
+ *
+ * Emission order matters: the schedule-sensitive log records come
+ * first so that analyses of the later (k-witness and Fig. 4) races
+ * replay them from the trace prefix unperturbed.
+ */
+
+#include "workloads/patterns.h"
+
+using portend::ir::I;
+using portend::ir::R;
+using K = portend::sym::ExprKind;
+
+namespace portend::workloads {
+
+Workload
+buildCtrace()
+{
+    ir::ProgramBuilder pb("ctrace");
+    constexpr int kMaxSize = 32;
+    ir::GlobalId req_id = pb.global("req_id", 1, {31});
+    ir::GlobalId stats = pb.global("stats_array", kMaxSize);
+    ir::GlobalId cfg_hash = pb.global("cfg_use_hash");
+    ir::GlobalId cfg_debug = pb.global("cfg_debug");
+    ir::GlobalId trc_level = pb.global("trc_level");
+    ir::SyncId l = pb.mutex("id_lock");
+    ir::SyncId phase_bar = pb.barrier("phase_bar", 3);
+
+    auto &handler = pb.function("reqHandler", 1);
+    handler.file("ctrace.c").line(11);
+    handler.to(handler.block("entry"));
+    auto &stats_t = pb.function("updateStats", 1);
+    stats_t.file("ctrace.c").line(18);
+    stats_t.to(stats_t.block("entry"));
+    auto &logger = pb.function("traceLogger", 1);
+    logger.file("ctrace.c").line(55);
+    logger.to(logger.block("entry"));
+
+    Workload w;
+    w.name = "ctrace 1.2";
+    w.language = "C";
+    w.paper_loc = 886;
+    w.forked_threads = 3;
+    w.paper_instances = 19;
+
+    // ---- Output-differs, single-path: the trace level printed by
+    // the logger.
+    handler.line(40);
+    handler.store(trc_level, I(0), I(3)); // racing write
+    {
+        ir::Reg k = logger.iconst(5);
+        ir::BlockId loop = logger.block("lvl_loop");
+        ir::BlockId next = logger.block("lvl_done");
+        logger.jmp(loop);
+        logger.to(loop);
+        ir::Reg v = logger.load(trc_level); // racing read
+        logger.output("trc_level", R(v));
+        logger.binInto(k, K::Sub, R(k), I(1));
+        logger.br(R(logger.bin(K::Sgt, R(k), I(0))), loop, next);
+        logger.to(next);
+        ExpectedRace r;
+        r.cell = "trc_level";
+        r.truth = core::RaceClass::OutputDiffers;
+        r.portend_expected = core::RaceClass::OutputDiffers;
+        r.required_level = 0;
+        w.expected.push_back(r);
+    }
+
+    // ---- Output-differs, multi-path (5): debug-gated buffer dumps.
+    {
+        PatternCtx c1{&pb, &handler, &stats_t};
+        w.expected.push_back(
+            emitInputGatedPrintRace(c1, "trc_buf1", 11, cfg_debug));
+        PatternCtx c2{&pb, &handler, &logger};
+        w.expected.push_back(
+            emitInputGatedPrintRace(c2, "trc_buf2", 12, cfg_debug));
+        PatternCtx c3{&pb, &stats_t, &logger};
+        w.expected.push_back(
+            emitInputGatedPrintRace(c3, "trc_buf3", 13, cfg_debug));
+        PatternCtx c4{&pb, &stats_t, &handler};
+        w.expected.push_back(
+            emitInputGatedPrintRace(c4, "trc_buf4", 14, cfg_debug));
+        PatternCtx c5{&pb, &logger, &stats_t};
+        w.expected.push_back(
+            emitInputGatedPrintRace(c5, "trc_buf5", 15, cfg_debug));
+    }
+
+    // ---- Output-differs, multi-schedule (4): stale-poll races.
+    // Each poll runs in its own tracing round (barrier-bounded, as
+    // ctrace's phase structure does) so that one race's enforced
+    // reversal cannot retime another round's polls.
+    {
+        auto round = [&](int i) {
+            ir::SyncId bar = pb.barrier(
+                "round_bar" + std::to_string(i), 3);
+            handler.barrierWait(bar);
+            stats_t.barrierWait(bar);
+            logger.barrierWait(bar);
+        };
+        round(0);
+        PatternCtx c1{&pb, &handler, &stats_t};
+        w.expected.push_back(emitLogOrderRace(c1, "trc_log1"));
+        round(1);
+        PatternCtx c2{&pb, &stats_t, &logger};
+        w.expected.push_back(emitLogOrderRace(c2, "trc_log2"));
+        round(2);
+        PatternCtx c3{&pb, &logger, &handler};
+        w.expected.push_back(emitLogOrderRace(c3, "trc_log3"));
+        round(3);
+        PatternCtx c4{&pb, &handler, &logger};
+        w.expected.push_back(emitLogOrderRace(c4, "trc_log4"));
+    }
+
+    // ---- Phase barrier: pins every log record above against
+    // post-race schedule perturbation from the races below (the
+    // real ctrace synchronizes its phases the same way).
+    handler.barrierWait(phase_bar);
+    stats_t.barrierWait(phase_bar);
+    logger.barrierWait(phase_bar);
+
+    // ---- K-witness harmless (4): last-writer tags (Fig. 8b
+    // trc_on flavor); the values differ, so the post-race states
+    // differ, but nothing downstream observes them.
+    {
+        PatternCtx c1{&pb, &handler, &stats_t};
+        w.expected.push_back(emitLastWriterRace(c1, "trc_owner1", 1, 2));
+        PatternCtx c2{&pb, &stats_t, &logger};
+        w.expected.push_back(emitLastWriterRace(c2, "trc_owner2", 2, 3));
+        PatternCtx c3{&pb, &logger, &handler};
+        w.expected.push_back(emitLastWriterRace(c3, "trc_owner3", 3, 1));
+        PatternCtx c4{&pb, &handler, &logger};
+        w.expected.push_back(emitLastWriterRace(c4, "trc_owner4", 1, 3));
+    }
+
+    // ---- Fig. 4 (last): the handler increments req_id under the
+    // lock; the stats thread reads it without the lock. On the
+    // hash-table path (default) the read feeds a validity check
+    // whose outcome is order-independent; on the array path the id
+    // is re-read after the bounds check (paper line 31), and if the
+    // increment lands in the one-slot window between check and
+    // re-read, the store indexes stats_array[32]. The window is so
+    // narrow that only the enforced reversal (which parks the
+    // handler right at its store) exposes it — the paper notes this
+    // crash "is likely to be missed" by single-path detectors.
+    handler.line(14);
+    {
+        handler.lock(l);
+        handler.line(15);
+        ir::Reg v = handler.load(req_id);
+        handler.store(req_id, I(0),
+                      R(handler.bin(K::Add, R(v), I(1))));
+        handler.unlock(l);
+    }
+
+    stats_t.line(19);
+    {
+        ir::Reg use_hash = stats_t.load(cfg_hash);
+        ir::BlockId hash_b = stats_t.block("update1");
+        ir::BlockId array_b = stats_t.block("update2");
+        ir::BlockId out_b = stats_t.block("stats_done");
+        stats_t.br(R(use_hash), hash_b, array_b);
+
+        stats_t.to(hash_b);
+        stats_t.line(26);
+        ir::Reg tmp = stats_t.load(req_id); // racing read (pc26)
+        ir::Reg in_lo = stats_t.bin(K::Sge, R(tmp), I(0));
+        ir::Reg in_hi = stats_t.bin(K::Slt, R(tmp), I(64));
+        stats_t.output("hash_hit",
+                       R(stats_t.bin(K::LAnd, R(in_lo), R(in_hi))));
+        stats_t.jmp(out_b);
+
+        stats_t.to(array_b);
+        stats_t.line(30);
+        ir::Reg i = stats_t.load(req_id); // racing read (pc30)
+        ir::BlockId store_b = stats_t.block("store_stat");
+        ir::BlockId skip_b = stats_t.block("skip_stat");
+        stats_t.br(R(stats_t.bin(K::Slt, R(i), I(kMaxSize))),
+                   store_b, skip_b);
+        stats_t.to(store_b);
+        stats_t.line(31);
+        ir::Reg j = stats_t.load(req_id); // re-read, as in Fig. 4
+        stats_t.store(stats, R(j), I(5)); // overflows when j == 32
+        stats_t.jmp(out_b);
+        stats_t.to(skip_b);
+        stats_t.jmp(out_b);
+        stats_t.to(out_b);
+    }
+    {
+        ExpectedRace r;
+        r.cell = "req_id";
+        r.truth = core::RaceClass::SpecViolated;
+        r.viol = core::ViolationKind::Crash;
+        r.portend_expected = core::RaceClass::SpecViolated;
+        r.required_level = 3; // Fig. 4: multi-path + multi-schedule
+        w.expected.push_back(r);
+    }
+
+    handler.retVoid();
+    stats_t.retVoid();
+    logger.retVoid();
+
+    auto &m0 = pb.function("main", 0);
+    m0.file("ctrace.c").line(5);
+    m0.to(m0.block("entry"));
+    // Default input 0 selects the hash-table path (the paper's
+    // --use-hash-table default run).
+    ir::Reg no_hash = m0.input("no_hash_table", 0, 1);
+    m0.store(cfg_hash, I(0), R(m0.bin(K::Sub, I(1), R(no_hash))));
+    ir::Reg dbg = m0.input("debug", 0, 1);
+    m0.store(cfg_debug, I(0), R(dbg));
+    ir::Reg t1 = m0.threadCreate("reqHandler", I(0));
+    ir::Reg t2 = m0.threadCreate("updateStats", I(0));
+    ir::Reg t3 = m0.threadCreate("traceLogger", I(0));
+    m0.threadJoin(R(t1));
+    m0.threadJoin(R(t2));
+    m0.threadJoin(R(t3));
+    m0.outputStr("ctrace:done");
+    m0.halt();
+
+    w.program = pb.build();
+    return w;
+}
+
+} // namespace portend::workloads

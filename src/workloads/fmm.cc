@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SPLASH2 fmm 2.0 model.
+ *
+ * Table 1: 11,545 LOC of C, 3 forked threads. Table 3: 13 distinct
+ * races (517 instances): 12 "single ordering" tree/force phase-flag
+ * races and 1 race on the particle timestamp that is "k-witness
+ * harmless" by default but becomes "spec violated" under the
+ * semantic predicate "timestamps never go backwards" (Table 2's
+ * semantic row; §5.1: without the check the negative/stale
+ * timestamp is eventually overwritten and harmless).
+ */
+
+#include "workloads/patterns.h"
+
+using portend::ir::I;
+using portend::ir::R;
+using K = portend::sym::ExprKind;
+
+namespace portend::workloads {
+
+Workload
+buildFmm()
+{
+    ir::ProgramBuilder pb("fmm");
+    ir::GlobalId ts = pb.global("particle_ts");
+
+    auto &w1 = pb.function("fmm_worker1", 1);
+    w1.file("fmm/interactions.c").line(310);
+    w1.to(w1.block("entry"));
+    auto &w2 = pb.function("fmm_worker2", 1);
+    w2.file("fmm/interactions.c").line(495);
+    w2.to(w2.block("entry"));
+    auto &w3 = pb.function("fmm_worker3", 1);
+    w3.file("fmm/construct_grid.c").line(128);
+    w3.to(w3.block("entry"));
+
+    Workload w;
+    w.name = "fmm 2.0";
+    w.language = "C";
+    w.paper_loc = 11545;
+    w.forked_threads = 3;
+    w.paper_instances = 517;
+
+    // Timestamp race: both workers stamp the shared particle; in
+    // the primary ordering the stamps increase (2 then 9), in the
+    // alternate ordering time appears to go backwards — harmless
+    // unless the monotonicity predicate is installed.
+    w1.line(322);
+    w1.store(ts, I(0), I(2)); // racing write (earlier stamp)
+    w2.line(501);
+    w2.store(ts, I(0), I(9)); // racing write (later stamp)
+
+    ExpectedRace ts_race;
+    ts_race.cell = "particle_ts";
+    ts_race.truth = core::RaceClass::KWitnessHarmless;
+    ts_race.portend_expected = core::RaceClass::KWitnessHarmless;
+    ts_race.required_level = 0;
+    w.expected.push_back(ts_race);
+
+    // Twelve phase flags: w1 -> w2 -> w3 -> w1, four per edge.
+    // Every worker publishes all its flags before consuming any,
+    // so the pipeline cannot deadlock. Spin padding inflates the
+    // dynamic instance count toward the paper's 517.
+    PatternCtx w12{&pb, &w1, &w2};
+    PatternCtx w23{&pb, &w2, &w3};
+    PatternCtx w31{&pb, &w3, &w1};
+    for (int i = 1; i <= 4; ++i) {
+        w.expected.push_back(emitSpinFlagOnly(
+            w12, "fmm_tree" + std::to_string(i), i == 1 ? 10 : 13));
+    }
+    for (int i = 1; i <= 4; ++i) {
+        w.expected.push_back(emitSpinFlagOnly(
+            w23, "fmm_force" + std::to_string(i), i == 1 ? 11 : 13));
+    }
+    for (int i = 1; i <= 4; ++i) {
+        w.expected.push_back(emitSpinFlagOnly(
+            w31, "fmm_grid" + std::to_string(i), 13));
+    }
+
+    w1.retVoid();
+    w2.retVoid();
+    w3.retVoid();
+
+    auto &m0 = pb.function("main", 0);
+    m0.file("fmm/fmm.c").line(44);
+    m0.to(m0.block("entry"));
+    ir::Reg t1 = m0.threadCreate("fmm_worker1", I(0));
+    ir::Reg t2 = m0.threadCreate("fmm_worker2", I(0));
+    ir::Reg t3 = m0.threadCreate("fmm_worker3", I(0));
+    m0.threadJoin(R(t1));
+    m0.threadJoin(R(t2));
+    m0.threadJoin(R(t3));
+    m0.outputStr("fmm:done");
+    m0.halt();
+
+    w.program = pb.build();
+
+    // Semantic predicate (Table 2): particle timestamps must never
+    // decrease. Stateful via the per-run scratch map. Captures only
+    // the flat cell id (stable across Workload moves).
+    int ts_cell = w.program.cellId(ts, 0);
+    w.semantic_predicates.push_back(
+        [ts_cell](const rt::Interpreter &interp, const rt::Event &ev,
+                  std::map<std::string, std::int64_t> &scratch)
+            -> std::string {
+            if (ev.kind != rt::EventKind::MemWrite ||
+                ev.cell != ts_cell) {
+                return "";
+            }
+            const sym::ExprPtr &v = interp.state().mem[ts_cell];
+            if (!v->isConcrete())
+                return "";
+            std::int64_t now = v->constValue();
+            auto it = scratch.find("fmm_ts_last");
+            if (it != scratch.end() && now < it->second) {
+                return "fmm timestamp went backwards: " +
+                       std::to_string(it->second) + " -> " +
+                       std::to_string(now);
+            }
+            scratch["fmm_ts_last"] = now;
+            return "";
+        });
+    return w;
+}
+
+} // namespace portend::workloads

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * memcached 1.4.5 model.
+ *
+ * Table 1: 8,300 LOC of C, 8 forked threads. Table 3: 18 distinct
+ * races (104 instances): 16 "single ordering" worker-handoff flags
+ * and 2 "output differs" races — the Fig. 8c current_time /
+ * oldest_live statistics race and a printed item-count race.
+ *
+ * The what-if variant (§5.1) removes the mutex around the
+ * cache-ratio divisor update; the induced race lets a reader
+ * observe the transient zero divisor and crash, which Portend
+ * flags "spec violated" (Table 2's memcached crash row).
+ */
+
+#include "workloads/patterns.h"
+
+using portend::ir::I;
+using portend::ir::R;
+using K = portend::sym::ExprKind;
+
+namespace portend::workloads {
+
+Workload
+buildMemcached(bool whatif_remove_sync)
+{
+    ir::ProgramBuilder pb(whatif_remove_sync ? "memcached-whatif"
+                                             : "memcached");
+    ir::GlobalId current_time = pb.global("current_time");
+    ir::GlobalId total_items = pb.global("total_items");
+    ir::GlobalId ratio_div = pb.global("ratio_div", 1, {1});
+    ir::SyncId stats_lock = pb.mutex("stats_lock");
+
+    std::vector<ir::FunctionBuilder *> workers;
+    for (int i = 0; i < 8; ++i) {
+        auto &f = pb.function("mc_worker" + std::to_string(i), 1);
+        f.file("memcached/thread.c").line(100 + 40 * i);
+        f.to(f.block("entry"));
+        workers.push_back(&f);
+    }
+
+    Workload w;
+    w.name = "memcached 1.4.5";
+    w.language = "C";
+    w.paper_loc = 8300;
+    w.forked_threads = 8;
+    w.paper_instances = 104;
+
+    // --- Output-differs race 1 (Fig. 8c): worker 0 computes
+    // oldest_live from the racy current_time and prints it. The
+    // racing write is performed by main (the clock update).
+    {
+        ir::FunctionBuilder &f = *workers[0];
+        f.file("memcached/memcached.c").line(2778);
+        ir::Reg ct = f.load(current_time); // racing read
+        ir::Reg ol = f.bin(K::Sub, R(ct), I(1));
+        f.output("oldest_live", R(ol));
+        ExpectedRace r;
+        r.cell = "current_time";
+        r.truth = core::RaceClass::OutputDiffers;
+        r.portend_expected = core::RaceClass::OutputDiffers;
+        r.required_level = 0;
+        w.expected.push_back(r);
+    }
+
+    // --- Output-differs race 2: item counter printed by worker 2.
+    {
+        workers[1]->file("memcached/items.c").line(434);
+        workers[1]->store(total_items, I(0), I(25)); // racing write
+        workers[2]->file("memcached/items.c").line(519);
+        ir::Reg it = workers[2]->load(total_items); // racing read
+        workers[2]->output("total_items", R(it));
+        ExpectedRace r;
+        r.cell = "total_items";
+        r.truth = core::RaceClass::OutputDiffers;
+        r.portend_expected = core::RaceClass::OutputDiffers;
+        r.required_level = 0;
+        w.expected.push_back(r);
+    }
+
+    // --- What-if experiment: the cache-ratio divisor is reset to 0
+    // and restored to 1 (same store instruction, a two-iteration
+    // loop) by worker 3; worker 4 divides by it. Normally both
+    // sides hold stats_lock and no race exists; with the lock
+    // removed, a reader can observe the transient zero.
+    {
+        ir::FunctionBuilder &f = *workers[3];
+        f.file("memcached/stats.c").line(201);
+        if (!whatif_remove_sync)
+            f.lock(stats_lock);
+        ir::Reg k = f.iconst(0);
+        ir::BlockId loop = f.block("div_reset");
+        ir::BlockId next = f.block("div_done");
+        f.jmp(loop);
+        f.to(loop);
+        ir::Reg is_first = f.bin(K::Eq, R(k), I(0));
+        ir::Reg val = f.select(R(is_first), I(0), I(1));
+        f.store(ratio_div, I(0), R(val)); // transient 0, then 1
+        f.binInto(k, K::Add, R(k), I(1));
+        f.br(R(f.bin(K::Slt, R(k), I(2))), loop, next);
+        f.to(next);
+        if (!whatif_remove_sync)
+            f.unlock(stats_lock);
+
+        ir::FunctionBuilder &g = *workers[4];
+        g.file("memcached/stats.c").line(230);
+        // Bookkeeping before the ratio read delays it past the
+        // writer's reset/restore pair in the recorded run; the
+        // transient zero is only observable when an analysis
+        // enforces the reversed ordering (paper 5.1).
+        ir::GlobalId ledger = pb.global("stats_ledger");
+        for (int d0 = 0; d0 < 4; ++d0) {
+            ir::Reg lv = g.load(ledger);
+            g.store(ledger, I(0), R(g.bin(K::Add, R(lv), I(1))));
+        }
+        g.line(244);
+        if (!whatif_remove_sync)
+            g.lock(stats_lock);
+        ir::Reg d = g.load(ratio_div);
+        ir::Reg ratio = g.bin(K::SDiv, I(100), R(d));
+        if (!whatif_remove_sync)
+            g.unlock(stats_lock);
+        g.output("cache_ratio", R(ratio));
+
+        if (whatif_remove_sync) {
+            ExpectedRace r;
+            r.cell = "ratio_div";
+            r.truth = core::RaceClass::SpecViolated;
+            r.viol = core::ViolationKind::Crash;
+            r.portend_expected = core::RaceClass::SpecViolated;
+            r.required_level = 3; // needs a specific interleaving
+            w.expected.push_back(r);
+        }
+    }
+
+    // --- 16 single-ordering handoff flags: worker i publishes two
+    // stage flags consumed by worker (i+1) mod 8. Every worker
+    // publishes before consuming, so the ring cannot deadlock.
+    for (int i = 0; i < 8; ++i) {
+        PatternCtx ctx{&pb, workers[i], workers[(i + 1) % 8]};
+        w.expected.push_back(emitSpinFlagOnly(
+            ctx, "mc_stage" + std::to_string(2 * i), i < 3 ? 1 : 0));
+        w.expected.push_back(emitSpinFlagOnly(
+            ctx, "mc_stage" + std::to_string(2 * i + 1), i < 2 ? 1 : 0));
+    }
+
+    for (auto *f : workers)
+        f->retVoid();
+
+    auto &m0 = pb.function("main", 0);
+    m0.file("memcached/memcached.c").line(5122);
+    m0.to(m0.block("entry"));
+    std::vector<ir::Reg> tids;
+    for (int i = 0; i < 8; ++i)
+        tids.push_back(m0.threadCreate("mc_worker" + std::to_string(i),
+                                       I(0)));
+    // Clock tick: the racing current_time update (Fig. 8c's timer).
+    ir::Reg now = m0.getTime();
+    m0.line(407);
+    m0.store(current_time, I(0),
+             R(m0.bin(K::Add, R(now), I(100)))); // racing write
+    for (ir::Reg t : tids)
+        m0.threadJoin(R(t));
+    m0.outputStr("memcached:done");
+    m0.halt();
+
+    w.program = pb.build();
+    return w;
+}
+
+} // namespace portend::workloads

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The four microbenchmark models (paper §5, Table 1): AVV ("all
+ * values valid"), DCL (double-checked locking), DBM (disjoint bit
+ * manipulation), and RW (redundant writes). Each contains exactly
+ * one distinct race, ground truth "k-witness harmless" with
+ * matching post-race states (Table 3's micro rows).
+ */
+
+#include "workloads/patterns.h"
+
+using portend::ir::I;
+using portend::ir::R;
+using K = portend::sym::ExprKind;
+
+namespace portend::workloads {
+
+namespace {
+
+/**
+ * A worker looping over a private global: contributes threads (to
+ * match Table 1's forked-thread counts) without adding races.
+ */
+void
+emitPrivateWorker(ir::ProgramBuilder &pb, const std::string &name,
+                  int iters)
+{
+    ir::GlobalId cell = pb.global(name + "_priv");
+    auto &w = pb.function(name, 1);
+    w.file("micro.cpp");
+    w.to(w.block("entry"));
+    ir::Reg i = w.iconst(iters);
+    ir::BlockId loop = w.block("loop");
+    ir::BlockId out = w.block("out");
+    w.jmp(loop);
+    w.to(loop);
+    ir::Reg v = w.load(cell);
+    w.store(cell, I(0), R(w.bin(K::Add, R(v), I(1))));
+    w.binInto(i, K::Sub, R(i), I(1));
+    w.br(R(w.bin(K::Sgt, R(i), I(0))), loop, out);
+    w.to(out);
+    w.retVoid();
+}
+
+/** Spawn and join the named functions from main, then halt. */
+void
+finishMain(ir::FunctionBuilder &m,
+           const std::vector<std::string> &workers)
+{
+    std::vector<ir::Reg> tids;
+    for (const auto &w : workers)
+        tids.push_back(m.threadCreate(w, I(0)));
+    for (ir::Reg t : tids)
+        m.threadJoin(R(t));
+    m.outputStr("done");
+    m.halt();
+}
+
+} // namespace
+
+Workload
+buildMicroRw()
+{
+    ir::ProgramBuilder pb("RW");
+    ir::GlobalId flag = pb.global("shared_flag");
+
+    // Two threads store the same value: the classic redundant-write
+    // harmless race.
+    auto &w1 = pb.function("writer1", 1);
+    w1.file("rw.cpp").line(12);
+    w1.to(w1.block("entry"));
+    w1.store(flag, I(0), I(7));
+    w1.retVoid();
+
+    auto &w2 = pb.function("writer2", 1);
+    w2.file("rw.cpp").line(21);
+    w2.to(w2.block("entry"));
+    w2.store(flag, I(0), I(7));
+    w2.retVoid();
+
+    emitPrivateWorker(pb, "rw_bg", 4);
+
+    auto &m = pb.function("main", 0);
+    m.file("rw.cpp").line(30);
+    m.to(m.block("entry"));
+    finishMain(m, {"writer1", "writer2", "rw_bg"});
+
+    Workload w;
+    w.name = "RW";
+    w.language = "C++";
+    w.paper_loc = 42;
+    w.forked_threads = 3;
+    w.paper_instances = 1;
+    ExpectedRace r;
+    r.cell = "shared_flag";
+    r.truth = core::RaceClass::KWitnessHarmless;
+    r.portend_expected = core::RaceClass::KWitnessHarmless;
+    w.expected.push_back(r);
+    w.program = pb.build();
+    return w;
+}
+
+Workload
+buildMicroAvv()
+{
+    ir::ProgramBuilder pb("AVV");
+    ir::GlobalId level = pb.global("log_level"); // 0 initially
+
+    // Writer publishes a new (valid) level; the reader validates
+    // whatever it sees — every value is valid, so the output does
+    // not depend on the ordering.
+    auto &wr = pb.function("setter", 1);
+    wr.file("avv.cpp").line(10);
+    wr.to(wr.block("entry"));
+    wr.store(level, I(0), I(5));
+    wr.retVoid();
+
+    auto &rd = pb.function("getter", 1);
+    rd.file("avv.cpp").line(18);
+    rd.to(rd.block("entry"));
+    ir::Reg v = rd.load(level);
+    ir::Reg ok_lo = rd.bin(K::Sge, R(v), I(0));
+    ir::Reg ok_hi = rd.bin(K::Sle, R(v), I(7));
+    ir::Reg ok = rd.bin(K::LAnd, R(ok_lo), R(ok_hi));
+    rd.output("level_valid", R(ok));
+    rd.retVoid();
+
+    emitPrivateWorker(pb, "avv_bg", 4);
+
+    auto &m = pb.function("main", 0);
+    m.file("avv.cpp").line(30);
+    m.to(m.block("entry"));
+    finishMain(m, {"setter", "getter", "avv_bg"});
+
+    Workload w;
+    w.name = "AVV";
+    w.language = "C++";
+    w.paper_loc = 49;
+    w.forked_threads = 3;
+    w.paper_instances = 1;
+    ExpectedRace r;
+    r.cell = "log_level";
+    r.truth = core::RaceClass::KWitnessHarmless;
+    r.portend_expected = core::RaceClass::KWitnessHarmless;
+    w.expected.push_back(r);
+    w.program = pb.build();
+    return w;
+}
+
+Workload
+buildMicroDbm()
+{
+    ir::ProgramBuilder pb("DBM");
+    ir::GlobalId bits = pb.global("status_bits");
+
+    // One side owns bit 0; the other side only inspects bit 1, so
+    // the racing update cannot affect what the reader computes.
+    auto &wr = pb.function("bit0_owner", 1);
+    wr.file("dbm.cpp").line(9);
+    wr.to(wr.block("entry"));
+    ir::Reg v = wr.load(bits);
+    wr.store(bits, I(0), R(wr.bin(K::Or, R(v), I(1))));
+    wr.retVoid();
+
+    auto &rd = pb.function("bit1_reader", 1);
+    rd.file("dbm.cpp").line(17);
+    rd.to(rd.block("entry"));
+    ir::Reg b = rd.load(bits);
+    rd.output("bit1", R(rd.bin(K::And, R(b), I(2))));
+    rd.retVoid();
+
+    emitPrivateWorker(pb, "dbm_bg", 4);
+
+    auto &m = pb.function("main", 0);
+    m.file("dbm.cpp").line(28);
+    m.to(m.block("entry"));
+    finishMain(m, {"bit0_owner", "bit1_reader", "dbm_bg"});
+
+    Workload w;
+    w.name = "DBM";
+    w.language = "C++";
+    w.paper_loc = 45;
+    w.forked_threads = 3;
+    w.paper_instances = 1;
+    ExpectedRace r;
+    r.cell = "status_bits";
+    r.truth = core::RaceClass::KWitnessHarmless;
+    r.portend_expected = core::RaceClass::KWitnessHarmless;
+    w.expected.push_back(r);
+    w.program = pb.build();
+    return w;
+}
+
+Workload
+buildMicroDcl()
+{
+    ir::ProgramBuilder pb("DCL");
+    ir::GlobalId initialized = pb.global("initialized");
+    ir::GlobalId object = pb.global("object");
+    ir::SyncId m = pb.mutex("init_lock");
+
+    // Double-checked locking: the unlocked fast-path read of
+    // `initialized` races with the locked write, but either ordering
+    // initializes the object exactly once.
+    for (int t = 0; t < 2; ++t) {
+        auto &f = pb.function("dcl_user" + std::to_string(t + 1), 1);
+        f.file("dcl.cpp").line(11);
+        f.to(f.block("entry"));
+        ir::Reg fast = f.load(initialized); // racing unlocked read
+        ir::BlockId slow = f.block("slow");
+        ir::BlockId done = f.block("done");
+        f.br(R(fast), done, slow);
+        f.to(slow);
+        f.lock(m);
+        ir::Reg again = f.load(initialized); // locked re-check
+        ir::BlockId do_init = f.block("do_init");
+        ir::BlockId skip = f.block("skip");
+        f.br(R(again), skip, do_init);
+        f.to(do_init);
+        f.line(15);
+        f.store(object, I(0), I(42));
+        f.store(initialized, I(0), I(1)); // racing locked write
+        f.jmp(skip);
+        f.to(skip);
+        f.unlock(m);
+        f.jmp(done);
+        f.to(done);
+        f.retVoid();
+    }
+
+    emitPrivateWorker(pb, "dcl_bg1", 3);
+    emitPrivateWorker(pb, "dcl_bg2", 3);
+    emitPrivateWorker(pb, "dcl_bg3", 3);
+
+    auto &m0 = pb.function("main", 0);
+    m0.file("dcl.cpp").line(40);
+    m0.to(m0.block("entry"));
+    finishMain(m0, {"dcl_user1", "dcl_user2", "dcl_bg1", "dcl_bg2",
+                    "dcl_bg3"});
+
+    Workload w;
+    w.name = "DCL";
+    w.language = "C++";
+    w.paper_loc = 45;
+    w.forked_threads = 5;
+    w.paper_instances = 1;
+    ExpectedRace r;
+    r.cell = "initialized";
+    r.truth = core::RaceClass::KWitnessHarmless;
+    r.portend_expected = core::RaceClass::KWitnessHarmless;
+    w.expected.push_back(r);
+    w.program = pb.build();
+    return w;
+}
+
+} // namespace portend::workloads

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SPLASH2 ocean 2.0 model.
+ *
+ * Table 1: 11,665 LOC of C, 2 forked threads. Table 3: 5 distinct
+ * races (14 instances): 4 "single ordering" phase-flag races and
+ * one race on the energy accumulator whose ground truth is "output
+ * differs" but which Portend classifies "k-witness harmless" — the
+ * paper's single misclassification (§5.4): the output-difference
+ * path requires a very specific combination of three inputs, and
+ * the third input lies beyond the two-symbolic-inputs budget, so
+ * multi-path search cannot reach it.
+ */
+
+#include "workloads/patterns.h"
+
+using portend::ir::I;
+using portend::ir::R;
+using K = portend::sym::ExprKind;
+
+namespace portend::workloads {
+
+Workload
+buildOcean()
+{
+    ir::ProgramBuilder pb("ocean");
+    ir::GlobalId energy = pb.global("psiai_energy");
+    ir::GlobalId cfg_n = pb.global("cfg_grid_n");
+    ir::GlobalId cfg_t = pb.global("cfg_tsteps");
+    ir::GlobalId cfg_r = pb.global("cfg_res");
+
+    auto &west = pb.function("slave_west", 1);
+    west.file("ocean/slave1.c").line(431);
+    west.to(west.block("entry"));
+    auto &east = pb.function("slave_east", 1);
+    east.file("ocean/slave2.c").line(772);
+    east.to(east.block("entry"));
+
+    Workload w;
+    w.name = "ocean 2.0";
+    w.language = "C";
+    w.paper_loc = 11665;
+    w.forked_threads = 2;
+    w.paper_instances = 14;
+
+    // Energy accesses sit at the very start of both slaves, before
+    // any flag phase, so the two orderings are both feasible.
+    west.line(447);
+    west.store(energy, I(0), I(7)); // racing write
+
+    east.line(801);
+    ir::Reg e = east.load(energy); // racing read
+    ir::Reg g1 = east.load(cfg_n);
+    ir::Reg g2 = east.load(cfg_t);
+    ir::Reg g3 = east.load(cfg_r);
+    ir::Reg c1 = east.bin(K::Eq, R(g1), I(13));
+    ir::Reg c2 = east.bin(K::Eq, R(g2), I(27));
+    ir::Reg c3 = east.bin(K::Eq, R(g3), I(5));
+    ir::Reg gate =
+        east.bin(K::LAnd, R(east.bin(K::LAnd, R(c1), R(c2))), R(c3));
+    ir::BlockId on = east.block("dump_energy");
+    ir::BlockId off = east.block("quiet");
+    ir::BlockId tail = east.block("tail");
+    east.br(R(gate), on, off);
+    east.to(on);
+    east.output("energy", R(e));
+    east.jmp(tail);
+    east.to(off);
+    east.output("energy", I(0));
+    east.jmp(tail);
+    east.to(tail);
+
+    ExpectedRace miss;
+    miss.cell = "psiai_energy";
+    miss.truth = core::RaceClass::OutputDiffers;
+    miss.portend_expected = core::RaceClass::KWitnessHarmless;
+    miss.required_level = 4; // beyond any configured level
+    w.expected.push_back(miss);
+
+    // Phase flags: west publishes two grid phases, east consumes;
+    // then east publishes two and west consumes (Fig. 8d shape).
+    PatternCtx we{&pb, &west, &east};
+    w.expected.push_back(emitSpinFlagOnly(we, "oc_phase1", 2));
+    w.expected.push_back(emitSpinFlagOnly(we, "oc_phase2", 2));
+    PatternCtx ew{&pb, &east, &west};
+    w.expected.push_back(emitSpinFlagOnly(ew, "oc_phase3", 1));
+    w.expected.push_back(emitSpinFlagOnly(ew, "oc_phase4", 1));
+
+    west.retVoid();
+    east.retVoid();
+
+    auto &m0 = pb.function("main", 0);
+    m0.file("ocean/main.c").line(51);
+    m0.to(m0.block("entry"));
+    ir::Reg in1 = m0.input("grid_n", 0, 31);
+    ir::Reg in2 = m0.input("tsteps", 0, 31);
+    ir::Reg in3 = m0.input("res", 0, 31); // third input: never symbolic
+    m0.store(cfg_n, I(0), R(in1));
+    m0.store(cfg_t, I(0), R(in2));
+    m0.store(cfg_r, I(0), R(in3));
+    ir::Reg t1 = m0.threadCreate("slave_west", I(0));
+    ir::Reg t2 = m0.threadCreate("slave_east", I(0));
+    m0.threadJoin(R(t1));
+    m0.threadJoin(R(t2));
+    m0.outputStr("ocean:done");
+    m0.halt();
+
+    w.program = pb.build();
+    return w;
+}
+
+} // namespace portend::workloads

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * pbzip2 2.1.1 model.
+ *
+ * Table 1: 6,686 LOC of C++, 4 forked threads (file reader, two
+ * compressors, file writer). Table 3: 31 distinct races (97
+ * instances): 25 "single ordering" block-ready flags consumed by
+ * the writer's busy-wait loop (Fig. 8d), 3 "spec violated" crashes
+ * (two buffer overflows and a transient-zero divisor), and 3
+ * "output differs" races on printed statistics, one of which is
+ * gated behind a verbose flag and needs multi-path analysis.
+ */
+
+#include "workloads/patterns.h"
+
+using portend::ir::I;
+using portend::ir::R;
+using K = portend::sym::ExprKind;
+
+namespace portend::workloads {
+
+namespace {
+
+/** Private-global busy work to push later code past other threads. */
+void
+emitDelay(ir::ProgramBuilder &pb, ir::FunctionBuilder &f,
+          const std::string &tag, int iters)
+{
+    ir::GlobalId cell = pb.global(tag + "_delay");
+    ir::Reg i = f.iconst(iters);
+    ir::BlockId loop = f.block(tag + "_dloop");
+    ir::BlockId next = f.block(tag + "_dnext");
+    f.jmp(loop);
+    f.to(loop);
+    ir::Reg v = f.load(cell);
+    f.store(cell, I(0), R(f.bin(K::Add, R(v), I(1))));
+    f.binInto(i, K::Sub, R(i), I(1));
+    f.br(R(f.bin(K::Sgt, R(i), I(0))), loop, next);
+    f.to(next);
+}
+
+} // namespace
+
+Workload
+buildPbzip2()
+{
+    ir::ProgramBuilder pb("pbzip2");
+    constexpr int kBlocks = 25;
+    ir::GlobalId flags = pb.global("block_ready", kBlocks);
+    ir::GlobalId cfg_verbose = pb.global("cfg_verbose");
+    ir::GlobalId obuf_idx = pb.global("obuf_idx", 1, {7});
+    ir::GlobalId obuf_table = pb.global("obuf_table", 8);
+    ir::GlobalId dbuf_idx = pb.global("dbuf_idx", 1, {5});
+    ir::GlobalId dbuf_table = pb.global("dbuf_table", 6);
+
+    auto &reader = pb.function("fileReader", 1);
+    reader.file("pbzip2.cpp").line(389);
+    reader.to(reader.block("entry"));
+    auto &comp_a = pb.function("consumer_a", 1);
+    comp_a.file("pbzip2.cpp").line(702);
+    comp_a.to(comp_a.block("entry"));
+    auto &comp_b = pb.function("consumer_b", 1);
+    comp_b.file("pbzip2.cpp").line(702);
+    comp_b.to(comp_b.block("entry"));
+    auto &writer = pb.function("fileWriter", 1);
+    writer.file("pbzip2.cpp").line(1044);
+    writer.to(writer.block("entry"));
+
+    Workload w;
+    w.name = "pbzip2 2.1.1";
+    w.language = "C++";
+    w.paper_loc = 6686;
+    w.forked_threads = 4;
+    w.paper_instances = 97;
+
+    // ---- Crash 1: output-buffer index overflow (writer uses the
+    // block index early; the reader bumps it past the end late).
+    {
+        // Consumer side first (so its accesses sit early in the
+        // writer); the producer bump is emitted below after a delay.
+        ir::Reg i = writer.load(obuf_idx); // racing read
+        writer.line(702);
+        writer.store(obuf_table, R(i), I(7));
+        ExpectedRace r;
+        r.cell = "obuf_idx";
+        r.truth = core::RaceClass::SpecViolated;
+        r.viol = core::ViolationKind::Crash;
+        r.portend_expected = core::RaceClass::SpecViolated;
+        r.required_level = 0;
+        w.expected.push_back(r);
+    }
+
+    // ---- Crash 3 consumer side: decompressed-buffer index used by
+    // the writer before the second compressor bumps it.
+    {
+        ir::Reg i = writer.load(dbuf_idx); // racing read
+        writer.store(dbuf_table, R(i), I(3));
+        ExpectedRace r;
+        r.cell = "dbuf_idx";
+        r.truth = core::RaceClass::SpecViolated;
+        r.viol = core::ViolationKind::Crash;
+        r.portend_expected = core::RaceClass::SpecViolated;
+        r.required_level = 0;
+        w.expected.push_back(r);
+    }
+
+    // ---- Output-differs 1 and 2: progress percentage and input
+    // byte count, both printed by the writer.
+    ir::GlobalId progress = pb.global("progress_pct");
+    ir::GlobalId bytes_in = pb.global("bytes_in");
+    {
+        ir::Reg p = writer.load(progress); // racing read
+        writer.output("progress_pct", R(p));
+        ir::Reg b = writer.load(bytes_in); // racing read
+        writer.output("bytes_in", R(b));
+        ExpectedRace r1;
+        r1.cell = "progress_pct";
+        r1.truth = core::RaceClass::OutputDiffers;
+        r1.portend_expected = core::RaceClass::OutputDiffers;
+        r1.required_level = 0;
+        w.expected.push_back(r1);
+        ExpectedRace r2 = r1;
+        r2.cell = "bytes_in";
+        w.expected.push_back(r2);
+    }
+
+    // ---- Crash 2 consumer side: compressor A divides by the
+    // transient chunk divisor that compressor B resets late.
+    ir::GlobalId chunk_div = pb.global("chunk_div", 1, {1});
+    {
+        ir::Reg d = comp_a.load(chunk_div); // racing read
+        ir::Reg q = comp_a.bin(K::SDiv, I(100), R(d));
+        ir::GlobalId scratch = pb.global("ratio_scratch");
+        comp_a.store(scratch, I(0), R(q));
+        ExpectedRace r;
+        r.cell = "chunk_div";
+        r.truth = core::RaceClass::SpecViolated;
+        r.viol = core::ViolationKind::Crash;
+        r.portend_expected = core::RaceClass::SpecViolated;
+        r.required_level = 0;
+        w.expected.push_back(r);
+    }
+
+    // ---- Output-differs 3 (multi-path): CRC printed only in
+    // verbose mode; compressor B publishes, compressor A consumes.
+    {
+        PatternCtx ctx{&pb, &comp_b, &comp_a};
+        w.expected.push_back(emitInputGatedPrintRace(
+            ctx, "crc_last", 777, cfg_verbose));
+        w.expected.back().required_level = 2;
+    }
+
+    // ---- Producer side: the reader publishes the input byte
+    // count; compressor A publishes progress and the even block
+    // flags; compressor B publishes the odd flags and, late, the
+    // crash producers.
+    reader.line(350);
+    reader.store(bytes_in, I(0), I(1234)); // racing write
+    comp_a.line(650);
+    comp_a.store(progress, I(0), I(50)); // racing write
+    {
+        // Per-block compression work (private cells) paces the flag
+        // publication so the writer's busy-wait loop actually spins,
+        // reproducing the paper's dynamic instance counts.
+        ir::GlobalId work_a = pb.global("compress_work_a");
+        ir::Reg i = comp_a.iconst(0);
+        ir::BlockId loop = comp_a.block("flag_even");
+        ir::BlockId next = comp_a.block("flag_even_done");
+        comp_a.jmp(loop);
+        comp_a.to(loop);
+        ir::Reg ua = comp_a.iconst(3);
+        ir::BlockId wloopa = comp_a.block("block_work");
+        ir::BlockId wdonea = comp_a.block("block_work_done");
+        comp_a.jmp(wloopa);
+        comp_a.to(wloopa);
+        ir::Reg wv = comp_a.load(work_a);
+        comp_a.store(work_a, I(0), R(comp_a.bin(K::Add, R(wv), I(1))));
+        comp_a.binInto(ua, K::Sub, R(ua), I(1));
+        comp_a.br(R(comp_a.bin(K::Sgt, R(ua), I(0))), wloopa, wdonea);
+        comp_a.to(wdonea);
+        comp_a.store(flags, R(i), I(1)); // racing writes (13 cells)
+        comp_a.binInto(i, K::Add, R(i), I(2));
+        comp_a.br(R(comp_a.bin(K::Slt, R(i), I(kBlocks))), loop, next);
+        comp_a.to(next);
+    }
+    {
+        ir::GlobalId work_b = pb.global("compress_work_b");
+        ir::Reg i = comp_b.iconst(1);
+        ir::BlockId loop = comp_b.block("flag_odd");
+        ir::BlockId next = comp_b.block("flag_odd_done");
+        comp_b.jmp(loop);
+        comp_b.to(loop);
+        ir::Reg ub = comp_b.iconst(3);
+        ir::BlockId wloopb = comp_b.block("block_work");
+        ir::BlockId wdoneb = comp_b.block("block_work_done");
+        comp_b.jmp(wloopb);
+        comp_b.to(wloopb);
+        ir::Reg wv = comp_b.load(work_b);
+        comp_b.store(work_b, I(0), R(comp_b.bin(K::Add, R(wv), I(1))));
+        comp_b.binInto(ub, K::Sub, R(ub), I(1));
+        comp_b.br(R(comp_b.bin(K::Sgt, R(ub), I(0))), wloopb, wdoneb);
+        comp_b.to(wdoneb);
+        comp_b.store(flags, R(i), I(1)); // racing writes (12 cells)
+        comp_b.binInto(i, K::Add, R(i), I(2));
+        comp_b.br(R(comp_b.bin(K::Slt, R(i), I(kBlocks))), loop, next);
+        comp_b.to(next);
+    }
+    for (int i = 0; i < kBlocks; ++i) {
+        ExpectedRace r;
+        r.cell = "block_ready[" + std::to_string(i) + "]";
+        r.truth = core::RaceClass::SingleOrdering;
+        r.portend_expected = core::RaceClass::SingleOrdering;
+        r.required_level = 1;
+        w.expected.push_back(r);
+    }
+
+    // ---- Writer: spin on every block flag in order (Fig. 8d),
+    // then one padding pass to lift the instance count.
+    {
+        ir::Reg i = writer.iconst(0);
+        ir::BlockId outer = writer.block("wait_outer");
+        ir::BlockId spin = writer.block("wait_spin");
+        ir::BlockId done = writer.block("wait_done");
+        writer.jmp(outer);
+        writer.to(outer);
+        ir::Reg more = writer.bin(K::Slt, R(i), I(kBlocks));
+        writer.br(R(more), spin, done);
+        writer.to(spin);
+        writer.line(1195);
+        ir::Reg f = writer.load(flags, R(i)); // racing reads
+        ir::BlockId advance = writer.block("wait_adv");
+        writer.br(R(f), advance, spin);
+        writer.to(advance);
+        writer.binInto(i, K::Add, R(i), I(1));
+        writer.jmp(outer);
+        writer.to(done);
+    }
+
+    // ---- Late crash producers.
+    emitDelay(pb, reader, "rd", 14);
+    {
+        // Reader bumps the output-buffer index past the end.
+        reader.line(389);
+        ir::Reg v = reader.load(obuf_idx);
+        reader.store(obuf_idx, I(0),
+                     R(reader.bin(K::Add, R(v), I(1))));
+    }
+    emitDelay(pb, comp_b, "cb", 10);
+    comp_b.store(chunk_div, I(0), I(0)); // racing transient zero
+    {
+        ir::Reg v = comp_b.load(dbuf_idx);
+        comp_b.store(dbuf_idx, I(0),
+                     R(comp_b.bin(K::Add, R(v), I(1))));
+    }
+
+    reader.retVoid();
+    comp_a.retVoid();
+    comp_b.retVoid();
+    writer.retVoid();
+
+    auto &m0 = pb.function("main", 0);
+    m0.file("pbzip2.cpp").line(2133);
+    m0.to(m0.block("entry"));
+    ir::Reg verbose = m0.input("verbose", 0, 1);
+    m0.store(cfg_verbose, I(0), R(verbose));
+    ir::Reg t1 = m0.threadCreate("fileReader", I(0));
+    ir::Reg t2 = m0.threadCreate("consumer_a", I(0));
+    ir::Reg t3 = m0.threadCreate("consumer_b", I(0));
+    ir::Reg t4 = m0.threadCreate("fileWriter", I(0));
+    m0.threadJoin(R(t1));
+    m0.threadJoin(R(t2));
+    m0.threadJoin(R(t3));
+    m0.threadJoin(R(t4));
+    m0.outputStr("pbzip2:done");
+    m0.halt();
+
+    w.program = pb.build();
+    return w;
+}
+
+} // namespace portend::workloads

@@ -1,0 +1,65 @@
+#include "workloads/registry.h"
+
+#include "support/logging.h"
+
+namespace portend::workloads {
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"sqlite", "ocean",  "fmm",  "memcached", "pbzip2",
+            "ctrace", "bbuf",   "avv",  "dcl",       "dbm",
+            "rw"};
+}
+
+Workload
+buildWorkload(const std::string &name)
+{
+    if (name == "sqlite")
+        return buildSqlite();
+    if (name == "ocean")
+        return buildOcean();
+    if (name == "fmm")
+        return buildFmm();
+    if (name == "memcached")
+        return buildMemcached();
+    if (name == "memcached-whatif")
+        return buildMemcached(true);
+    if (name == "pbzip2")
+        return buildPbzip2();
+    if (name == "ctrace")
+        return buildCtrace();
+    if (name == "bbuf")
+        return buildBbuf();
+    if (name == "avv")
+        return buildMicroAvv();
+    if (name == "dcl")
+        return buildMicroDcl();
+    if (name == "dbm")
+        return buildMicroDbm();
+    if (name == "rw")
+        return buildMicroRw();
+    PORTEND_FATAL("unknown workload '", name, "'");
+}
+
+std::vector<Workload>
+buildAllWorkloads()
+{
+    std::vector<Workload> out;
+    for (const auto &n : workloadNames())
+        out.push_back(buildWorkload(n));
+    return out;
+}
+
+std::vector<Workload>
+buildRealApplications()
+{
+    std::vector<Workload> out;
+    for (const auto &n : {"sqlite", "ocean", "fmm", "memcached",
+                          "pbzip2", "ctrace", "bbuf"}) {
+        out.push_back(buildWorkload(n));
+    }
+    return out;
+}
+
+} // namespace portend::workloads

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Workload registry: build the paper's benchmark suite by name.
+ */
+
+#ifndef PORTEND_WORKLOADS_REGISTRY_H
+#define PORTEND_WORKLOADS_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace portend::workloads {
+
+/** Short names accepted by buildWorkload, in Table 1 order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Build one workload by short name ("sqlite", "ocean", "fmm",
+ * "memcached", "pbzip2", "ctrace", "bbuf", "avv", "dcl", "dbm",
+ * "rw"); fatal on unknown names.
+ */
+Workload buildWorkload(const std::string &name);
+
+/** Build the full 11-program suite (Table 1 order). */
+std::vector<Workload> buildAllWorkloads();
+
+/** The seven real applications only. */
+std::vector<Workload> buildRealApplications();
+
+} // namespace portend::workloads
+
+#endif // PORTEND_WORKLOADS_REGISTRY_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * SQLite 3.3.0 model.
+ *
+ * Table 1: 113,326 LOC of C, 2 forked threads. Table 2/3: exactly
+ * one distinct race, a "spec violated" deadlock. The modeled bug is
+ * the classic lost-wakeup: a waiter checks a `ready` flag (written
+ * by the setter without holding the lock — the race) and then
+ * blocks on a condition variable; if the setter's store+signal land
+ * between the check and the wait, the signal is lost and the system
+ * deadlocks. The primary execution is clean; Portend's alternate
+ * ordering plus post-race scheduling exposes the deadlock.
+ */
+
+#include "workloads/patterns.h"
+
+using portend::ir::I;
+using portend::ir::R;
+using K = portend::sym::ExprKind;
+
+namespace portend::workloads {
+
+Workload
+buildSqlite()
+{
+    ir::ProgramBuilder pb("sqlite");
+    ir::GlobalId ready = pb.global("db_ready");
+    ir::GlobalId warmup = pb.global("waiter_warmup");
+    ir::SyncId m = pb.mutex("db_mutex");
+    ir::SyncId cv = pb.cond("db_cond");
+
+    // Waiter: warm-up work delays the check so the primary run sees
+    // the setter's store first (and reads ready == 1, skipping the
+    // wait entirely).
+    auto &waiter = pb.function("db_waiter", 1);
+    waiter.file("sqlite/btree.c").line(2210);
+    waiter.to(waiter.block("entry"));
+    {
+        ir::Reg i = waiter.iconst(8);
+        ir::BlockId loop = waiter.block("warmup");
+        ir::BlockId next = waiter.block("check");
+        waiter.jmp(loop);
+        waiter.to(loop);
+        ir::Reg v = waiter.load(warmup);
+        waiter.store(warmup, I(0), R(waiter.bin(K::Add, R(v), I(1))));
+        waiter.binInto(i, K::Sub, R(i), I(1));
+        waiter.br(R(waiter.bin(K::Sgt, R(i), I(0))), loop, next);
+        waiter.to(next);
+    }
+    waiter.line(2224);
+    waiter.lock(m);
+    ir::Reg r = waiter.load(ready); // racing read (no lock on writer)
+    ir::BlockId wait_b = waiter.block("wait");
+    ir::BlockId go_b = waiter.block("go");
+    waiter.br(R(r), go_b, wait_b);
+    waiter.to(wait_b);
+    waiter.line(2227);
+    waiter.condWait(cv, m); // buggy: `if`, not `while`
+    waiter.jmp(go_b);
+    waiter.to(go_b);
+    waiter.unlock(m);
+    waiter.outputStr("waiter:proceeding");
+    waiter.retVoid();
+
+    // Setter: publishes readiness without taking the lock (the bug)
+    // and signals.
+    auto &setter = pb.function("db_setter", 1);
+    setter.file("sqlite/btree.c").line(1893);
+    setter.to(setter.block("entry"));
+    setter.store(ready, I(0), I(1)); // racing write
+    setter.condSignal(cv);
+    setter.retVoid();
+
+    auto &m0 = pb.function("main", 0);
+    m0.file("sqlite/shell.c").line(88);
+    m0.to(m0.block("entry"));
+    ir::Reg t1 = m0.threadCreate("db_waiter", I(0));
+    ir::Reg t2 = m0.threadCreate("db_setter", I(0));
+    m0.threadJoin(R(t1));
+    m0.threadJoin(R(t2));
+    m0.outputStr("sqlite:done");
+    m0.halt();
+
+    Workload w;
+    w.name = "SQLite 3.3.0";
+    w.language = "C";
+    w.paper_loc = 113326;
+    w.forked_threads = 2;
+    w.paper_instances = 1;
+    ExpectedRace race;
+    race.cell = "db_ready";
+    race.truth = core::RaceClass::SpecViolated;
+    race.viol = core::ViolationKind::Deadlock;
+    race.portend_expected = core::RaceClass::SpecViolated;
+    race.required_level = 0;
+    w.expected.push_back(race);
+    w.program = pb.build();
+    return w;
+}
+
+} // namespace portend::workloads

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Workload models and their ground truth.
+ *
+ * The paper evaluates Portend on 7 real applications and 4
+ * microbenchmarks (Table 1). The binaries and inputs are not
+ * available offline, so each is modeled as a PIL program that
+ * reproduces the application's *documented race population*: the
+ * same number of distinct races, the same classification ground
+ * truth per race (Table 3), the same technique requirements
+ * (Fig. 7: which races need multi-path / multi-schedule analysis),
+ * and the same bug anecdotes (the ctrace Fig. 4 overflow, the fmm
+ * negative timestamp, the SQLite lost-wakeup deadlock, the
+ * memcached what-if experiment).
+ */
+
+#ifndef PORTEND_WORKLOADS_WORKLOAD_H
+#define PORTEND_WORKLOADS_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "portend/analyzer.h"
+#include "portend/classify.h"
+
+namespace portend::workloads {
+
+/** Manually established truth for one distinct race. */
+struct ExpectedRace
+{
+    /** Cell the race is on (matched against Program::cellName). */
+    std::string cell;
+
+    /** Ground-truth class. */
+    core::RaceClass truth = core::RaceClass::KWitnessHarmless;
+
+    /** Violation kind for spec-violated ground truth. */
+    core::ViolationKind viol = core::ViolationKind::None;
+
+    /**
+     * The class Portend is expected to report. Differs from `truth`
+     * only for the deliberately reproduced ocean miss (paper §5.4:
+     * one "output differs" race needs an input combination
+     * multi-path search cannot find, so Portend says "k-witness").
+     */
+    core::RaceClass portend_expected =
+        core::RaceClass::KWitnessHarmless;
+
+    /** Weakest analysis level that classifies this race correctly
+     *  (drives Fig. 7): 0 single-path, 1 +ad-hoc detection,
+     *  2 +multi-path, 3 +multi-schedule. */
+    int required_level = 0;
+};
+
+/** One benchmark program with metadata and ground truth. */
+struct Workload
+{
+    std::string name;        ///< paper name ("pbzip2 2.1.1", ...)
+    std::string language;    ///< Table 1 language column
+    int paper_loc = 0;       ///< Table 1 LOC (for reference)
+    int forked_threads = 0;  ///< Table 1 forked-thread count
+
+    ir::Program program;
+
+    /** Ground truth, one entry per distinct race. */
+    std::vector<ExpectedRace> expected;
+
+    /** Table 3 instance count to reproduce. */
+    int paper_instances = 0;
+
+    /** Semantic predicates (fmm timestamp check; Table 2). */
+    std::vector<core::SemanticPredicate> semantic_predicates;
+};
+
+/** @name Model constructors (one per paper workload)
+ * @{
+ */
+Workload buildSqlite();
+Workload buildOcean();
+Workload buildFmm();
+Workload buildMemcached(bool whatif_remove_sync = false);
+Workload buildPbzip2();
+Workload buildCtrace();
+Workload buildBbuf();
+Workload buildMicroAvv();
+Workload buildMicroDcl();
+Workload buildMicroDbm();
+Workload buildMicroRw();
+/** @} */
+
+} // namespace portend::workloads
+
+#endif // PORTEND_WORKLOADS_WORKLOAD_H

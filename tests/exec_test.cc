@@ -1,0 +1,146 @@
+/** @file Tests for the multi-path symbolic explorer. */
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "ir/builder.h"
+
+namespace portend::exec {
+namespace {
+
+using ir::I;
+using ir::R;
+using K = sym::ExprKind;
+
+/** One input, three-way branch structure -> three feasible paths. */
+ir::Program
+branchyProgram()
+{
+    ir::ProgramBuilder pb("branchy");
+    auto &m = pb.function("main", 0);
+    ir::BlockId e = m.block("entry");
+    ir::BlockId lo = m.block("lo");
+    ir::BlockId midhi = m.block("midhi");
+    ir::BlockId mid = m.block("mid");
+    ir::BlockId hi = m.block("hi");
+    m.to(e);
+    ir::Reg x = m.input("x", 0, 9);
+    m.br(R(m.bin(K::Slt, R(x), I(3))), lo, midhi);
+    m.to(lo);
+    m.output("bucket", I(0));
+    m.halt();
+    m.to(midhi);
+    m.br(R(m.bin(K::Slt, R(x), I(7))), mid, hi);
+    m.to(mid);
+    m.output("bucket", I(1));
+    m.halt();
+    m.to(hi);
+    m.output("bucket", I(2));
+    m.halt();
+    return pb.build();
+}
+
+TEST(ExecutorTest, ExploresAllFeasiblePaths)
+{
+    ir::Program p = branchyProgram();
+    rt::ExecOptions eo;
+    eo.input_mode = rt::InputMode::Symbolic;
+    rt::Interpreter interp(p, eo);
+    Executor ex(ExecutorOptions{});
+    auto paths = ex.explore(
+        interp, [] { return std::make_unique<rt::FifoPolicy>(); },
+        [](const rt::VmState &) { return true; });
+    ASSERT_EQ(paths.size(), 3u);
+
+    // Each path's model must drive its own bucket when evaluated.
+    std::set<std::int64_t> buckets;
+    for (const auto &pr : paths) {
+        ASSERT_EQ(pr.state.output.size(), 1u);
+        buckets.insert(pr.state.output.records[0].value->constValue());
+        // Model satisfies the path condition.
+        for (const auto &c : pr.state.path.constraints())
+            EXPECT_NE(c->evaluate(pr.model), 0);
+    }
+    EXPECT_EQ(buckets, (std::set<std::int64_t>{0, 1, 2}));
+}
+
+TEST(ExecutorTest, MaxPathsBoundsExploration)
+{
+    ir::Program p = branchyProgram();
+    rt::ExecOptions eo;
+    eo.input_mode = rt::InputMode::Symbolic;
+    rt::Interpreter interp(p, eo);
+    ExecutorOptions xo;
+    xo.max_paths = 2;
+    Executor ex(xo);
+    auto paths = ex.explore(
+        interp, [] { return std::make_unique<rt::FifoPolicy>(); },
+        [](const rt::VmState &) { return true; });
+    EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(ExecutorTest, AcceptFilterPrunes)
+{
+    ir::Program p = branchyProgram();
+    rt::ExecOptions eo;
+    eo.input_mode = rt::InputMode::Symbolic;
+    rt::Interpreter interp(p, eo);
+    Executor ex(ExecutorOptions{});
+    auto paths = ex.explore(
+        interp, [] { return std::make_unique<rt::FifoPolicy>(); },
+        [](const rt::VmState &s) {
+            return !s.output.records.empty() &&
+                   s.output.records[0].value->constValue() == 2;
+        });
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0].model.lookup(0) >= 7, true);
+}
+
+TEST(ExecutorTest, SymbolicBoundsForkCrashPath)
+{
+    // Symbolic index: in-bounds and out-of-bounds paths both exist.
+    ir::ProgramBuilder pb("symidx");
+    ir::GlobalId arr = pb.global("arr", 4);
+    auto &m = pb.function("main", 0);
+    m.to(m.block("entry"));
+    ir::Reg x = m.input("i", 0, 8); // may exceed the array
+    m.store(arr, R(x), I(1));
+    m.outputStr("ok");
+    m.halt();
+    ir::Program p = pb.build();
+
+    rt::ExecOptions eo;
+    eo.input_mode = rt::InputMode::Symbolic;
+    rt::Interpreter interp(p, eo);
+    Executor ex(ExecutorOptions{});
+    auto paths = ex.explore(
+        interp, [] { return std::make_unique<rt::FifoPolicy>(); },
+        [](const rt::VmState &) { return true; });
+    bool crashed = false, survived = false;
+    for (const auto &pr : paths) {
+        if (pr.state.outcome == rt::RunOutcome::CrashOob) {
+            crashed = true;
+            EXPECT_GE(pr.model.lookup(0), 4);
+        }
+        if (pr.state.outcome == rt::RunOutcome::Exited) {
+            survived = true;
+            EXPECT_LT(pr.model.lookup(0), 4);
+        }
+    }
+    EXPECT_TRUE(crashed);
+    EXPECT_TRUE(survived);
+}
+
+TEST(ExecutorTest, CompleteModelFillsDomainDefaults)
+{
+    sym::ExprPtr x = sym::Expr::symbol("x", 0, sym::Width::I64, 5, 9);
+    sym::Model m;
+    completeModel(x, m);
+    EXPECT_EQ(m.lookup(0), 5);
+    m.values[0] = 7;
+    completeModel(x, m);
+    EXPECT_EQ(m.lookup(0), 7); // existing bindings kept
+}
+
+} // namespace
+} // namespace portend::exec

@@ -1,0 +1,288 @@
+/** @file End-to-end tests for the Portend classifier. */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "portend/outputcmp.h"
+#include "portend/portend.h"
+
+namespace portend::core {
+namespace {
+
+using ir::I;
+using ir::R;
+using K = sym::ExprKind;
+
+ir::Program
+outputDiffersProgram()
+{
+    ir::ProgramBuilder pb("outdiff");
+    ir::GlobalId g = pb.global("counter");
+    auto &w = pb.function("worker", 1);
+    w.to(w.block("e"));
+    ir::Reg v = w.load(g);
+    w.store(g, I(0), R(w.bin(K::Add, R(v), I(1))));
+    w.retVoid();
+    auto &f = pb.function("main", 0);
+    f.to(f.block("e"));
+    ir::Reg t1 = f.threadCreate("worker", I(0));
+    ir::Reg v0 = f.load(g);
+    f.output("snapshot", R(v0));
+    f.threadJoin(R(t1));
+    f.halt();
+    return pb.build();
+}
+
+ir::Program
+redundantWriteProgram()
+{
+    ir::ProgramBuilder pb("redundant");
+    ir::GlobalId g = pb.global("flag");
+    auto &w = pb.function("worker", 1);
+    w.to(w.block("e"));
+    w.store(g, I(0), I(7));
+    w.retVoid();
+    auto &f = pb.function("main", 0);
+    f.to(f.block("e"));
+    ir::Reg t1 = f.threadCreate("worker", I(0));
+    f.store(g, I(0), I(7));
+    f.threadJoin(R(t1));
+    f.halt();
+    return pb.build();
+}
+
+ir::Program
+adhocSyncProgram()
+{
+    ir::ProgramBuilder pb("adhoc");
+    ir::GlobalId flag = pb.global("done");
+    auto &w = pb.function("producer", 1);
+    w.to(w.block("e"));
+    w.store(flag, I(0), I(1));
+    w.retVoid();
+    auto &f = pb.function("main", 0);
+    ir::BlockId e = f.block("e");
+    ir::BlockId spin = f.block("spin");
+    ir::BlockId done = f.block("done");
+    f.to(e);
+    f.threadCreate("producer", I(0));
+    f.jmp(spin);
+    f.to(spin);
+    ir::Reg fl = f.load(flag);
+    f.br(R(fl), done, spin);
+    f.to(done);
+    f.halt();
+    return pb.build();
+}
+
+ir::Program
+crashProgram()
+{
+    ir::ProgramBuilder pb("crash");
+    ir::GlobalId idx = pb.global("idx", 1, {3});
+    ir::GlobalId arr = pb.global("arr", 4);
+    auto &w = pb.function("bumper", 1);
+    w.to(w.block("e"));
+    ir::Reg v = w.load(idx);
+    w.store(idx, I(0), R(w.bin(K::Add, R(v), I(1))));
+    w.retVoid();
+    auto &f = pb.function("main", 0);
+    f.to(f.block("e"));
+    ir::Reg t1 = f.threadCreate("bumper", I(0));
+    ir::Reg i = f.load(idx);
+    f.store(arr, R(i), I(9));
+    f.threadJoin(R(t1));
+    f.halt();
+    return pb.build();
+}
+
+Classification
+classifyOnly(const ir::Program &p, PortendOptions opts = {})
+{
+    Portend tool(p, opts);
+    PortendResult res = tool.run();
+    EXPECT_EQ(res.reports.size(), 1u) << p.name;
+    if (res.reports.empty())
+        return {};
+    return res.reports[0].classification;
+}
+
+TEST(PortendTest, OutputDiffersDetected)
+{
+    Classification c = classifyOnly(outputDiffersProgram());
+    EXPECT_EQ(c.cls, RaceClass::OutputDiffers);
+    EXPECT_FALSE(c.output_diff.empty());
+    EXPECT_TRUE(c.evidence_alternate);
+}
+
+TEST(PortendTest, RedundantWriteIsKWitness)
+{
+    Classification c = classifyOnly(redundantWriteProgram());
+    EXPECT_EQ(c.cls, RaceClass::KWitnessHarmless);
+    EXPECT_GE(c.k, 1);
+    EXPECT_FALSE(c.states_differ); // same value written both orders
+}
+
+TEST(PortendTest, SpinFlagIsSingleOrdering)
+{
+    Classification c = classifyOnly(adhocSyncProgram());
+    EXPECT_EQ(c.cls, RaceClass::SingleOrdering);
+}
+
+TEST(PortendTest, IndexOverflowIsSpecViolated)
+{
+    Classification c = classifyOnly(crashProgram());
+    EXPECT_EQ(c.cls, RaceClass::SpecViolated);
+    EXPECT_EQ(c.viol, ViolationKind::Crash);
+    EXPECT_NE(c.detail.find("out of bounds"), std::string::npos);
+}
+
+TEST(PortendTest, AdhocDetectionOffTurnsSingleOrderingHarmful)
+{
+    // Fig. 7's "single-path" configuration conservatively reports
+    // unenforceable alternates as harmful, like [45].
+    PortendOptions opts;
+    opts.adhoc_detection = false;
+    opts.multi_path = false;
+    opts.multi_schedule = false;
+    Classification c = classifyOnly(adhocSyncProgram(), opts);
+    EXPECT_EQ(c.cls, RaceClass::SpecViolated);
+    EXPECT_EQ(c.viol, ViolationKind::ReplayFailure);
+}
+
+TEST(PortendTest, KGrowsWithDials)
+{
+    PortendOptions small;
+    small.mp = 1;
+    small.ma = 1;
+    Classification c1 = classifyOnly(redundantWriteProgram(), small);
+    PortendOptions big;
+    big.mp = 5;
+    big.ma = 3;
+    Classification c2 = classifyOnly(redundantWriteProgram(), big);
+    EXPECT_LE(c1.k, c2.k);
+}
+
+TEST(PortendTest, FormatReportMentionsEverything)
+{
+    ir::Program p = crashProgram();
+    Portend tool(p, PortendOptions{});
+    PortendResult res = tool.run();
+    ASSERT_EQ(res.reports.size(), 1u);
+    std::string text = formatReport(p, res.reports[0]);
+    EXPECT_NE(text.find("Data race during access to: idx"),
+              std::string::npos);
+    EXPECT_NE(text.find("spec violated"), std::string::npos);
+    EXPECT_NE(text.find("evidence"), std::string::npos);
+}
+
+TEST(PortendTest, ByClassFilters)
+{
+    ir::Program p = crashProgram();
+    Portend tool(p, PortendOptions{});
+    PortendResult res = tool.run();
+    EXPECT_EQ(res.byClass(RaceClass::SpecViolated).size(), 1u);
+    EXPECT_TRUE(res.byClass(RaceClass::OutputDiffers).empty());
+}
+
+TEST(OutputCmpTest, ConcreteComparison)
+{
+    rt::OutputLog a, b;
+    rt::OutputRecord r;
+    r.label = "x";
+    r.tid = 0;
+    r.value = sym::mkConst(1);
+    a.append(r);
+    b.append(r);
+    EXPECT_TRUE(compareConcreteOutputs(a, b).match);
+    rt::OutputRecord r2 = r;
+    r2.value = sym::mkConst(2);
+    b.append(r2);
+    EXPECT_FALSE(compareConcreteOutputs(a, b).match);
+}
+
+TEST(OutputCmpTest, SymbolicComparisonUsesConstraints)
+{
+    sym::ExprPtr x = sym::Expr::symbol("x", 0, sym::Width::I64, 0, 9);
+    rt::OutputLog primary, alternate;
+    rt::OutputRecord rp;
+    rp.label = "v";
+    rp.tid = 0;
+    rp.value = sym::mkAdd(x, sym::mkConst(1));
+    primary.append(rp);
+    rt::OutputRecord ra;
+    ra.label = "v";
+    ra.tid = 0;
+    ra.value = sym::mkConst(5);
+    alternate.append(ra);
+
+    sym::Solver solver;
+    // Under x < 9 the concrete 5 is admissible (x = 4).
+    std::vector<sym::ExprPtr> pc{sym::mkSlt(x, sym::mkConst(9))};
+    EXPECT_TRUE(
+        compareSymbolicOutputs(primary, pc, alternate, solver).match);
+    // Under x > 7 it is not (x + 1 >= 9 > 5).
+    std::vector<sym::ExprPtr> pc2{sym::mkSlt(sym::mkConst(7), x)};
+    EXPECT_FALSE(
+        compareSymbolicOutputs(primary, pc2, alternate, solver).match);
+}
+
+TEST(OutputCmpTest, PerThreadInterleavingIgnored)
+{
+    // Cross-thread interleaving differences are scheduler noise;
+    // per-thread sequences decide equivalence.
+    rt::OutputLog a, b;
+    rt::OutputRecord t0;
+    t0.label = "zero";
+    t0.tid = 0;
+    rt::OutputRecord t1;
+    t1.label = "one";
+    t1.tid = 1;
+    a.append(t0);
+    a.append(t1);
+    b.append(t1);
+    b.append(t0);
+    EXPECT_TRUE(compareConcreteOutputs(a, b).match);
+}
+
+} // namespace
+} // namespace portend::core
+
+namespace portend::core {
+namespace {
+
+TEST(EvidenceReplayTest, CrashEvidenceReproduces)
+{
+    ir::Program p = crashProgram();
+    Portend tool(p, PortendOptions{});
+    DetectionResult det = tool.detect();
+    ASSERT_EQ(det.clusters.size(), 1u);
+    RaceAnalyzer analyzer(p, PortendOptions{});
+    Classification verdict = analyzer.classify(
+        det.clusters[0].representative, det.trace);
+    ASSERT_EQ(verdict.cls, RaceClass::SpecViolated);
+
+    // Replaying the evidence deterministically reproduces the crash.
+    RaceAnalyzer::EvidenceReplay replay = analyzer.replayEvidence(
+        det.clusters[0].representative, det.trace, verdict);
+    EXPECT_TRUE(rt::isSpecViolation(replay.outcome))
+        << rt::runOutcomeName(replay.outcome) << ": " << replay.detail;
+}
+
+TEST(EvidenceReplayTest, HarmlessEvidenceCompletes)
+{
+    ir::Program p = redundantWriteProgram();
+    Portend tool(p, PortendOptions{});
+    DetectionResult det = tool.detect();
+    ASSERT_EQ(det.clusters.size(), 1u);
+    RaceAnalyzer analyzer(p, PortendOptions{});
+    Classification verdict = analyzer.classify(
+        det.clusters[0].representative, det.trace);
+    ASSERT_EQ(verdict.cls, RaceClass::KWitnessHarmless);
+    RaceAnalyzer::EvidenceReplay replay = analyzer.replayEvidence(
+        det.clusters[0].representative, det.trace, verdict);
+    EXPECT_EQ(replay.outcome, rt::RunOutcome::Exited);
+}
+
+} // namespace
+} // namespace portend::core

@@ -1,0 +1,305 @@
+/** @file Tests for vector clocks and the race detectors. */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "race/hb.h"
+#include "race/lockset.h"
+#include "race/vclock.h"
+#include "rt/interpreter.h"
+#include "support/rng.h"
+
+namespace portend::race {
+namespace {
+
+using ir::I;
+using ir::R;
+using K = sym::ExprKind;
+
+TEST(VClockTest, TickAndGet)
+{
+    VectorClock c;
+    EXPECT_EQ(c.get(3), 0u);
+    c.tick(3);
+    c.tick(3);
+    EXPECT_EQ(c.get(3), 2u);
+}
+
+TEST(VClockTest, JoinIsPointwiseMax)
+{
+    VectorClock a, b;
+    a.set(0, 5);
+    a.set(1, 1);
+    b.set(1, 7);
+    a.join(b);
+    EXPECT_EQ(a.get(0), 5u);
+    EXPECT_EQ(a.get(1), 7u);
+}
+
+TEST(VClockTest, OrderingLaws)
+{
+    VectorClock a, b;
+    a.set(0, 1);
+    b.set(0, 2);
+    b.set(1, 1);
+    EXPECT_TRUE(a.lessOrEqual(b));
+    EXPECT_FALSE(b.lessOrEqual(a));
+    // Incomparable pair.
+    VectorClock c, d;
+    c.set(0, 2);
+    d.set(1, 2);
+    EXPECT_FALSE(c.lessOrEqual(d));
+    EXPECT_FALSE(d.lessOrEqual(c));
+}
+
+/** Property: join is a least upper bound (lattice laws). */
+class VClockLattice : public ::testing::TestWithParam<int>
+{
+  protected:
+    VectorClock
+    randomClock(Rng &rng)
+    {
+        VectorClock c;
+        for (int t = 0; t < 4; ++t)
+            c.set(t, rng.below(6));
+        return c;
+    }
+};
+
+TEST_P(VClockLattice, JoinIsLub)
+{
+    Rng rng(GetParam() * 997 + 3);
+    for (int i = 0; i < 100; ++i) {
+        VectorClock a = randomClock(rng);
+        VectorClock b = randomClock(rng);
+        VectorClock j = a;
+        j.join(b);
+        EXPECT_TRUE(a.lessOrEqual(j));
+        EXPECT_TRUE(b.lessOrEqual(j));
+        // Idempotent and commutative.
+        VectorClock j2 = b;
+        j2.join(a);
+        EXPECT_TRUE(j == j2);
+        VectorClock j3 = j;
+        j3.join(j);
+        EXPECT_TRUE(j3 == j);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VClockLattice, ::testing::Range(0, 6));
+
+namespace {
+
+/** Two-thread unsynchronized counter increment. */
+ir::Program
+racyProgram(bool with_lock)
+{
+    ir::ProgramBuilder pb(with_lock ? "locked" : "racy");
+    ir::GlobalId g = pb.global("counter");
+    ir::SyncId m = pb.mutex("l");
+    auto &w = pb.function("w", 1);
+    w.to(w.block("entry"));
+    if (with_lock)
+        w.lock(m);
+    ir::Reg v = w.load(g);
+    w.store(g, I(0), R(w.bin(K::Add, R(v), I(1))));
+    if (with_lock)
+        w.unlock(m);
+    w.retVoid();
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    ir::Reg t1 = mn.threadCreate("w", I(0));
+    ir::Reg t2 = mn.threadCreate("w", I(0));
+    mn.threadJoin(R(t1));
+    mn.threadJoin(R(t2));
+    mn.halt();
+    return pb.build();
+}
+
+std::vector<RaceReport>
+detect(const ir::Program &p, HbOptions opts = {})
+{
+    rt::ExecOptions eo;
+    eo.preempt_on_memory = true;
+    rt::Interpreter interp(p, eo);
+    rt::RotatePolicy rot;
+    interp.setPolicy(&rot);
+    HbDetector hb(p, opts);
+    interp.addSink(&hb);
+    EXPECT_EQ(interp.run(), rt::RunOutcome::Exited);
+    return hb.races();
+}
+
+} // namespace
+
+TEST(HbDetectorTest, ReportsUnsynchronizedConflicts)
+{
+    auto races = detect(racyProgram(false));
+    EXPECT_FALSE(races.empty());
+    for (const auto &r : races) {
+        EXPECT_NE(r.first.tid, r.second.tid);
+        EXPECT_TRUE(r.first.is_write || r.second.is_write);
+    }
+}
+
+TEST(HbDetectorTest, MutexOrderingSuppressesRaces)
+{
+    EXPECT_TRUE(detect(racyProgram(true)).empty());
+}
+
+TEST(HbDetectorTest, IgnoreMutexesReintroducesRaces)
+{
+    // The paper's imperfect-detector experiment (§5.2): removing
+    // mutex awareness turns protected accesses into reports.
+    HbOptions opts;
+    opts.ignore_mutexes = true;
+    EXPECT_FALSE(detect(racyProgram(true), opts).empty());
+}
+
+TEST(HbDetectorTest, ForkJoinEdgesRespected)
+{
+    // Parent writes before create, child reads; join, then parent
+    // reads again: fully ordered, no races.
+    ir::ProgramBuilder pb("forkjoin");
+    ir::GlobalId g = pb.global("x");
+    auto &w = pb.function("w", 1);
+    w.to(w.block("entry"));
+    w.load(g);
+    w.store(g, I(0), I(5));
+    w.retVoid();
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    mn.store(g, I(0), I(1));
+    ir::Reg t = mn.threadCreate("w", I(0));
+    mn.threadJoin(R(t));
+    mn.load(g);
+    mn.halt();
+    EXPECT_TRUE(detect(pb.build()).empty());
+}
+
+TEST(HbDetectorTest, CondSignalCreatesEdge)
+{
+    // The classic handshake: writer sets data, signals; waiter
+    // (already waiting, mutex-protected while-loop) reads data.
+    ir::ProgramBuilder pb("handshake");
+    ir::GlobalId data = pb.global("data");
+    ir::GlobalId ready = pb.global("ready");
+    ir::SyncId m = pb.mutex("l");
+    ir::SyncId cv = pb.cond("cv");
+    auto &waiter = pb.function("waiter", 1);
+    ir::BlockId e = waiter.block("entry");
+    ir::BlockId chk = waiter.block("chk");
+    ir::BlockId wb = waiter.block("wb");
+    ir::BlockId go = waiter.block("go");
+    waiter.to(e);
+    waiter.lock(m);
+    waiter.jmp(chk);
+    waiter.to(chk);
+    ir::Reg r = waiter.load(ready);
+    waiter.br(R(r), go, wb);
+    waiter.to(wb);
+    waiter.condWait(cv, m);
+    waiter.jmp(chk);
+    waiter.to(go);
+    waiter.unlock(m);
+    waiter.load(data); // ordered after the signal via cv + mutex
+    waiter.retVoid();
+    auto &setter = pb.function("setter", 1);
+    setter.to(setter.block("entry"));
+    setter.store(data, I(0), I(9));
+    setter.lock(m);
+    setter.store(ready, I(0), I(1));
+    setter.condSignal(cv);
+    setter.unlock(m);
+    setter.retVoid();
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    ir::Reg t1 = mn.threadCreate("waiter", I(0));
+    ir::Reg t2 = mn.threadCreate("setter", I(0));
+    mn.threadJoin(R(t1));
+    mn.threadJoin(R(t2));
+    mn.halt();
+    EXPECT_TRUE(detect(pb.build()).empty());
+}
+
+TEST(HbDetectorTest, AtomicPairsIgnoredByDefault)
+{
+    ir::ProgramBuilder pb("atomics");
+    ir::GlobalId g = pb.global("stat");
+    auto &w = pb.function("w", 1);
+    w.to(w.block("entry"));
+    w.atomicAdd(g, I(0), I(1));
+    w.retVoid();
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    ir::Reg t1 = mn.threadCreate("w", I(0));
+    ir::Reg t2 = mn.threadCreate("w", I(0));
+    mn.threadJoin(R(t1));
+    mn.threadJoin(R(t2));
+    mn.halt();
+    EXPECT_TRUE(detect(pb.build()).empty());
+}
+
+TEST(ClusterTest, GroupsByCellAndPcs)
+{
+    RaceReport a;
+    a.cell = 3;
+    a.first.pc = 10;
+    a.second.pc = 20;
+    RaceReport b = a; // same static race, later occurrence
+    b.first.occurrence = 2;
+    RaceReport c = a;
+    c.second.pc = 21; // different pc: distinct race
+    auto clusters = clusterRaces({a, b, c});
+    ASSERT_EQ(clusters.size(), 2u);
+    EXPECT_EQ(clusters[0].instances, 2);
+    // Latest occurrence becomes the representative.
+    EXPECT_EQ(clusters[0].representative.first.occurrence, 2u);
+    EXPECT_EQ(clusters[1].instances, 1);
+}
+
+TEST(LocksetTest, ReportsEmptyLocksetAccesses)
+{
+    auto p = racyProgram(false);
+    rt::ExecOptions eo;
+    eo.preempt_on_memory = true;
+    rt::Interpreter interp(p, eo);
+    rt::RotatePolicy rot;
+    interp.setPolicy(&rot);
+    LocksetDetector ls(p);
+    interp.addSink(&ls);
+    interp.run();
+    EXPECT_FALSE(ls.races().empty());
+}
+
+TEST(LocksetTest, FalsePositiveOnForkJoinOrdering)
+{
+    // Lockset ignores fork/join ordering, unlike happens-before:
+    // this is exactly why static-style detectors need Portend.
+    ir::ProgramBuilder pb("fp");
+    ir::GlobalId g = pb.global("x");
+    auto &w = pb.function("w", 1);
+    w.to(w.block("entry"));
+    w.store(g, I(0), I(5));
+    w.retVoid();
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    mn.store(g, I(0), I(1));
+    ir::Reg t = mn.threadCreate("w", I(0));
+    mn.threadJoin(R(t));
+    mn.load(g);
+    mn.halt();
+    auto p = pb.build();
+
+    rt::Interpreter interp(p, rt::ExecOptions{});
+    LocksetDetector ls(p);
+    HbDetector hb(p);
+    interp.addSink(&ls);
+    interp.addSink(&hb);
+    interp.run();
+    EXPECT_FALSE(ls.races().empty()); // lockset: false positive
+    EXPECT_TRUE(hb.races().empty());  // happens-before: clean
+}
+
+} // namespace
+} // namespace portend::race

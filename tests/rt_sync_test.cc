@@ -1,0 +1,247 @@
+/** @file Tests for the POSIX-threads model: mutexes, condition
+ *  variables, barriers, and deadlock detection. */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "rt/interpreter.h"
+
+namespace portend::rt {
+namespace {
+
+using ir::I;
+using ir::R;
+using K = sym::ExprKind;
+
+TEST(SyncTest, MutexExcludesConcurrentIncrements)
+{
+    ir::ProgramBuilder pb("mutex");
+    ir::GlobalId g = pb.global("counter");
+    ir::SyncId m = pb.mutex("l");
+    auto &w = pb.function("inc", 1);
+    w.to(w.block("entry"));
+    ir::Reg i = w.iconst(10);
+    ir::BlockId loop = w.block("loop");
+    ir::BlockId out = w.block("out");
+    w.jmp(loop);
+    w.to(loop);
+    w.lock(m);
+    ir::Reg v = w.load(g);
+    w.store(g, I(0), R(w.bin(K::Add, R(v), I(1))));
+    w.unlock(m);
+    w.binInto(i, K::Sub, R(i), I(1));
+    w.br(R(w.bin(K::Sgt, R(i), I(0))), loop, out);
+    w.to(out);
+    w.retVoid();
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    ir::Reg t1 = mn.threadCreate("inc", I(0));
+    ir::Reg t2 = mn.threadCreate("inc", I(0));
+    mn.threadJoin(R(t1));
+    mn.threadJoin(R(t2));
+    mn.output("counter", R(mn.load(g)));
+    mn.halt();
+    ir::Program p = pb.build();
+
+    // Under an adversarial rotation schedule the lock still keeps
+    // the increments atomic.
+    ExecOptions eo;
+    eo.preempt_on_memory = true;
+    Interpreter interp(p, eo);
+    RotatePolicy rot;
+    interp.setPolicy(&rot);
+    EXPECT_EQ(interp.run(), RunOutcome::Exited);
+    EXPECT_EQ(interp.state().output.records[0].value->constValue(),
+              20);
+}
+
+TEST(SyncTest, RecursiveLockIsDeadlock)
+{
+    ir::ProgramBuilder pb("recursive");
+    ir::SyncId m = pb.mutex("l");
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    mn.lock(m);
+    mn.lock(m);
+    mn.halt();
+    ir::Program p = pb.build();
+    Interpreter interp(p, ExecOptions{});
+    EXPECT_EQ(interp.run(), RunOutcome::Deadlock);
+    EXPECT_NE(interp.state().outcome_detail.find("recursive"),
+              std::string::npos);
+}
+
+TEST(SyncTest, UnlockWithoutOwnershipIsError)
+{
+    ir::ProgramBuilder pb("badunlock");
+    ir::SyncId m = pb.mutex("l");
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    mn.unlock(m);
+    mn.halt();
+    ir::Program p = pb.build();
+    Interpreter interp(p, ExecOptions{});
+    EXPECT_EQ(interp.run(), RunOutcome::AssertFail);
+}
+
+TEST(SyncTest, CrossedLockOrderDeadlocks)
+{
+    ir::ProgramBuilder pb("abba");
+    ir::SyncId a = pb.mutex("a");
+    ir::SyncId b = pb.mutex("b");
+    auto &w1 = pb.function("w1", 1);
+    w1.to(w1.block("entry"));
+    w1.lock(a);
+    w1.yield();
+    w1.lock(b);
+    w1.unlock(b);
+    w1.unlock(a);
+    w1.retVoid();
+    auto &w2 = pb.function("w2", 1);
+    w2.to(w2.block("entry"));
+    w2.lock(b);
+    w2.yield();
+    w2.lock(a);
+    w2.unlock(a);
+    w2.unlock(b);
+    w2.retVoid();
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    ir::Reg t1 = mn.threadCreate("w1", I(0));
+    ir::Reg t2 = mn.threadCreate("w2", I(0));
+    mn.threadJoin(R(t1));
+    mn.threadJoin(R(t2));
+    mn.halt();
+    ir::Program p = pb.build();
+    // Rotation interleaves the acquisitions: classic ABBA deadlock.
+    Interpreter interp(p, ExecOptions{});
+    RotatePolicy rot;
+    interp.setPolicy(&rot);
+    EXPECT_EQ(interp.run(), RunOutcome::Deadlock);
+}
+
+TEST(SyncTest, CondWaitWakesAndReacquires)
+{
+    ir::ProgramBuilder pb("cond2");
+    ir::GlobalId ready = pb.global("ready");
+    ir::SyncId m = pb.mutex("l");
+    ir::SyncId cv = pb.cond("cv");
+
+    auto &waiter = pb.function("waiter", 1);
+    ir::BlockId e = waiter.block("entry");
+    ir::BlockId check = waiter.block("check");
+    ir::BlockId wait_b = waiter.block("wait");
+    ir::BlockId go = waiter.block("go");
+    waiter.to(e);
+    waiter.lock(m);
+    waiter.jmp(check);
+    waiter.to(check);
+    ir::Reg r = waiter.load(ready);
+    waiter.br(R(r), go, wait_b);
+    waiter.to(wait_b);
+    waiter.condWait(cv, m);
+    waiter.jmp(check);
+    waiter.to(go);
+    waiter.unlock(m);
+    waiter.outputStr("woken");
+    waiter.retVoid();
+
+    auto &setter = pb.function("setter", 1);
+    setter.to(setter.block("entry"));
+    setter.lock(m);
+    setter.store(ready, I(0), I(1));
+    setter.condSignal(cv);
+    setter.unlock(m);
+    setter.retVoid();
+
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    ir::Reg t1 = mn.threadCreate("waiter", I(0));
+    ir::Reg t2 = mn.threadCreate("setter", I(0));
+    mn.threadJoin(R(t1));
+    mn.threadJoin(R(t2));
+    mn.halt();
+    ir::Program p = pb.build();
+    Interpreter interp(p, ExecOptions{});
+    EXPECT_EQ(interp.run(), RunOutcome::Exited);
+    ASSERT_EQ(interp.state().output.size(), 1u);
+    EXPECT_EQ(interp.state().output.records[0].label, "woken");
+}
+
+TEST(SyncTest, CondWaitWithoutMutexIsError)
+{
+    ir::ProgramBuilder pb("condbad");
+    ir::SyncId m = pb.mutex("l");
+    ir::SyncId cv = pb.cond("cv");
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    mn.condWait(cv, m); // mutex not held
+    mn.halt();
+    ir::Program p = pb.build();
+    Interpreter interp(p, ExecOptions{});
+    EXPECT_EQ(interp.run(), RunOutcome::AssertFail);
+}
+
+TEST(SyncTest, BarrierReleasesAllTogether)
+{
+    ir::ProgramBuilder pb("barrier");
+    ir::GlobalId before = pb.global("before");
+    ir::SyncId bar = pb.barrier("b", 3);
+    auto &w = pb.function("w", 1);
+    w.to(w.block("entry"));
+    ir::Reg v = w.load(before);
+    w.store(before, I(0), R(w.bin(K::Add, R(v), I(1))));
+    w.barrierWait(bar);
+    // After the barrier every thread must observe all 3 increments.
+    w.assertTrue(R(w.bin(K::Eq, R(w.load(before)), I(3))),
+                 "all arrived");
+    w.retVoid();
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    ir::Reg t1 = mn.threadCreate("w", I(0));
+    ir::Reg t2 = mn.threadCreate("w", I(0));
+    ir::Reg t3 = mn.threadCreate("w", I(0));
+    mn.threadJoin(R(t1));
+    mn.threadJoin(R(t2));
+    mn.threadJoin(R(t3));
+    mn.halt();
+    ir::Program p = pb.build();
+    ExecOptions eo;
+    eo.preempt_on_memory = true;
+    Interpreter interp(p, eo);
+    RotatePolicy rot;
+    interp.setPolicy(&rot);
+    EXPECT_EQ(interp.run(), RunOutcome::Exited);
+}
+
+TEST(SyncTest, LostSignalDeadlocks)
+{
+    // Signal before any waiter: the signal is lost; the waiter
+    // blocks forever and the join deadlocks (the SQLite bug shape).
+    ir::ProgramBuilder pb("lost");
+    ir::SyncId m = pb.mutex("l");
+    ir::SyncId cv = pb.cond("cv");
+    auto &sig = pb.function("sig", 1);
+    sig.to(sig.block("entry"));
+    sig.condSignal(cv);
+    sig.retVoid();
+    auto &waiter = pb.function("waiter", 1);
+    waiter.to(waiter.block("entry"));
+    waiter.lock(m);
+    waiter.condWait(cv, m);
+    waiter.unlock(m);
+    waiter.retVoid();
+    auto &mn = pb.function("main", 0);
+    mn.to(mn.block("entry"));
+    ir::Reg t1 = mn.threadCreate("sig", I(0));
+    mn.threadJoin(R(t1)); // signal definitely fires first
+    ir::Reg t2 = mn.threadCreate("waiter", I(0));
+    mn.threadJoin(R(t2));
+    mn.halt();
+    ir::Program p = pb.build();
+    Interpreter interp(p, ExecOptions{});
+    EXPECT_EQ(interp.run(), RunOutcome::Deadlock);
+}
+
+} // namespace
+} // namespace portend::rt

@@ -1,0 +1,118 @@
+/** @file Unit tests for the support utilities. */
+
+#include <gtest/gtest.h>
+
+#include "support/hash.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/str.h"
+
+namespace portend {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(42), c2(43);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo = saw_lo || v == -2;
+        saw_hi = saw_hi || v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+    EXPECT_EQ(r.range(5, 5), 5);
+    EXPECT_EQ(r.range(5, 1), 5); // degenerate range collapses to lo
+}
+
+TEST(HashTest, Fnv1aMatchesKnownVector)
+{
+    // FNV-1a of the empty string is the offset basis.
+    EXPECT_EQ(fnv1a(std::string("")), kFnvOffset);
+    EXPECT_NE(fnv1a(std::string("a")), fnv1a(std::string("b")));
+}
+
+TEST(HashTest, ChainOrderSensitive)
+{
+    HashChain a, b;
+    a.append("x");
+    a.append("y");
+    b.append("y");
+    b.append("x");
+    EXPECT_NE(a.digest(), b.digest());
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(HashTest, ChainEquality)
+{
+    HashChain a, b;
+    for (std::uint64_t v : {1ull, 2ull, 3ull}) {
+        a.append(v);
+        b.append(v);
+    }
+    EXPECT_TRUE(a == b);
+}
+
+TEST(StatsTest, AccumulatorMinMaxMean)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.mean(), 0.0);
+    acc.add(2.0);
+    acc.add(4.0);
+    acc.add(6.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+    EXPECT_EQ(acc.count(), 3u);
+}
+
+TEST(StrTest, JoinSplitRoundTrip)
+{
+    std::vector<std::string> parts{"a", "bb", "", "c"};
+    EXPECT_EQ(join(parts, ","), "a,bb,,c");
+    EXPECT_EQ(split("a,bb,,c", ','), parts);
+}
+
+TEST(StrTest, Padding)
+{
+    EXPECT_EQ(padLeft("x", 3), "  x");
+    EXPECT_EQ(padRight("x", 3), "x  ");
+    EXPECT_EQ(padLeft("xyz", 2), "xyz");
+}
+
+TEST(StrTest, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(StrTest, StartsWith)
+{
+    EXPECT_TRUE(startsWith("block_ready[3]", "block_ready"));
+    EXPECT_FALSE(startsWith("blo", "block"));
+}
+
+} // namespace
+} // namespace portend

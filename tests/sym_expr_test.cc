@@ -1,0 +1,179 @@
+/** @file Unit and property tests for the expression layer. */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "sym/expr.h"
+#include "sym/simplify.h"
+
+namespace portend::sym {
+namespace {
+
+TEST(ExprTest, ConstantFoldingAtConstruction)
+{
+    ExprPtr e = mkAdd(mkConst(2), mkConst(3));
+    ASSERT_EQ(e->kind(), ExprKind::Const);
+    EXPECT_EQ(e->constValue(), 5);
+}
+
+TEST(ExprTest, ConcreteInvariant)
+{
+    // An expression with no symbols is always a Const node.
+    ExprPtr e = Expr::binary(ExprKind::Mul,
+                             mkAdd(mkConst(2), mkConst(3)),
+                             mkConst(4));
+    EXPECT_TRUE(e->isConcrete());
+    EXPECT_EQ(e->constValue(), 20);
+}
+
+TEST(ExprTest, SymbolsStaySymbolic)
+{
+    ExprPtr x = Expr::symbol("x", 0, Width::I64, 0, 10);
+    ExprPtr e = mkAdd(x, mkConst(1));
+    EXPECT_FALSE(e->isConcrete());
+    std::set<int> syms;
+    e->collectSymbols(syms);
+    EXPECT_EQ(syms, std::set<int>{0});
+}
+
+TEST(ExprTest, EvaluateUnderModel)
+{
+    ExprPtr x = Expr::symbol("x", 0);
+    ExprPtr y = Expr::symbol("y", 1);
+    ExprPtr e = mkMul(mkAdd(x, mkConst(1)), y);
+    Model m;
+    m.values[0] = 4;
+    m.values[1] = 3;
+    EXPECT_EQ(e->evaluate(m), 15);
+}
+
+TEST(ExprTest, WidthTruncation)
+{
+    EXPECT_EQ(Expr::truncate(0x1ff, Width::I8), -1);
+    EXPECT_EQ(Expr::truncate(0x80, Width::I8), -128);
+    EXPECT_EQ(Expr::truncate(3, Width::I1), 1);
+    ExprPtr e = Expr::constant(300, Width::I8);
+    EXPECT_EQ(e->constValue(), 44); // 300 mod 256
+}
+
+TEST(ExprTest, DivisionSemanticsTotal)
+{
+    EXPECT_EQ(Expr::applyBinary(ExprKind::SDiv, 7, 0, Width::I64), 0);
+    EXPECT_EQ(Expr::applyBinary(ExprKind::SDiv, INT64_MIN, -1,
+                                Width::I64),
+              INT64_MIN);
+    EXPECT_EQ(Expr::applyBinary(ExprKind::SRem, 7, 0, Width::I64), 0);
+}
+
+TEST(ExprTest, ShiftsOutOfRange)
+{
+    EXPECT_EQ(Expr::applyBinary(ExprKind::Shl, 1, 64, Width::I64), 0);
+    EXPECT_EQ(Expr::applyBinary(ExprKind::AShr, -8, 100, Width::I64),
+              -1);
+    EXPECT_EQ(Expr::applyBinary(ExprKind::LShr, -1, 1, Width::I64),
+              INT64_MAX);
+}
+
+TEST(ExprTest, StructuralEquality)
+{
+    ExprPtr x = Expr::symbol("x", 0);
+    ExprPtr a = mkAdd(x, mkConst(1));
+    ExprPtr b = mkAdd(x, mkConst(1));
+    ExprPtr c = mkAdd(x, mkConst(2));
+    EXPECT_TRUE(a->equals(*b));
+    EXPECT_FALSE(a->equals(*c));
+    EXPECT_EQ(a->hash(), b->hash());
+}
+
+TEST(SimplifyTest, Identities)
+{
+    ExprPtr x = Expr::symbol("x", 0);
+    EXPECT_TRUE(mkAdd(x, mkConst(0))->equals(*x));
+    EXPECT_TRUE(mkMul(x, mkConst(1))->equals(*x));
+    EXPECT_TRUE(mkMul(x, mkConst(0))->isConstEq(0));
+    EXPECT_TRUE(mkEq(x, x)->isConstEq(1));
+    EXPECT_TRUE(mkNe(x, x)->isConstEq(0));
+    EXPECT_TRUE(mkSlt(x, x)->isConstEq(0));
+    EXPECT_TRUE(
+        Expr::binary(ExprKind::Xor, x, x)->isConstEq(0));
+}
+
+TEST(SimplifyTest, DoubleNegation)
+{
+    ExprPtr x = Expr::symbol("x", 0, Width::I1, 0, 1);
+    ExprPtr e = negate(negate(x));
+    EXPECT_TRUE(e->equals(*x));
+}
+
+TEST(SimplifyTest, NotOfComparisonInverts)
+{
+    ExprPtr x = Expr::symbol("x", 0);
+    ExprPtr e = negate(mkSlt(x, mkConst(5)));
+    EXPECT_EQ(e->kind(), ExprKind::Sge);
+}
+
+TEST(SimplifyTest, IteFolding)
+{
+    ExprPtr x = Expr::symbol("x", 0);
+    EXPECT_TRUE(Expr::ite(Expr::boolean(true), x, mkConst(0))
+                    ->equals(*x));
+    EXPECT_TRUE(Expr::ite(mkSlt(x, mkConst(1)), x, x)->equals(*x));
+}
+
+TEST(SimplifyTest, ConjoinEmptyIsTrue)
+{
+    EXPECT_TRUE(isTrue(conjoin({})));
+}
+
+/**
+ * Property: simplify() preserves evaluation. Random expressions are
+ * generated from a seed, simplified, and both forms evaluated under
+ * random models.
+ */
+class SimplifySoundness : public ::testing::TestWithParam<int>
+{
+  protected:
+    ExprPtr
+    randomExpr(Rng &rng, int depth)
+    {
+        if (depth == 0 || rng.chance(1, 4)) {
+            if (rng.chance(1, 2)) {
+                return Expr::symbol("s",
+                                    static_cast<int>(rng.below(3)));
+            }
+            return mkConst(rng.range(-8, 8));
+        }
+        static const ExprKind kinds[] = {
+            ExprKind::Add, ExprKind::Sub, ExprKind::Mul,
+            ExprKind::And, ExprKind::Or,  ExprKind::Xor,
+            ExprKind::Eq,  ExprKind::Slt, ExprKind::Sle,
+        };
+        ExprKind k = kinds[rng.below(std::size(kinds))];
+        return Expr::binary(k, randomExpr(rng, depth - 1),
+                            randomExpr(rng, depth - 1));
+    }
+};
+
+TEST_P(SimplifySoundness, EvaluationPreserved)
+{
+    Rng rng(GetParam() * 7919 + 1);
+    for (int round = 0; round < 50; ++round) {
+        ExprPtr e = randomExpr(rng, 4);
+        ExprPtr s = simplify(e);
+        // Idempotence.
+        EXPECT_TRUE(simplify(s)->equals(*s));
+        for (int m = 0; m < 8; ++m) {
+            Model model;
+            for (int id = 0; id < 3; ++id)
+                model.values[id] = rng.range(-16, 16);
+            EXPECT_EQ(e->evaluate(model), s->evaluate(model))
+                << e->toString() << " vs " << s->toString();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifySoundness,
+                         ::testing::Range(0, 8));
+
+} // namespace
+} // namespace portend::sym

@@ -1,0 +1,124 @@
+/** @file Unit and property tests for the interval domain. */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "sym/interval.h"
+
+namespace portend::sym {
+namespace {
+
+TEST(IntervalTest, Basics)
+{
+    Interval t = Interval::top();
+    EXPECT_FALSE(t.empty());
+    EXPECT_TRUE(Interval::bottom().empty());
+    EXPECT_TRUE(Interval::point(5).singleton());
+    EXPECT_TRUE(Interval::point(5).contains(5));
+    EXPECT_FALSE(Interval::point(5).contains(6));
+    EXPECT_EQ((Interval{1, 4}).size(), 4u);
+}
+
+TEST(IntervalTest, MeetJoin)
+{
+    Interval a{0, 10}, b{5, 20};
+    EXPECT_EQ(a.meet(b), (Interval{5, 10}));
+    EXPECT_EQ(a.join(b), (Interval{0, 20}));
+    EXPECT_TRUE(a.meet(Interval{11, 12}).empty());
+    EXPECT_EQ(a.join(Interval::bottom()), a);
+}
+
+TEST(IntervalTest, SaturatingArithmetic)
+{
+    Interval big{INT64_MAX - 1, INT64_MAX};
+    Interval r = ivAdd(big, big);
+    EXPECT_EQ(r.hi, INT64_MAX); // saturates, no overflow UB
+    Interval neg = ivNeg(Interval{INT64_MIN, 0});
+    EXPECT_EQ(neg.hi, INT64_MAX);
+}
+
+TEST(IntervalEvalTest, ComparisonNarrowing)
+{
+    ExprPtr x = Expr::symbol("x", 0, Width::I64, 0, 10);
+    IntervalEnv env;
+    Interval r = evalInterval(mkSlt(x, mkConst(5)), env);
+    EXPECT_EQ(r, (Interval{0, 1})); // unknown without narrowing
+    env[0] = Interval{7, 10};
+    EXPECT_EQ(evalInterval(mkSlt(x, mkConst(5)), env),
+              Interval::point(0));
+    env[0] = Interval{0, 3};
+    EXPECT_EQ(evalInterval(mkSlt(x, mkConst(5)), env),
+              Interval::point(1));
+}
+
+TEST(IntervalEvalTest, SymbolDomainsRespected)
+{
+    ExprPtr x = Expr::symbol("x", 0, Width::I64, 3, 7);
+    IntervalEnv env;
+    Interval r = evalInterval(mkAdd(x, mkConst(10)), env);
+    EXPECT_EQ(r, (Interval{13, 17}));
+}
+
+TEST(IntervalEvalTest, IteJoinsBranches)
+{
+    ExprPtr x = Expr::symbol("x", 0, Width::I64, 0, 1);
+    ExprPtr e = Expr::ite(mkEq(x, mkConst(0)), mkConst(3),
+                          mkConst(9));
+    Interval r = evalInterval(e, {});
+    EXPECT_TRUE(r.contains(3));
+    EXPECT_TRUE(r.contains(9));
+}
+
+/**
+ * Property (soundness): for random expressions over bounded
+ * symbols, the concrete evaluation under any in-domain model lies
+ * within evalInterval's result.
+ */
+class IntervalSoundness : public ::testing::TestWithParam<int>
+{
+  protected:
+    ExprPtr
+    randomExpr(Rng &rng, int depth)
+    {
+        if (depth == 0 || rng.chance(1, 3)) {
+            if (rng.chance(1, 2))
+                return Expr::symbol("s",
+                                    static_cast<int>(rng.below(3)),
+                                    Width::I64, -5, 9);
+            return mkConst(rng.range(-6, 6));
+        }
+        static const ExprKind kinds[] = {
+            ExprKind::Add, ExprKind::Sub, ExprKind::Mul,
+            ExprKind::Eq,  ExprKind::Ne,  ExprKind::Slt,
+            ExprKind::Sle, ExprKind::Sgt, ExprKind::Sge,
+            ExprKind::LAnd, ExprKind::LOr,
+        };
+        ExprKind k = kinds[rng.below(std::size(kinds))];
+        return Expr::binary(k, randomExpr(rng, depth - 1),
+                            randomExpr(rng, depth - 1));
+    }
+};
+
+TEST_P(IntervalSoundness, ContainsConcreteEvaluations)
+{
+    Rng rng(GetParam() * 31337 + 5);
+    for (int round = 0; round < 60; ++round) {
+        ExprPtr e = randomExpr(rng, 4);
+        Interval iv = evalInterval(e, {});
+        for (int m = 0; m < 10; ++m) {
+            Model model;
+            for (int id = 0; id < 3; ++id)
+                model.values[id] = rng.range(-5, 9);
+            std::int64_t v = e->evaluate(model);
+            EXPECT_TRUE(iv.contains(v))
+                << e->toString() << " = " << v << " not in "
+                << iv.toString();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSoundness,
+                         ::testing::Range(0, 8));
+
+} // namespace
+} // namespace portend::sym

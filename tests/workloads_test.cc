@@ -1,0 +1,135 @@
+/** @file Integration tests: every paper workload's race population
+ *  must match its documented ground truth (Table 3). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "portend/portend.h"
+#include "workloads/registry.h"
+
+namespace portend::workloads {
+namespace {
+
+/** Full pipeline over one workload with default (paper) options. */
+class WorkloadSuite : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSuite, MatchesGroundTruth)
+{
+    Workload w = buildWorkload(GetParam());
+    core::Portend tool(w.program, core::PortendOptions{});
+    core::PortendResult res = tool.run();
+
+    // Distinct race count matches Table 3 exactly.
+    EXPECT_EQ(res.reports.size(), w.expected.size());
+
+    std::multimap<std::string, ExpectedRace> expected;
+    for (const auto &e : w.expected)
+        expected.insert({e.cell, e});
+
+    for (const auto &r : res.reports) {
+        std::string cell =
+            w.program.cellName(r.cluster.representative.cell);
+        auto it = expected.find(cell);
+        ASSERT_NE(it, expected.end()) << "unexpected cluster " << cell;
+        EXPECT_EQ(r.classification.cls, it->second.portend_expected)
+            << cell << ": "
+            << core::raceClassName(r.classification.cls) << " vs "
+            << core::raceClassName(it->second.portend_expected)
+            << "\n" << core::formatReport(w.program, r);
+        expected.erase(it);
+    }
+    EXPECT_TRUE(expected.empty()) << "missing clusters";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSuite,
+    ::testing::Values("sqlite", "ocean", "fmm", "memcached", "pbzip2",
+                      "ctrace", "bbuf", "avv", "dcl", "dbm", "rw"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(WorkloadMetadataTest, SuiteShapeMatchesTable1)
+{
+    auto names = workloadNames();
+    EXPECT_EQ(names.size(), 11u);
+    int total_distinct = 0;
+    for (const auto &n : names) {
+        Workload w = buildWorkload(n);
+        total_distinct += static_cast<int>(w.expected.size());
+        EXPECT_GT(w.forked_threads, 0) << n;
+        EXPECT_GT(w.paper_loc, 0) << n;
+        EXPECT_FALSE(w.program.functions.empty()) << n;
+    }
+    EXPECT_EQ(total_distinct, 93); // the paper's 93 distinct races
+}
+
+TEST(WorkloadMetadataTest, GroundTruthAccountingMatchesTable3)
+{
+    std::map<core::RaceClass, int> by_truth;
+    for (const auto &n : workloadNames()) {
+        Workload w = buildWorkload(n);
+        for (const auto &e : w.expected)
+            by_truth[e.truth] += 1;
+    }
+    // Table 3 totals: 5 spec violated, 22 output differs (21 + the
+    // ocean miss whose ground truth is output-differs), 9 k-witness,
+    // 57 single ordering.
+    EXPECT_EQ(by_truth[core::RaceClass::SpecViolated], 5);
+    EXPECT_EQ(by_truth[core::RaceClass::OutputDiffers], 22);
+    EXPECT_EQ(by_truth[core::RaceClass::KWitnessHarmless], 9);
+    EXPECT_EQ(by_truth[core::RaceClass::SingleOrdering], 57);
+}
+
+TEST(WorkloadSemanticsTest, FmmPredicateFlipsTimestampRace)
+{
+    Workload w = buildWorkload("fmm");
+    ASSERT_FALSE(w.semantic_predicates.empty());
+
+    core::PortendOptions with_pred;
+    with_pred.semantic_predicates = w.semantic_predicates;
+    core::Portend tool(w.program, with_pred);
+    core::PortendResult res = tool.run();
+
+    bool ts_semantic = false;
+    for (const auto &r : res.reports) {
+        std::string cell =
+            w.program.cellName(r.cluster.representative.cell);
+        if (cell == "particle_ts") {
+            ts_semantic =
+                r.classification.cls == core::RaceClass::SpecViolated &&
+                r.classification.viol ==
+                    core::ViolationKind::SemanticAssert;
+        }
+    }
+    EXPECT_TRUE(ts_semantic)
+        << "timestamp race must become a semantic violation";
+}
+
+TEST(WorkloadWhatIfTest, MemcachedSyncRemovalInducesCrashRace)
+{
+    // §5.1's what-if analysis: removing a synchronization operation
+    // induces a race that Portend proves harmful.
+    Workload normal = buildMemcached(false);
+    Workload whatif = buildMemcached(true);
+    EXPECT_EQ(whatif.expected.size(), normal.expected.size() + 1);
+
+    core::Portend tool(whatif.program, core::PortendOptions{});
+    core::PortendResult res = tool.run();
+    bool crash_found = false;
+    for (const auto &r : res.reports) {
+        std::string cell =
+            whatif.program.cellName(r.cluster.representative.cell);
+        if (cell == "ratio_div") {
+            crash_found =
+                r.classification.cls == core::RaceClass::SpecViolated;
+        }
+    }
+    EXPECT_TRUE(crash_found);
+}
+
+} // namespace
+} // namespace portend::workloads
