@@ -15,6 +15,15 @@ raceClassName(RaceClass c)
     return "?";
 }
 
+std::optional<RaceClass>
+raceClassFromName(const std::string &name)
+{
+    for (RaceClass c : kAllRaceClasses)
+        if (name == raceClassName(c))
+            return c;
+    return std::nullopt;
+}
+
 const char *
 violationKindName(ViolationKind v)
 {

@@ -18,6 +18,7 @@
 #define PORTEND_PORTEND_CLASSIFY_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,8 +33,21 @@ enum class RaceClass : std::uint8_t {
     Unclassified, ///< analysis could not reproduce the race
 };
 
+/** Every RaceClass value, in paper order (Unclassified last). */
+inline constexpr RaceClass kAllRaceClasses[] = {
+    RaceClass::SpecViolated,     RaceClass::OutputDiffers,
+    RaceClass::KWitnessHarmless, RaceClass::SingleOrdering,
+    RaceClass::Unclassified,
+};
+
 /** Printable category name (paper spelling). */
 const char *raceClassName(RaceClass c);
+
+/**
+ * Inverse of raceClassName: parse a paper-spelling category name.
+ * Returns std::nullopt for unknown names.
+ */
+std::optional<RaceClass> raceClassFromName(const std::string &name);
 
 /** What kind of specification violation was observed. */
 enum class ViolationKind : std::uint8_t {

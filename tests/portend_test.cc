@@ -185,6 +185,62 @@ TEST(PortendTest, ByClassFilters)
     EXPECT_TRUE(res.byClass(RaceClass::OutputDiffers).empty());
 }
 
+TEST(PortendTest, ByClassFiltersSyntheticResult)
+{
+    PortendResult res;
+    auto add = [&res](RaceClass c) {
+        PortendReport r;
+        r.classification.cls = c;
+        res.reports.push_back(r);
+    };
+    add(RaceClass::SpecViolated);
+    add(RaceClass::OutputDiffers);
+    add(RaceClass::SpecViolated);
+    add(RaceClass::KWitnessHarmless);
+    add(RaceClass::SingleOrdering);
+
+    std::vector<const PortendReport *> viol =
+        res.byClass(RaceClass::SpecViolated);
+    ASSERT_EQ(viol.size(), 2u);
+    // Pointers reference the result's own reports, in report order.
+    EXPECT_EQ(viol[0], &res.reports[0]);
+    EXPECT_EQ(viol[1], &res.reports[2]);
+    EXPECT_EQ(res.byClass(RaceClass::OutputDiffers).size(), 1u);
+    EXPECT_EQ(res.byClass(RaceClass::KWitnessHarmless).size(), 1u);
+    EXPECT_EQ(res.byClass(RaceClass::SingleOrdering).size(), 1u);
+    EXPECT_TRUE(res.byClass(RaceClass::Unclassified).empty());
+}
+
+TEST(ClassifyTest, RaceClassNameRoundTrips)
+{
+    for (RaceClass c : kAllRaceClasses) {
+        std::optional<RaceClass> parsed =
+            raceClassFromName(raceClassName(c));
+        ASSERT_TRUE(parsed.has_value()) << raceClassName(c);
+        EXPECT_EQ(*parsed, c) << raceClassName(c);
+    }
+}
+
+TEST(ClassifyTest, RaceClassNamesArePaperSpellings)
+{
+    EXPECT_STREQ(raceClassName(RaceClass::SpecViolated),
+                 "spec violated");
+    EXPECT_STREQ(raceClassName(RaceClass::OutputDiffers),
+                 "output differs");
+    EXPECT_STREQ(raceClassName(RaceClass::KWitnessHarmless),
+                 "k-witness harmless");
+    EXPECT_STREQ(raceClassName(RaceClass::SingleOrdering),
+                 "single ordering");
+}
+
+TEST(ClassifyTest, RaceClassFromNameRejectsUnknown)
+{
+    EXPECT_FALSE(raceClassFromName("benign").has_value());
+    EXPECT_FALSE(raceClassFromName("").has_value());
+    EXPECT_FALSE(raceClassFromName("Spec Violated").has_value());
+    EXPECT_FALSE(raceClassFromName("spec violated ").has_value());
+}
+
 TEST(OutputCmpTest, ConcreteComparison)
 {
     rt::OutputLog a, b;

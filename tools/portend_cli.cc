@@ -1,0 +1,366 @@
+/**
+ * @file
+ * `portend` command-line driver: runs the full Fig. 2 pipeline
+ * (record + detect, then multi-path multi-schedule classification)
+ * over any workload registered in the benchmark suite, and renders
+ * the verdicts either as the paper's Fig. 6 debugging-aid report or
+ * as JSON for downstream tooling.
+ *
+ * The help text below is kept in sync with docs/CLI.md.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "portend/classify.h"
+#include "portend/portend.h"
+#include "rt/vmstate.h"
+#include "support/str.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace portend;
+
+// Keep this text byte-identical with the Usage section of
+// docs/CLI.md.
+const char kUsage[] =
+    R"(portend - tell data races apart from data race bugs (ASPLOS 2012)
+
+Usage:
+  portend list                          list registered workloads
+  portend run <workload> [options]      detect and classify every race
+  portend classify <workload> [options] classify with an explicit k budget
+  portend --help                        print this help
+
+Workloads:
+  pbzip2  ctrace  memcached  sqlite  ocean  fmm  bbuf  avv  dcl  dbm  rw
+  (run `portend list` for the Table 1 metadata of each)
+
+Options:
+  --k <N>              path x schedule witness budget: sets Mp = N,
+                       Ma = 2 when N >= 5 (else 1), and enables
+                       multi-path at N > 1, multi-schedule at N >= 5
+  --mp <N>             primary paths explored (Mp, default 5)
+  --ma <N>             alternate schedules per primary (Ma, default 2)
+  --seed <N>           detection-run schedule seed (default 1)
+  --detector <name>    hb | hb-nomutex | lockset (default hb)
+  --class <name>       only report races of this class (paper
+                       spelling, e.g. "spec violated")
+  --no-multi-path      disable multi-path analysis (stage 2)
+  --no-multi-schedule  disable multi-schedule analysis (stage 3)
+  --no-adhoc           disable ad-hoc synchronization detection
+  --json               emit a JSON report instead of the Fig. 6 text
+
+Race classes (paper Fig. 1):
+  spec violated        an ordering crashes, deadlocks, or hangs
+  output differs       orderings can produce different program output
+  k-witness harmless   k path x schedule witnesses saw equal output
+  single ordering      only one ordering is possible (ad-hoc sync)
+)";
+
+struct CliOptions
+{
+    core::PortendOptions opts;
+    bool json = false;
+    int k = 0; ///< 0 = not given
+    std::optional<core::RaceClass> only_class; ///< --class filter
+};
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "portend: %s\n(try `portend --help`)\n",
+                 msg.c_str());
+    std::exit(2);
+}
+
+std::int64_t
+parseInt(const char *flag, const char *value)
+{
+    if (!value)
+        usageError(std::string(flag) + " needs a value");
+    char *end = nullptr;
+    long long v = std::strtoll(value, &end, 10);
+    if (!end || end == value || *end != '\0')
+        usageError(std::string(flag) + ": not a number: " + value);
+    return v;
+}
+
+/** Parse the shared option tail of `run` / `classify`. */
+CliOptions
+parseOptions(int argc, char **argv, int start)
+{
+    CliOptions cli;
+    for (int i = start; i < argc; ++i) {
+        std::string a = argv[i];
+        const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (a == "--json") {
+            cli.json = true;
+        } else if (a == "--no-multi-path") {
+            cli.opts.multi_path = false;
+        } else if (a == "--no-multi-schedule") {
+            cli.opts.multi_schedule = false;
+        } else if (a == "--no-adhoc") {
+            cli.opts.adhoc_detection = false;
+        } else if (a == "--k") {
+            cli.k = static_cast<int>(parseInt("--k", next));
+            if (cli.k < 1)
+                usageError("--k must be >= 1");
+            ++i;
+        } else if (a == "--mp") {
+            cli.opts.mp = static_cast<int>(parseInt("--mp", next));
+            if (cli.opts.mp < 1)
+                usageError("--mp must be >= 1");
+            ++i;
+        } else if (a == "--ma") {
+            cli.opts.ma = static_cast<int>(parseInt("--ma", next));
+            if (cli.opts.ma < 1)
+                usageError("--ma must be >= 1");
+            ++i;
+        } else if (a == "--class") {
+            if (!next)
+                usageError("--class needs a value");
+            cli.only_class = core::raceClassFromName(next);
+            if (!cli.only_class)
+                usageError("unknown race class: " + std::string(next) +
+                           " (paper spelling, e.g. \"spec violated\")");
+            ++i;
+        } else if (a == "--seed") {
+            cli.opts.detection_seed =
+                static_cast<std::uint64_t>(parseInt("--seed", next));
+            ++i;
+        } else if (a == "--detector") {
+            if (!next)
+                usageError("--detector needs a value");
+            std::string d = next;
+            if (d == "hb")
+                cli.opts.detector = core::DetectorKind::HappensBefore;
+            else if (d == "hb-nomutex")
+                cli.opts.detector =
+                    core::DetectorKind::HappensBeforeNoMutex;
+            else if (d == "lockset")
+                cli.opts.detector = core::DetectorKind::Lockset;
+            else
+                usageError("unknown detector: " + d);
+            ++i;
+        } else {
+            usageError("unknown option: " + a);
+        }
+    }
+    // The Fig. 10 dial: k maps onto Mp with Ma following.
+    if (cli.k > 0) {
+        cli.opts.mp = cli.k;
+        cli.opts.ma = cli.k >= 5 ? 2 : 1;
+        cli.opts.multi_path = cli.k > 1;
+        cli.opts.multi_schedule = cli.k >= 5;
+    }
+    return cli;
+}
+
+workloads::Workload
+loadWorkload(const std::string &name)
+{
+    std::vector<std::string> names = workloads::workloadNames();
+    bool known = false;
+    for (const auto &n : names)
+        known = known || n == name;
+    if (!known)
+        usageError("unknown workload: " + name);
+    return workloads::buildWorkload(name);
+}
+
+/** Install a workload's semantic predicates (e.g. fmm timestamps). */
+void
+applyWorkloadConfig(const workloads::Workload &w, core::PortendOptions &o)
+{
+    o.semantic_predicates = w.semantic_predicates;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Workload + pipeline result + the reports passing --class. */
+struct PipelineRun
+{
+    workloads::Workload workload;
+    core::PortendResult result;
+    std::vector<const core::PortendReport *> selected;
+};
+
+/** The shared run/classify preamble: load, configure, run, filter. */
+PipelineRun
+runPipeline(const std::string &name, CliOptions &cli)
+{
+    PipelineRun p;
+    p.workload = loadWorkload(name);
+    applyWorkloadConfig(p.workload, cli.opts);
+    core::Portend tool(p.workload.program, cli.opts);
+    p.result = tool.run();
+    for (const core::PortendReport &r : p.result.reports)
+        if (!cli.only_class || r.classification.cls == *cli.only_class)
+            p.selected.push_back(&r);
+    return p;
+}
+
+void
+printJson(const workloads::Workload &w, const core::PortendResult &res,
+          const std::vector<const core::PortendReport *> &reports)
+{
+    std::printf("{\n  \"workload\": \"%s\",\n",
+                jsonEscape(w.name).c_str());
+    std::printf("  \"detection\": {\n");
+    std::printf("    \"outcome\": \"%s\",\n",
+                rt::runOutcomeName(res.detection.outcome));
+    std::printf("    \"dynamic_races\": %zu,\n",
+                res.detection.dynamic_races);
+    std::printf("    \"distinct_races\": %zu,\n",
+                res.detection.clusters.size());
+    std::printf("    \"steps\": %llu\n",
+                static_cast<unsigned long long>(res.detection.steps));
+    std::printf("  },\n  \"reports\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const core::PortendReport &r = *reports[i];
+        const core::Classification &c = r.classification;
+        std::printf("    {\n");
+        std::printf("      \"cell\": \"%s\",\n",
+                    jsonEscape(w.program.cellName(
+                                   r.cluster.representative.cell))
+                        .c_str());
+        std::printf("      \"instances\": %d,\n", r.cluster.instances);
+        std::printf("      \"class\": \"%s\",\n",
+                    core::raceClassName(c.cls));
+        std::printf("      \"violation\": \"%s\",\n",
+                    core::violationKindName(c.viol));
+        std::printf("      \"k\": %d,\n", c.k);
+        std::printf("      \"states_differ\": %s,\n",
+                    c.states_differ ? "true" : "false");
+        std::printf("      \"detail\": \"%s\"\n",
+                    jsonEscape(c.detail).c_str());
+        std::printf("    }%s\n", i + 1 < reports.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+}
+
+void
+printSummary(const core::PortendResult &res)
+{
+    std::printf("summary: %zu distinct race(s), %zu dynamic "
+                "instance(s)\n",
+                res.detection.clusters.size(),
+                res.detection.dynamic_races);
+    for (core::RaceClass c : core::kAllRaceClasses) {
+        std::size_t n = res.byClass(c).size();
+        if (n)
+            std::printf("  %-20s %zu\n", core::raceClassName(c), n);
+    }
+}
+
+int
+cmdList()
+{
+    std::printf("%-10s %-8s %8s %8s %8s\n", "name", "lang", "loc",
+                "threads", "races");
+    for (const std::string &name : workloads::workloadNames()) {
+        workloads::Workload w = workloads::buildWorkload(name);
+        std::printf("%-10s %-8s %8d %8d %8zu\n", name.c_str(),
+                    w.language.c_str(), w.paper_loc, w.forked_threads,
+                    w.expected.size());
+    }
+    return 0;
+}
+
+int
+cmdRun(const std::string &name, CliOptions cli)
+{
+    PipelineRun p = runPipeline(name, cli);
+    if (cli.json) {
+        printJson(p.workload, p.result, p.selected);
+        return 0;
+    }
+    std::printf("== portend run: %s ==\n", p.workload.name.c_str());
+    for (const core::PortendReport *r : p.selected)
+        std::printf("%s\n",
+                    core::formatReport(p.workload.program, *r).c_str());
+    printSummary(p.result);
+    return 0;
+}
+
+int
+cmdClassify(const std::string &name, CliOptions cli)
+{
+    PipelineRun p = runPipeline(name, cli);
+    if (cli.json) {
+        printJson(p.workload, p.result, p.selected);
+        return 0;
+    }
+    std::printf("== portend classify: %s (Mp=%d, Ma=%d) ==\n",
+                p.workload.name.c_str(), cli.opts.mp, cli.opts.ma);
+    std::printf("%-24s %-20s %6s %10s\n", "cell", "class", "k",
+                "instances");
+    for (const core::PortendReport *r : p.selected) {
+        std::printf("%-24s %-20s %6d %10d\n",
+                    p.workload.program
+                        .cellName(r->cluster.representative.cell)
+                        .c_str(),
+                    core::raceClassName(r->classification.cls),
+                    r->classification.k, r->cluster.instances);
+    }
+    printSummary(p.result);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fputs(kUsage, stderr);
+        return 2;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        std::fputs(kUsage, stdout);
+        return 0;
+    }
+    if (cmd == "list") {
+        if (argc > 2)
+            usageError("list takes no arguments");
+        return cmdList();
+    }
+    if (cmd == "run" || cmd == "classify") {
+        if (argc < 3 || argv[2][0] == '-')
+            usageError(cmd + " needs a workload name");
+        CliOptions cli = parseOptions(argc, argv, 3);
+        return cmd == "run" ? cmdRun(argv[2], cli)
+                            : cmdClassify(argv[2], cli);
+    }
+    usageError("unknown command: " + cmd);
+}
