@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parallel-scaling benchmark for the classification engine.
+ *
+ * Runs the full 11-workload suite end to end (detect + classify) at
+ * increasing `--jobs` values, mirroring the CLI's batch mode: whole
+ * workload pipelines are the unit of parallelism, fanned out on the
+ * support/ thread pool. Emits one JSON object with wall-clock
+ * seconds and speedup per worker count, plus a determinism check —
+ * the concatenated Fig. 6 report bytes of every parallel run must
+ * equal the sequential run's.
+ *
+ * Usage: bench_parallel_scaling [repeat] [max_jobs]
+ *   repeat    timing repetitions per jobs value; the minimum is
+ *             reported (default 3)
+ *   max_jobs  highest worker count, doubled from 1 (default:
+ *             hardware concurrency, at least 4)
+ *
+ * Speedup saturates at the machine's core count; on a single-core
+ * host every jobs value measures ~1x by construction.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "support/threadpool.h"
+
+namespace {
+
+using namespace portend;
+
+/** Everything one suite pass produces: wall time + report bytes. */
+struct SuitePass
+{
+    double seconds = 0.0;
+    std::string reports;
+};
+
+/**
+ * One full-suite pass with @p jobs workers, batch-mode style:
+ * workloads are claimed from a shared cursor, classified with
+ * sequential inner pipelines, and their reports merged in registry
+ * order.
+ */
+SuitePass
+runSuite(const std::vector<std::string> &names, int jobs)
+{
+    Stopwatch sw;
+    std::vector<std::string> rendered(names.size());
+
+    const auto renderOne = [&](std::size_t i) {
+        bench::WorkloadRun run = bench::runWorkload(names[i]);
+        std::ostringstream os;
+        for (const core::PortendReport &r : run.result.reports)
+            os << core::formatReport(run.workload.program, r);
+        rendered[i] = os.str();
+    };
+
+    ThreadPool::parallelFor(jobs, names.size(), [&] {
+        return [&](std::size_t i) { renderOne(i); };
+    });
+
+    SuitePass pass;
+    pass.seconds = sw.seconds();
+    for (const std::string &r : rendered)
+        pass.reports += r;
+    return pass;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int repeat = argc > 1 ? std::atoi(argv[1]) : 3;
+    int max_jobs = argc > 2 ? std::atoi(argv[2])
+                            : std::max(4, ThreadPool::hardwareConcurrency());
+    if (repeat < 1 || max_jobs < 1) {
+        std::fprintf(stderr,
+                     "usage: bench_parallel_scaling [repeat] "
+                     "[max_jobs]\n");
+        return 2;
+    }
+
+    const std::vector<std::string> names = workloads::workloadNames();
+    std::vector<int> jobs_axis;
+    for (int j = 1; j <= max_jobs; j *= 2)
+        jobs_axis.push_back(j);
+    if (jobs_axis.back() != max_jobs)
+        jobs_axis.push_back(max_jobs);
+
+    double baseline = 0.0;
+    std::string baseline_reports;
+    bool deterministic = true;
+
+    std::printf("{\n  \"bench\": \"parallel_scaling\",\n");
+    std::printf("  \"workloads\": %zu,\n", names.size());
+    std::printf("  \"repeat\": %d,\n", repeat);
+    std::printf("  \"hardware_threads\": %d,\n",
+                ThreadPool::hardwareConcurrency());
+    std::printf("  \"results\": [\n");
+    for (std::size_t jx = 0; jx < jobs_axis.size(); ++jx) {
+        const int jobs = jobs_axis[jx];
+        double best = 0.0;
+        std::string reports;
+        for (int r = 0; r < repeat; ++r) {
+            SuitePass pass = runSuite(names, jobs);
+            if (r == 0 || pass.seconds < best)
+                best = pass.seconds;
+            reports = std::move(pass.reports);
+        }
+        if (jobs == 1) {
+            baseline = best;
+            baseline_reports = reports;
+        } else if (reports != baseline_reports) {
+            deterministic = false;
+        }
+        const double speedup = best > 0.0 ? baseline / best : 0.0;
+        std::printf("    {\"jobs\": %d, \"seconds\": %.6f, "
+                    "\"speedup\": %.3f}%s\n",
+                    jobs, best, speedup,
+                    jx + 1 < jobs_axis.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"deterministic\": %s\n",
+                deterministic ? "true" : "false");
+    std::printf("}\n");
+    return deterministic ? 0 : 1;
+}

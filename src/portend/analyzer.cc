@@ -77,7 +77,15 @@ PrimarySearchPolicy::pick(const rt::VmState &state,
 
 RaceAnalyzer::RaceAnalyzer(const ir::Program &prog,
                            const PortendOptions &opts)
-    : prog(prog), opts(opts), static_info(prog)
+    : prog(prog), opts(opts),
+      owned_static(std::make_unique<rt::StaticInfo>(prog)),
+      static_info(*owned_static)
+{}
+
+RaceAnalyzer::RaceAnalyzer(const ir::Program &prog,
+                           const PortendOptions &opts,
+                           const rt::StaticInfo &shared_static)
+    : prog(prog), opts(opts), static_info(shared_static)
 {}
 
 rt::ExecOptions
@@ -250,7 +258,7 @@ RaceAnalyzer::runAlternateFromState(
     bool random_post, std::uint64_t primary_total_steps,
     const rt::VmState *post_primary,
     const replay::ScheduleTrace *post_trace,
-    std::uint64_t primary_second_count, AnalysisStats &stats)
+    std::uint64_t primary_second_count, AnalysisStats &stats) const
 {
     SingleResult r;
 
@@ -480,7 +488,7 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
                              const replay::ScheduleTrace &trace,
                              const std::vector<std::int64_t> &inputs,
                              std::uint64_t post_seed, bool random_post,
-                             AnalysisStats &stats)
+                             AnalysisStats &stats) const
 {
     SingleResult r;
 
@@ -603,7 +611,7 @@ RaceAnalyzer::runAlternate(const race::RaceReport &race,
                            const std::vector<std::int64_t> &inputs,
                            std::uint64_t post_seed, bool random_post,
                            std::uint64_t budget_steps,
-                           AnalysisStats &stats)
+                           AnalysisStats &stats) const
 {
     rt::ExecOptions eo = baseOptions();
     eo.concrete_inputs = inputs;
@@ -637,7 +645,7 @@ RaceAnalyzer::runAlternate(const race::RaceReport &race,
 RaceAnalyzer::EvidenceReplay
 RaceAnalyzer::replayEvidence(const race::RaceReport &race,
                              const replay::ScheduleTrace &trace,
-                             const Classification &verdict)
+                             const Classification &verdict) const
 {
     EvidenceReplay out;
     AnalysisStats scratch;
@@ -687,7 +695,7 @@ RaceAnalyzer::replayEvidence(const race::RaceReport &race,
 
 Classification
 RaceAnalyzer::classify(const race::RaceReport &race,
-                       const replay::ScheduleTrace &trace)
+                       const replay::ScheduleTrace &trace) const
 {
     Stopwatch sw;
     Classification c;
@@ -761,6 +769,7 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                 return PrimarySearchPolicy::racePassed(s, race);
             });
         c.stats.paths_explored = static_cast<int>(paths.size());
+        c.stats.states_created = ex.statesCreated();
         absorbStats(c.stats, sym_interp.state());
 
         // A primary path itself violating the specification is

@@ -79,6 +79,33 @@ struct PortendOptions
     std::vector<SemanticPredicate> semantic_predicates;
     sym::SolverOptions solver;
     int executor_max_states = 512;
+
+    /**
+     * Classification worker threads used by the scheduler
+     * (0 = one per hardware thread). Purely a throughput dial:
+     * verdicts are byte-identical for every value.
+     */
+    int jobs = 1;
+
+    /**
+     * Run-global symbolic-state budget shared by every cluster of
+     * one classification batch. The scheduler slices it into fixed
+     * per-cluster caps (cluster count known up front, so slices are
+     * independent of worker interleaving and results stay
+     * deterministic); a slice never exceeds executor_max_states but
+     * also never drops below 1, so with more clusters than budget
+     * the aggregate may exceed the nominal total (every cluster is
+     * always allowed to make progress). 0 = no global cap: each
+     * cluster gets executor_max_states.
+     */
+    int total_state_budget = 0;
+
+    /**
+     * Run-global interpreter-step budget across all clusters of one
+     * batch, sliced per cluster like total_state_budget (against
+     * max_steps, same floor of 1). 0 = no global cap.
+     */
+    std::uint64_t total_step_budget = 0;
 };
 
 /**
@@ -147,19 +174,33 @@ class PrimarySearchPolicy : public rt::SchedulePolicy
 };
 
 /**
- * Classifies one race at a time; construct once per program.
+ * Classifies one race at a time; construct once per program (or one
+ * per scheduler worker, sharing one StaticInfo).
+ *
+ * Thread compatibility: classify() is const and touches only the
+ * (immutable) program, the shared read-only StaticInfo, and
+ * analyzer-local interpreters/solvers, so distinct RaceAnalyzer
+ * instances may classify concurrently on different threads.
  */
 class RaceAnalyzer
 {
   public:
+    /** Own a freshly computed StaticInfo (single-analyzer use). */
     RaceAnalyzer(const ir::Program &prog, const PortendOptions &opts);
+
+    /**
+     * Share an already-computed StaticInfo (scheduler workers):
+     * @p shared_static must outlive the analyzer and is only read.
+     */
+    RaceAnalyzer(const ir::Program &prog, const PortendOptions &opts,
+                 const rt::StaticInfo &shared_static);
 
     /**
      * Classify @p race given the recorded @p trace of the execution
      * that exposed it.
      */
     Classification classify(const race::RaceReport &race,
-                            const replay::ScheduleTrace &trace);
+                            const replay::ScheduleTrace &trace) const;
 
     /** Result of replaying a classification's evidence (§3.6). */
     struct EvidenceReplay
@@ -178,7 +219,7 @@ class RaceAnalyzer
      */
     EvidenceReplay replayEvidence(const race::RaceReport &race,
                                   const replay::ScheduleTrace &trace,
-                                  const Classification &verdict);
+                                  const Classification &verdict) const;
 
   private:
     /** Outcome of one primary/alternate pair (Algorithm 1). */
@@ -209,7 +250,7 @@ class RaceAnalyzer
                                 const std::vector<std::int64_t> &inputs,
                                 std::uint64_t post_seed,
                                 bool random_post,
-                                AnalysisStats &stats);
+                                AnalysisStats &stats) const;
 
     /**
      * Alternate-only analysis for a multi-path primary: replays
@@ -221,7 +262,7 @@ class RaceAnalyzer
                               const std::vector<std::int64_t> &inputs,
                               std::uint64_t post_seed, bool random_post,
                               std::uint64_t budget_steps,
-                              AnalysisStats &stats);
+                              AnalysisStats &stats) const;
 
     /**
      * Core of Algorithm 1 lines 5-22: enforce the alternate ordering
@@ -248,7 +289,7 @@ class RaceAnalyzer
         std::uint64_t primary_total_steps,
         const rt::VmState *post_primary,
         const replay::ScheduleTrace *post_trace,
-        std::uint64_t primary_second_count, AnalysisStats &stats);
+        std::uint64_t primary_second_count, AnalysisStats &stats) const;
 
     /** Base interpreter options for analysis runs. */
     rt::ExecOptions baseOptions() const;
@@ -283,7 +324,13 @@ class RaceAnalyzer
 
     const ir::Program &prog;
     PortendOptions opts;
-    rt::StaticInfo static_info;
+
+    /** Set by the owning constructor only; workers leave it null. */
+    std::unique_ptr<rt::StaticInfo> owned_static;
+
+    /** The may-write facts consulted during classification
+     *  (read-only; points at owned_static or the shared copy). */
+    const rt::StaticInfo &static_info;
 };
 
 } // namespace portend::core

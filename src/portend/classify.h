@@ -63,7 +63,14 @@ enum class ViolationKind : std::uint8_t {
 /** Printable violation-kind name. */
 const char *violationKindName(ViolationKind v);
 
-/** Work performed during one race's classification (Fig. 9 data). */
+/**
+ * Work performed during one race's classification (Fig. 9 data).
+ *
+ * `seconds` is the cluster's own wall-clock analysis time and
+ * `queue_seconds` the time the cluster's job waited for a scheduler
+ * worker; both vary run to run and are therefore never printed in
+ * verdict reports (which must be byte-identical across --jobs).
+ */
 struct AnalysisStats
 {
     std::uint64_t preemptions = 0;     ///< scheduling decisions taken
@@ -71,7 +78,9 @@ struct AnalysisStats
     std::uint64_t steps = 0;           ///< instructions interpreted
     int paths_explored = 0;            ///< primary paths analyzed
     int schedules_explored = 0;        ///< alternate schedules run
+    int states_created = 0;            ///< symbolic states forked
     double seconds = 0.0;              ///< wall-clock analysis time
+    double queue_seconds = 0.0;        ///< wait for a free worker
 };
 
 /** The verdict for one race, with evidence (paper §3.6). */

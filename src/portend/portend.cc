@@ -25,6 +25,14 @@ Portend::Portend(const ir::Program &prog, PortendOptions opts)
     : prog(prog), opts(std::move(opts))
 {}
 
+const rt::StaticInfo &
+Portend::staticInfo()
+{
+    if (!static_info)
+        static_info = std::make_unique<rt::StaticInfo>(prog);
+    return *static_info;
+}
+
 DetectionResult
 Portend::detect()
 {
@@ -72,8 +80,11 @@ Classification
 Portend::classifyRace(const race::RaceReport &race,
                       const replay::ScheduleTrace &trace)
 {
-    RaceAnalyzer analyzer(prog, opts);
-    return analyzer.classify(race, trace);
+    if (!analyzer) {
+        analyzer = std::make_unique<RaceAnalyzer>(prog, opts,
+                                                  staticInfo());
+    }
+    return analyzer->classify(race, trace);
 }
 
 PortendResult
@@ -82,14 +93,10 @@ Portend::run()
     PortendResult result;
     result.detection = detect();
 
-    RaceAnalyzer analyzer(prog, opts);
-    for (const auto &cluster : result.detection.clusters) {
-        PortendReport report;
-        report.cluster = cluster;
-        report.classification = analyzer.classify(
-            cluster.representative, result.detection.trace);
-        result.reports.push_back(std::move(report));
-    }
+    ClassificationScheduler scheduler(prog, opts, staticInfo());
+    result.reports = scheduler.classifyAll(result.detection.clusters,
+                                           result.detection.trace);
+    result.scheduling = scheduler.stats();
     return result;
 }
 

@@ -20,21 +20,16 @@
 #ifndef PORTEND_PORTEND_PORTEND_H
 #define PORTEND_PORTEND_PORTEND_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "portend/analyzer.h"
+#include "portend/scheduler.h"
 #include "race/report.h"
 #include "replay/trace.h"
 
 namespace portend::core {
-
-/** One classified race cluster. */
-struct PortendReport
-{
-    race::RaceCluster cluster;
-    Classification classification;
-};
 
 /** Result of a detection run. */
 struct DetectionResult
@@ -52,6 +47,9 @@ struct PortendResult
 {
     DetectionResult detection;
     std::vector<PortendReport> reports;
+
+    /** Classification-batch accounting (worker count, totals). */
+    SchedulerStats scheduling;
 
     /** Reports of a given class. */
     std::vector<const PortendReport *> byClass(RaceClass c) const;
@@ -75,19 +73,39 @@ class Portend
      */
     DetectionResult detect();
 
-    /** Classify one race against a recorded trace. */
+    /**
+     * Classify one race against a recorded trace. Repeated calls
+     * reuse the facade's analyzer, so the static may-write analysis
+     * is computed once per Portend instance, not once per race.
+     */
     Classification classifyRace(const race::RaceReport &race,
                                 const replay::ScheduleTrace &trace);
 
-    /** Full pipeline: detect, then classify every cluster. */
+    /**
+     * Full pipeline: detect, then classify every cluster through
+     * the ClassificationScheduler (opts.jobs workers; verdicts are
+     * byte-identical for every worker count).
+     */
     PortendResult run();
 
     /** The options in effect. */
     const PortendOptions &options() const { return opts; }
 
+    /**
+     * The shared static analysis: computed on first use (detection
+     * never needs it), then reused by every analyzer/worker.
+     */
+    const rt::StaticInfo &staticInfo();
+
   private:
     const ir::Program &prog;
     PortendOptions opts;
+
+    /** Lazily computed; shared read-only once it exists. */
+    std::unique_ptr<rt::StaticInfo> static_info;
+
+    /** Reused by classifyRace (worker analyzers are per-thread). */
+    std::unique_ptr<RaceAnalyzer> analyzer;
 };
 
 /**

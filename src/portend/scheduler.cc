@@ -1,0 +1,100 @@
+#include "portend/scheduler.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "support/stats.h"
+#include "support/threadpool.h"
+
+namespace portend::core {
+
+ClassificationScheduler::ClassificationScheduler(
+    const ir::Program &prog, PortendOptions opts,
+    const rt::StaticInfo &static_info)
+    : prog(prog), opts(std::move(opts)), static_info(static_info)
+{}
+
+int
+ClassificationScheduler::jobs() const
+{
+    return ThreadPool::resolveJobs(opts.jobs);
+}
+
+PortendOptions
+ClassificationScheduler::taskOptions(std::size_t n_clusters) const
+{
+    PortendOptions task = opts;
+    const auto n = static_cast<std::uint64_t>(
+        std::max<std::size_t>(1, n_clusters));
+
+    // Fixed per-cluster slices of the global budgets, computed from
+    // the cluster count alone: identical regardless of worker count
+    // or interleaving, so budget-capped verdicts stay deterministic.
+    if (opts.total_state_budget > 0) {
+        const int slice = std::max(
+            1, opts.total_state_budget / static_cast<int>(n));
+        task.executor_max_states =
+            std::min(opts.executor_max_states, slice);
+    }
+    if (opts.total_step_budget > 0) {
+        const std::uint64_t slice =
+            std::max<std::uint64_t>(1, opts.total_step_budget / n);
+        task.max_steps = std::min(opts.max_steps, slice);
+    }
+    return task;
+}
+
+std::vector<PortendReport>
+ClassificationScheduler::classifyAll(
+    const std::vector<race::RaceCluster> &clusters,
+    const replay::ScheduleTrace &trace)
+{
+    Stopwatch sw;
+    stats_ = SchedulerStats{};
+    stats_.clusters = static_cast<int>(clusters.size());
+
+    std::vector<PortendReport> reports(clusters.size());
+    if (clusters.empty()) {
+        stats_.jobs = 1;
+        stats_.seconds = sw.seconds();
+        return reports;
+    }
+
+    const PortendOptions task_opts = taskOptions(clusters.size());
+    const int n_workers = std::min(
+        jobs(), static_cast<int>(clusters.size()));
+    stats_.jobs = n_workers;
+
+    // Each worker owns one analyzer reused across the clusters it
+    // claims; verdicts land in their cluster's slot, so merge order
+    // is the cluster order regardless of completion order.
+    ThreadPool::parallelFor(n_workers, clusters.size(), [&] {
+        auto analyzer = std::make_shared<RaceAnalyzer>(
+            prog, task_opts, static_info);
+        return [&, analyzer](std::size_t i) {
+            const double waited = sw.seconds();
+            PortendReport &out = reports[i];
+            out.cluster = clusters[i];
+            out.classification = analyzer->classify(
+                clusters[i].representative, trace);
+            out.classification.stats.queue_seconds = waited;
+        };
+    });
+
+    // Workers have joined: the verdict slots are plain memory now,
+    // so batch accounting is a simple sum.
+    for (const PortendReport &r : reports) {
+        const AnalysisStats &s = r.classification.stats;
+        stats_.steps += s.steps;
+        stats_.preemptions += s.preemptions;
+        stats_.sym_branches += s.sym_branches;
+        stats_.states_created += s.states_created;
+        stats_.paths_explored += s.paths_explored;
+        stats_.schedules_explored += s.schedules_explored;
+    }
+    stats_.seconds = sw.seconds();
+    return reports;
+}
+
+} // namespace portend::core

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Job-based parallel classification scheduler.
+ *
+ * Portend's cost is dominated by per-race multi-path multi-schedule
+ * analysis, and race clusters are classified independently — the
+ * same independence the paper exploits with Cloud9-style parallel
+ * exploration. The scheduler fans the clusters of one detection run
+ * out to a support/ thread pool: each worker owns a private
+ * RaceAnalyzer (interpreters, solver, RNG state) while all workers
+ * share the program and one read-only rt::StaticInfo computed up
+ * front.
+ *
+ * Determinism contract: verdicts are merged by cluster index, never
+ * by completion order, and per-cluster budgets are sliced from the
+ * global budget *before* any job runs (the cluster count is known up
+ * front), so a run with `--jobs N` is byte-identical to `--jobs 1`.
+ * The only cross-thread writes are the per-cluster verdict slots,
+ * which are disjoint by index; batch accounting is summed from them
+ * after the join.
+ */
+
+#ifndef PORTEND_PORTEND_SCHEDULER_H
+#define PORTEND_PORTEND_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "portend/analyzer.h"
+#include "race/report.h"
+#include "replay/trace.h"
+#include "rt/staticinfo.h"
+
+namespace portend::core {
+
+/** One classified race cluster. */
+struct PortendReport
+{
+    race::RaceCluster cluster;
+    Classification classification;
+};
+
+/**
+ * Aggregate accounting for one classification batch: the sum of
+ * every job's AnalysisStats, taken after all workers joined.
+ */
+struct SchedulerStats
+{
+    std::uint64_t steps = 0;        ///< instructions interpreted
+    std::uint64_t preemptions = 0;  ///< scheduling decisions taken
+    std::uint64_t sym_branches = 0; ///< symbolic decisions seen
+    int states_created = 0;         ///< symbolic states forked
+    int paths_explored = 0;         ///< primary paths analyzed
+    int schedules_explored = 0;     ///< alternate schedules run
+    int clusters = 0;               ///< jobs executed
+    int jobs = 1;                   ///< worker threads used
+    double seconds = 0.0;           ///< batch wall-clock time
+};
+
+/**
+ * Fans race clusters out to worker-local analyzers and merges the
+ * verdicts back in deterministic cluster order.
+ */
+class ClassificationScheduler
+{
+  public:
+    /**
+     * @param prog         program under test (outlives the scheduler)
+     * @param opts         analysis configuration (copied); opts.jobs
+     *                     picks the worker count (0 = hardware
+     *                     concurrency)
+     * @param static_info  shared read-only static analysis (outlives
+     *                     the scheduler)
+     */
+    ClassificationScheduler(const ir::Program &prog,
+                            PortendOptions opts,
+                            const rt::StaticInfo &static_info);
+
+    /** Resolved worker count (opts.jobs with 0 mapped to hardware). */
+    int jobs() const;
+
+    /**
+     * Classify every cluster's representative against @p trace.
+     * Reports come back in the order of @p clusters regardless of
+     * which worker finished first.
+     */
+    std::vector<PortendReport>
+    classifyAll(const std::vector<race::RaceCluster> &clusters,
+                const replay::ScheduleTrace &trace);
+
+    /** Accounting for the most recent classifyAll(). */
+    const SchedulerStats &stats() const { return stats_; }
+
+    /**
+     * The per-cluster option set classifyAll() hands each worker:
+     * the global step/state budgets sliced into @p n_clusters fixed
+     * shares (exposed for tests).
+     */
+    PortendOptions taskOptions(std::size_t n_clusters) const;
+
+  private:
+    const ir::Program &prog;
+    PortendOptions opts;
+    const rt::StaticInfo &static_info;
+    SchedulerStats stats_;
+};
+
+} // namespace portend::core
+
+#endif // PORTEND_PORTEND_SCHEDULER_H

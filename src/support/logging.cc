@@ -1,24 +1,27 @@
 #include "support/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace portend {
 
 namespace {
-LogLevel global_level = LogLevel::Warn;
+// Atomic so that classification workers can log while the driver
+// thread adjusts verbosity.
+std::atomic<LogLevel> global_level{LogLevel::Warn};
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    global_level = level;
+    global_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return global_level;
+    return global_level.load(std::memory_order_relaxed);
 }
 
 void
@@ -38,21 +41,21 @@ fatalImpl(const std::string &msg, const char *file, int line)
 void
 warnImpl(const std::string &msg)
 {
-    if (global_level >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (global_level >= LogLevel::Info)
+    if (logLevel() >= LogLevel::Info)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    if (global_level >= LogLevel::Debug)
+    if (logLevel() >= LogLevel::Debug)
         std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 

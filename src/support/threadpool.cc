@@ -1,0 +1,89 @@
+#include "support/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace portend {
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = std::max(1, threads);
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock,
+                    [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        // A packaged_task traps its callable's exceptions in the
+        // corresponding future, so job() never throws here.
+        job();
+    }
+}
+
+int
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? static_cast<int>(n) : 1;
+}
+
+void
+ThreadPool::parallelFor(
+    int n_workers, std::size_t n_items,
+    const std::function<std::function<void(std::size_t)>()>
+        &make_worker)
+{
+    if (n_items == 0)
+        return;
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(1, n_workers)), n_items));
+    if (workers <= 1) {
+        const std::function<void(std::size_t)> body = make_worker();
+        for (std::size_t i = 0; i < n_items; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    ThreadPool pool(workers);
+    std::vector<std::future<void>> done;
+    done.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        done.push_back(pool.submit([&next, n_items, &make_worker] {
+            const std::function<void(std::size_t)> body =
+                make_worker();
+            for (std::size_t i = next.fetch_add(1); i < n_items;
+                 i = next.fetch_add(1)) {
+                body(i);
+            }
+        }));
+    }
+    for (auto &f : done)
+        f.get(); // propagates a worker's exception, if any
+}
+
+} // namespace portend

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fixed-size worker thread pool.
+ *
+ * The execution backbone of the parallel classification engine: a
+ * FIFO job queue drained by N worker threads. Jobs are submitted as
+ * callables and observed through std::future, so exceptions thrown
+ * inside a job surface at the caller's get(). Destruction drains the
+ * queue — every job submitted before the destructor runs to
+ * completion — then joins the workers, making scoped pools safe for
+ * fork/join patterns without a separate wait primitive.
+ *
+ * The pool is deliberately dumb: no priorities, no work stealing, no
+ * dynamic sizing. Determinism of results is the *caller's* contract
+ * (portend's scheduler merges verdicts by cluster index, never by
+ * completion order), so the pool only promises that each job runs
+ * exactly once on some worker.
+ */
+
+#ifndef PORTEND_SUPPORT_THREADPOOL_H
+#define PORTEND_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace portend {
+
+/**
+ * Fixed-size FIFO thread pool.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn the workers.
+     *
+     * @param threads worker count; values < 1 are clamped to 1
+     */
+    explicit ThreadPool(int threads);
+
+    /** Drains all queued jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    int size() const { return static_cast<int>(workers.size()); }
+
+    /**
+     * Enqueue a job; jobs start in submission (FIFO) order.
+     *
+     * @return future for the job's result; get() rethrows any
+     *         exception the job raised
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            queue.emplace_back([task] { (*task)(); });
+        }
+        cv.notify_one();
+        return fut;
+    }
+
+    /**
+     * Usable hardware threads; always >= 1 even when the runtime
+     * cannot tell (std::thread::hardware_concurrency() returns 0).
+     */
+    static int hardwareConcurrency();
+
+    /**
+     * The one definition of the jobs dial: a positive request is
+     * taken as-is, anything else means one worker per hardware
+     * thread.
+     */
+    static int
+    resolveJobs(int requested)
+    {
+        return requested > 0 ? requested : hardwareConcurrency();
+    }
+
+    /**
+     * Fork/join helper: run a body over every index in [0, n_items)
+     * on up to @p n_workers workers claiming indices from a shared
+     * cursor (no per-item ordering guarantee; use disjoint output
+     * slots indexed by item).
+     *
+     * @param make_worker invoked once per worker to build its
+     *        per-index body, so workers can own private state (e.g.
+     *        one RaceAnalyzer) reused across the items they claim
+     *
+     * With one effective worker the bodies run inline on the calling
+     * thread, no pool spawned. A body's exception propagates to the
+     * caller after all workers finish.
+     */
+    static void
+    parallelFor(int n_workers, std::size_t n_items,
+                const std::function<std::function<void(std::size_t)>()>
+                    &make_worker);
+
+  private:
+    /** Worker body: pop and run jobs until stopped and drained. */
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+} // namespace portend
+
+#endif // PORTEND_SUPPORT_THREADPOOL_H

@@ -1,0 +1,168 @@
+/** @file Determinism and accounting tests for the parallel
+ *  classification scheduler. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "portend/portend.h"
+#include "portend/scheduler.h"
+#include "workloads/registry.h"
+
+namespace portend::core {
+namespace {
+
+/** Run one workload's full pipeline with the given worker count. */
+PortendResult
+runWith(const workloads::Workload &w, int jobs,
+        std::uint64_t seed = 1)
+{
+    PortendOptions opts;
+    opts.jobs = jobs;
+    opts.detection_seed = seed;
+    opts.semantic_predicates = w.semantic_predicates;
+    Portend tool(w.program, opts);
+    return tool.run();
+}
+
+/** Concatenated Fig. 6 report text of a pipeline result. */
+std::string
+reportText(const ir::Program &prog, const PortendResult &res)
+{
+    std::ostringstream os;
+    for (const PortendReport &r : res.reports)
+        os << formatReport(prog, r);
+    return os.str();
+}
+
+// The headline contract: a full-suite run with jobs=4 produces the
+// same verdicts, k values, and Fig. 6 report bytes as jobs=1 at the
+// same seed. Parallelism must be a pure throughput dial.
+TEST(SchedulerDeterminismTest, FullSuiteIdenticalAcrossJobs)
+{
+    for (const std::string &name : workloads::workloadNames()) {
+        workloads::Workload w = workloads::buildWorkload(name);
+        PortendResult seq = runWith(w, 1);
+        PortendResult par = runWith(w, 4);
+
+        ASSERT_EQ(seq.reports.size(), par.reports.size()) << name;
+        for (std::size_t i = 0; i < seq.reports.size(); ++i) {
+            const Classification &a = seq.reports[i].classification;
+            const Classification &b = par.reports[i].classification;
+            EXPECT_EQ(a.cls, b.cls) << name << " cluster " << i;
+            EXPECT_EQ(a.k, b.k) << name << " cluster " << i;
+            EXPECT_EQ(a.viol, b.viol) << name << " cluster " << i;
+            EXPECT_EQ(a.detail, b.detail) << name << " cluster " << i;
+        }
+        EXPECT_EQ(reportText(w.program, seq),
+                  reportText(w.program, par))
+            << name;
+    }
+}
+
+// Detection is untouched by the scheduler refactor: same clusters,
+// same trace, same step counts for any jobs value.
+TEST(SchedulerDeterminismTest, DetectionUnaffectedByJobs)
+{
+    workloads::Workload w = workloads::buildWorkload("pbzip2");
+    PortendResult seq = runWith(w, 1);
+    PortendResult par = runWith(w, 4);
+    EXPECT_EQ(seq.detection.dynamic_races, par.detection.dynamic_races);
+    EXPECT_EQ(seq.detection.clusters.size(),
+              par.detection.clusters.size());
+    EXPECT_EQ(seq.detection.steps, par.detection.steps);
+}
+
+TEST(SchedulerStatsTest, LedgerMatchesPerClusterStats)
+{
+    workloads::Workload w = workloads::buildWorkload("pbzip2");
+    PortendResult res = runWith(w, 2);
+    ASSERT_FALSE(res.reports.empty());
+
+    std::uint64_t steps = 0;
+    int schedules = 0;
+    for (const PortendReport &r : res.reports) {
+        steps += r.classification.stats.steps;
+        schedules += r.classification.stats.schedules_explored;
+    }
+    EXPECT_EQ(res.scheduling.steps, steps);
+    EXPECT_EQ(res.scheduling.schedules_explored, schedules);
+    EXPECT_EQ(res.scheduling.clusters,
+              static_cast<int>(res.reports.size()));
+    EXPECT_GE(res.scheduling.jobs, 1);
+    EXPECT_GT(res.scheduling.steps, 0u);
+    EXPECT_GE(res.scheduling.seconds, 0.0);
+}
+
+TEST(SchedulerStatsTest, PerClusterWallTimeIsRecorded)
+{
+    workloads::Workload w = workloads::buildWorkload("bbuf");
+    PortendResult res = runWith(w, 2);
+    ASSERT_FALSE(res.reports.empty());
+    for (const PortendReport &r : res.reports) {
+        EXPECT_GT(r.classification.stats.seconds, 0.0);
+        EXPECT_GE(r.classification.stats.queue_seconds, 0.0);
+    }
+}
+
+TEST(SchedulerBudgetTest, GlobalBudgetsSliceDeterministically)
+{
+    workloads::Workload w = workloads::buildWorkload("bbuf");
+    PortendOptions opts;
+    opts.total_state_budget = 64;
+    opts.total_step_budget = 4000000;
+    rt::StaticInfo si(w.program);
+
+    ClassificationScheduler sched(w.program, opts, si);
+    PortendOptions sliced = sched.taskOptions(4);
+    EXPECT_EQ(sliced.executor_max_states, 16);
+    EXPECT_EQ(sliced.max_steps, 1000000u);
+
+    // Slices never exceed the per-task caps.
+    PortendOptions one = sched.taskOptions(1);
+    EXPECT_EQ(one.executor_max_states, 64);
+    EXPECT_EQ(one.max_steps, opts.max_steps);
+
+    // Without global budgets the per-task caps pass through.
+    PortendOptions unbudgeted;
+    ClassificationScheduler plain(w.program, unbudgeted, si);
+    PortendOptions same = plain.taskOptions(8);
+    EXPECT_EQ(same.executor_max_states,
+              unbudgeted.executor_max_states);
+    EXPECT_EQ(same.max_steps, unbudgeted.max_steps);
+}
+
+TEST(SchedulerBudgetTest, JobsZeroResolvesToHardware)
+{
+    workloads::Workload w = workloads::buildWorkload("avv");
+    PortendOptions opts;
+    opts.jobs = 0;
+    rt::StaticInfo si(w.program);
+    ClassificationScheduler sched(w.program, opts, si);
+    EXPECT_GE(sched.jobs(), 1);
+}
+
+// classifyRace now reuses the facade's analyzer (and its hoisted
+// StaticInfo): repeated calls agree with each other and with the
+// batch verdict for the same race.
+TEST(SchedulerReuseTest, ClassifyRaceReusesAnalyzer)
+{
+    workloads::Workload w = workloads::buildWorkload("avv");
+    PortendOptions opts;
+    opts.semantic_predicates = w.semantic_predicates;
+    Portend tool(w.program, opts);
+    DetectionResult det = tool.detect();
+    ASSERT_FALSE(det.clusters.empty());
+
+    const race::RaceReport &race = det.clusters[0].representative;
+    Classification first = tool.classifyRace(race, det.trace);
+    Classification second = tool.classifyRace(race, det.trace);
+    EXPECT_EQ(first.cls, second.cls);
+    EXPECT_EQ(first.k, second.k);
+    EXPECT_EQ(first.detail, second.detail);
+}
+
+} // namespace
+} // namespace portend::core

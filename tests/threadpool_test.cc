@@ -1,0 +1,104 @@
+/** @file Unit tests for the support/ worker thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/threadpool.h"
+
+namespace portend {
+namespace {
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToOne)
+{
+    ThreadPool pool(-3);
+    EXPECT_EQ(pool.size(), 1);
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsJobsInSubmissionOrder)
+{
+    // With one worker the FIFO queue forces strict submission order.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < 64; ++i)
+        done.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &f : done)
+        f.get();
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ManyWorkersCompleteEveryJob)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::atomic<int> sum{0};
+    std::vector<std::future<void>> done;
+    for (int i = 1; i <= 100; ++i)
+        done.push_back(pool.submit(
+            [&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); }));
+    for (auto &f : done)
+        f.get();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ResultsComeBackThroughFutures)
+{
+    ThreadPool pool(2);
+    std::future<std::string> s =
+        pool.submit([] { return std::string("verdict"); });
+    std::future<int> n = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(s.get(), "verdict");
+    EXPECT_EQ(n.get(), 42);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    std::future<int> bad = pool.submit(
+        []() -> int { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A thrown job must not poison the pool.
+    EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedJobs)
+{
+    // Every job submitted before the destructor must run, even the
+    // ones still queued when shutdown begins.
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> done;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i) {
+            done.push_back(pool.submit([&ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                ran.fetch_add(1, std::memory_order_relaxed);
+            }));
+        }
+        // Destructor runs here with most jobs still queued.
+    }
+    EXPECT_EQ(ran.load(), 32);
+    for (auto &f : done) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        f.get();
+    }
+}
+
+} // namespace
+} // namespace portend

@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "portend/portend.h"
 #include "rt/vmstate.h"
 #include "support/str.h"
+#include "support/threadpool.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -34,7 +37,9 @@ const char kUsage[] =
 Usage:
   portend list                          list registered workloads
   portend run <workload> [options]      detect and classify every race
+  portend run --all [options]           whole registry, one report each
   portend classify <workload> [options] classify with an explicit k budget
+  portend classify --all [options]      whole registry, compact tables
   portend --help                        print this help
 
 Workloads:
@@ -47,6 +52,9 @@ Options:
                        multi-path at N > 1, multi-schedule at N >= 5
   --mp <N>             primary paths explored (Mp, default 5)
   --ma <N>             alternate schedules per primary (Ma, default 2)
+  --jobs <N>           classification worker threads (default: one
+                       per hardware thread); verdicts are identical
+                       for every N
   --seed <N>           detection-run schedule seed (default 1)
   --detector <name>    hb | hb-nomutex | lockset (default hb)
   --class <name>       only report races of this class (paper
@@ -96,6 +104,9 @@ CliOptions
 parseOptions(int argc, char **argv, int start)
 {
     CliOptions cli;
+    // The CLI defaults to one classification worker per hardware
+    // thread (the library default stays sequential for embedders).
+    cli.opts.jobs = 0;
     for (int i = start; i < argc; ++i) {
         std::string a = argv[i];
         const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -121,6 +132,12 @@ parseOptions(int argc, char **argv, int start)
             cli.opts.ma = static_cast<int>(parseInt("--ma", next));
             if (cli.opts.ma < 1)
                 usageError("--ma must be >= 1");
+            ++i;
+        } else if (a == "--jobs") {
+            cli.opts.jobs =
+                static_cast<int>(parseInt("--jobs", next));
+            if (cli.opts.jobs < 1)
+                usageError("--jobs must be >= 1");
             ++i;
         } else if (a == "--class") {
             if (!next)
@@ -229,57 +246,99 @@ runPipeline(const std::string &name, CliOptions &cli)
     return p;
 }
 
-void
-printJson(const workloads::Workload &w, const core::PortendResult &res,
-          const std::vector<const core::PortendReport *> &reports)
+/**
+ * One workload's JSON object (no trailing newline, so batch mode
+ * can join objects into an array).
+ */
+std::string
+jsonReport(const workloads::Workload &w, const core::PortendResult &res,
+           const std::vector<const core::PortendReport *> &reports)
 {
-    std::printf("{\n  \"workload\": \"%s\",\n",
-                jsonEscape(w.name).c_str());
-    std::printf("  \"detection\": {\n");
-    std::printf("    \"outcome\": \"%s\",\n",
-                rt::runOutcomeName(res.detection.outcome));
-    std::printf("    \"dynamic_races\": %zu,\n",
-                res.detection.dynamic_races);
-    std::printf("    \"distinct_races\": %zu,\n",
-                res.detection.clusters.size());
-    std::printf("    \"steps\": %llu\n",
-                static_cast<unsigned long long>(res.detection.steps));
-    std::printf("  },\n  \"reports\": [\n");
+    std::ostringstream os;
+    os << "{\n  \"workload\": \"" << jsonEscape(w.name) << "\",\n";
+    os << "  \"detection\": {\n";
+    os << "    \"outcome\": \""
+       << rt::runOutcomeName(res.detection.outcome) << "\",\n";
+    os << "    \"dynamic_races\": " << res.detection.dynamic_races
+       << ",\n";
+    os << "    \"distinct_races\": " << res.detection.clusters.size()
+       << ",\n";
+    os << "    \"steps\": " << res.detection.steps << "\n";
+    os << "  },\n  \"reports\": [\n";
     for (std::size_t i = 0; i < reports.size(); ++i) {
         const core::PortendReport &r = *reports[i];
         const core::Classification &c = r.classification;
-        std::printf("    {\n");
-        std::printf("      \"cell\": \"%s\",\n",
-                    jsonEscape(w.program.cellName(
-                                   r.cluster.representative.cell))
-                        .c_str());
-        std::printf("      \"instances\": %d,\n", r.cluster.instances);
-        std::printf("      \"class\": \"%s\",\n",
-                    core::raceClassName(c.cls));
-        std::printf("      \"violation\": \"%s\",\n",
-                    core::violationKindName(c.viol));
-        std::printf("      \"k\": %d,\n", c.k);
-        std::printf("      \"states_differ\": %s,\n",
-                    c.states_differ ? "true" : "false");
-        std::printf("      \"detail\": \"%s\"\n",
-                    jsonEscape(c.detail).c_str());
-        std::printf("    }%s\n", i + 1 < reports.size() ? "," : "");
+        os << "    {\n";
+        os << "      \"cell\": \""
+           << jsonEscape(
+                  w.program.cellName(r.cluster.representative.cell))
+           << "\",\n";
+        os << "      \"instances\": " << r.cluster.instances << ",\n";
+        os << "      \"class\": \"" << core::raceClassName(c.cls)
+           << "\",\n";
+        os << "      \"violation\": \""
+           << core::violationKindName(c.viol) << "\",\n";
+        os << "      \"k\": " << c.k << ",\n";
+        os << "      \"states_differ\": "
+           << (c.states_differ ? "true" : "false") << ",\n";
+        os << "      \"detail\": \"" << jsonEscape(c.detail)
+           << "\"\n";
+        os << "    }" << (i + 1 < reports.size() ? "," : "") << "\n";
     }
-    std::printf("  ]\n}\n");
+    os << "  ]\n}";
+    return os.str();
 }
 
-void
-printSummary(const core::PortendResult &res)
+std::string
+summaryText(const core::PortendResult &res)
 {
-    std::printf("summary: %zu distinct race(s), %zu dynamic "
-                "instance(s)\n",
-                res.detection.clusters.size(),
-                res.detection.dynamic_races);
+    std::ostringstream os;
+    os << "summary: " << res.detection.clusters.size()
+       << " distinct race(s), " << res.detection.dynamic_races
+       << " dynamic instance(s)\n";
     for (core::RaceClass c : core::kAllRaceClasses) {
         std::size_t n = res.byClass(c).size();
-        if (n)
-            std::printf("  %-20s %zu\n", core::raceClassName(c), n);
+        if (n) {
+            os << "  " << std::left << std::setw(20)
+               << core::raceClassName(c) << ' ' << n << "\n";
+        }
     }
+    return os.str();
+}
+
+/** The Fig. 6 text rendering of one `portend run` pipeline. */
+std::string
+runText(const PipelineRun &p)
+{
+    std::ostringstream os;
+    os << "== portend run: " << p.workload.name << " ==\n";
+    for (const core::PortendReport *r : p.selected)
+        os << core::formatReport(p.workload.program, *r) << "\n";
+    os << summaryText(p.result);
+    return os.str();
+}
+
+/** The compact table rendering of one `portend classify` pipeline. */
+std::string
+classifyText(const PipelineRun &p, const CliOptions &cli)
+{
+    std::ostringstream os;
+    os << "== portend classify: " << p.workload.name << " (Mp="
+       << cli.opts.mp << ", Ma=" << cli.opts.ma << ") ==\n";
+    os << std::left << std::setw(24) << "cell" << ' ' << std::setw(20)
+       << "class" << ' ' << std::right << std::setw(6) << "k" << ' '
+       << std::setw(10) << "instances" << "\n";
+    for (const core::PortendReport *r : p.selected) {
+        os << std::left << std::setw(24)
+           << p.workload.program.cellName(
+                  r->cluster.representative.cell)
+           << ' ' << std::setw(20)
+           << core::raceClassName(r->classification.cls) << ' '
+           << std::right << std::setw(6) << r->classification.k
+           << ' ' << std::setw(10) << r->cluster.instances << "\n";
+    }
+    os << summaryText(p.result);
+    return os.str();
 }
 
 int
@@ -296,43 +355,68 @@ cmdList()
     return 0;
 }
 
-int
-cmdRun(const std::string &name, CliOptions cli)
+/** Render one workload's pipeline under the chosen mode. */
+std::string
+renderPipeline(const std::string &name, bool classify_mode,
+               const CliOptions &cli)
 {
-    PipelineRun p = runPipeline(name, cli);
-    if (cli.json) {
-        printJson(p.workload, p.result, p.selected);
-        return 0;
-    }
-    std::printf("== portend run: %s ==\n", p.workload.name.c_str());
-    for (const core::PortendReport *r : p.selected)
-        std::printf("%s\n",
-                    core::formatReport(p.workload.program, *r).c_str());
-    printSummary(p.result);
-    return 0;
+    CliOptions mine = cli; // workload predicates are per-task state
+    PipelineRun p = runPipeline(name, mine);
+    if (mine.json)
+        return jsonReport(p.workload, p.result, p.selected) + "\n";
+    return classify_mode ? classifyText(p, mine) : runText(p);
 }
 
 int
-cmdClassify(const std::string &name, CliOptions cli)
+cmdRun(const std::string &name, bool classify_mode, CliOptions cli)
 {
-    PipelineRun p = runPipeline(name, cli);
+    std::fputs(renderPipeline(name, classify_mode, cli).c_str(),
+               stdout);
+    return 0;
+}
+
+/**
+ * Batch mode over the full registry: whole workload pipelines are
+ * the scheduler's unit of parallelism here (each inner pipeline runs
+ * its clusters sequentially to avoid oversubscription), and every
+ * rendered report is buffered and printed in registry order, so the
+ * bytes on stdout never depend on --jobs.
+ */
+int
+cmdBatch(bool classify_mode, CliOptions cli)
+{
+    const std::vector<std::string> names = workloads::workloadNames();
+    const int jobs = ThreadPool::resolveJobs(cli.opts.jobs);
+    CliOptions inner = cli;
+    inner.opts.jobs = 1;
+
+    std::vector<std::string> rendered(names.size());
+    ThreadPool::parallelFor(jobs, names.size(), [&] {
+        return [&](std::size_t i) {
+            rendered[i] =
+                renderPipeline(names[i], classify_mode, inner);
+        };
+    });
+
     if (cli.json) {
-        printJson(p.workload, p.result, p.selected);
+        std::fputs("[\n", stdout);
+        for (std::size_t i = 0; i < rendered.size(); ++i) {
+            // Strip the object's trailing newline to place the comma.
+            std::string obj = rendered[i];
+            if (!obj.empty() && obj.back() == '\n')
+                obj.pop_back();
+            std::fputs(obj.c_str(), stdout);
+            std::fputs(i + 1 < rendered.size() ? ",\n" : "\n",
+                       stdout);
+        }
+        std::fputs("]\n", stdout);
         return 0;
     }
-    std::printf("== portend classify: %s (Mp=%d, Ma=%d) ==\n",
-                p.workload.name.c_str(), cli.opts.mp, cli.opts.ma);
-    std::printf("%-24s %-20s %6s %10s\n", "cell", "class", "k",
-                "instances");
-    for (const core::PortendReport *r : p.selected) {
-        std::printf("%-24s %-20s %6d %10d\n",
-                    p.workload.program
-                        .cellName(r->cluster.representative.cell)
-                        .c_str(),
-                    core::raceClassName(r->classification.cls),
-                    r->classification.k, r->cluster.instances);
+    for (std::size_t i = 0; i < rendered.size(); ++i) {
+        if (i)
+            std::fputs("\n", stdout);
+        std::fputs(rendered[i].c_str(), stdout);
     }
-    printSummary(p.result);
     return 0;
 }
 
@@ -356,11 +440,15 @@ main(int argc, char **argv)
         return cmdList();
     }
     if (cmd == "run" || cmd == "classify") {
+        const bool classify_mode = cmd == "classify";
+        if (argc >= 3 && std::strcmp(argv[2], "--all") == 0) {
+            CliOptions cli = parseOptions(argc, argv, 3);
+            return cmdBatch(classify_mode, cli);
+        }
         if (argc < 3 || argv[2][0] == '-')
-            usageError(cmd + " needs a workload name");
+            usageError(cmd + " needs a workload name (or --all)");
         CliOptions cli = parseOptions(argc, argv, 3);
-        return cmd == "run" ? cmdRun(argv[2], cli)
-                            : cmdClassify(argv[2], cli);
+        return cmdRun(argv[2], classify_mode, cli);
     }
     usageError("unknown command: " + cmd);
 }
