@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fuzzing-throughput benchmark.
+ *
+ * Runs fixed-seed fuzz campaigns at increasing `--jobs` values and
+ * reports generated programs/sec and classified clusters/sec per
+ * worker count, plus a determinism check: every parallel campaign's
+ * summary bytes must equal the sequential campaign's (the corpus is
+ * not written here; `tests/fuzz_corpus_test.cc` covers corpus-byte
+ * determinism).
+ *
+ * Usage: bench_fuzz_throughput [budget] [repeat] [max_jobs]
+ *   budget    programs per campaign (default 200)
+ *   repeat    timing repetitions per jobs value; minimum reported
+ *             (default 3)
+ *   max_jobs  highest worker count, doubled from 1 (default:
+ *             hardware concurrency, at least 4)
+ *
+ * Throughput saturates at the machine's core count; on a single-core
+ * host every jobs value measures ~1x by construction.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/common.h"
+#include "fuzz/fuzzer.h"
+#include "support/threadpool.h"
+
+namespace {
+
+using namespace portend;
+
+/** One campaign pass: wall time + deterministic summary bytes. */
+struct CampaignPass
+{
+    double seconds = 0.0;
+    int classifications = 0;
+    std::string summary;
+};
+
+CampaignPass
+runCampaign(int budget, int jobs)
+{
+    fuzz::FuzzOptions opts;
+    opts.budget = budget;
+    opts.fuzz_seed = 42;
+    opts.jobs = jobs;
+    fuzz::FuzzResult res = fuzz::runFuzz(opts);
+
+    CampaignPass pass;
+    pass.seconds = res.seconds;
+    for (const auto &[cls, n] : res.class_counts)
+        pass.classifications += n;
+    pass.summary = res.summaryText();
+    return pass;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int budget = argc > 1 ? std::atoi(argv[1]) : 200;
+    const int repeat = argc > 2 ? std::atoi(argv[2]) : 3;
+    int max_jobs = argc > 3
+                       ? std::atoi(argv[3])
+                       : std::max(4, ThreadPool::hardwareConcurrency());
+    if (budget < 1 || repeat < 1 || max_jobs < 1) {
+        std::fprintf(stderr, "usage: bench_fuzz_throughput [budget] "
+                             "[repeat] [max_jobs]\n");
+        return 2;
+    }
+
+    std::vector<int> jobs_axis;
+    for (int j = 1; j <= max_jobs; j *= 2)
+        jobs_axis.push_back(j);
+    if (jobs_axis.back() != max_jobs)
+        jobs_axis.push_back(max_jobs);
+
+    double baseline = 0.0;
+    std::string baseline_summary;
+    bool deterministic = true;
+
+    std::printf("{\n  \"bench\": \"fuzz_throughput\",\n");
+    std::printf("  \"budget\": %d,\n", budget);
+    std::printf("  \"repeat\": %d,\n", repeat);
+    std::printf("  \"hardware_threads\": %d,\n",
+                ThreadPool::hardwareConcurrency());
+    std::printf("  \"results\": [\n");
+    for (std::size_t jx = 0; jx < jobs_axis.size(); ++jx) {
+        const int jobs = jobs_axis[jx];
+        double best = 0.0;
+        CampaignPass pass;
+        for (int r = 0; r < repeat; ++r) {
+            pass = runCampaign(budget, jobs);
+            if (r == 0 || pass.seconds < best)
+                best = pass.seconds;
+        }
+        if (jobs == 1) {
+            baseline = best;
+            baseline_summary = pass.summary;
+        } else if (pass.summary != baseline_summary) {
+            deterministic = false;
+        }
+        const double speedup = best > 0.0 ? baseline / best : 0.0;
+        const double prog_rate = best > 0.0 ? budget / best : 0.0;
+        const double cls_rate =
+            best > 0.0 ? pass.classifications / best : 0.0;
+        std::printf("    {\"jobs\": %d, \"seconds\": %.6f, "
+                    "\"programs_per_sec\": %.1f, "
+                    "\"classifications_per_sec\": %.1f, "
+                    "\"speedup\": %.3f}%s\n",
+                    jobs, best, prog_rate, cls_rate, speedup,
+                    jx + 1 < jobs_axis.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"deterministic\": %s\n",
+                deterministic ? "true" : "false");
+    std::printf("}\n");
+    return deterministic ? 0 : 1;
+}

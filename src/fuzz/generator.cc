@@ -1,0 +1,474 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "support/hash.h"
+#include "support/str.h"
+#include "workloads/patterns.h"
+
+using portend::ir::I;
+using portend::ir::R;
+using K = portend::sym::ExprKind;
+
+namespace portend::fuzz {
+
+const char *
+patternKindName(PatternKind k)
+{
+    switch (k) {
+      case PatternKind::SpinFlag: return "spin-flag";
+      case PatternKind::SpinFlagOnly: return "spin-flag-only";
+      case PatternKind::PrintedValue: return "printed-value";
+      case PatternKind::InputGatedPrint: return "input-gated-print";
+      case PatternKind::LogOrder: return "log-order";
+      case PatternKind::LastWriter: return "last-writer";
+      case PatternKind::OverflowCrash: return "overflow-crash";
+    }
+    return "?";
+}
+
+const char *
+decorKindName(DecorKind k)
+{
+    switch (k) {
+      case DecorKind::MutexCounter: return "mutex-counter";
+      case DecorKind::Barrier: return "barrier";
+      case DecorKind::CondHandshake: return "cond-handshake";
+      case DecorKind::AtomicCounter: return "atomic-counter";
+      case DecorKind::YieldNoise: return "yield-noise";
+      case DecorKind::SleepNoise: return "sleep-noise";
+    }
+    return "?";
+}
+
+namespace {
+
+/** True when the pattern's consumer busy-waits on the producer. */
+bool
+isBlockingPattern(PatternKind k)
+{
+    return k == PatternKind::SpinFlag || k == PatternKind::SpinFlagOnly;
+}
+
+std::optional<PatternKind>
+patternKindFromName(const std::string &n)
+{
+    for (int i = 0; i < kNumPatternKinds; ++i) {
+        PatternKind k = static_cast<PatternKind>(i);
+        if (n == patternKindName(k))
+            return k;
+    }
+    return std::nullopt;
+}
+
+std::optional<DecorKind>
+decorKindFromName(const std::string &n)
+{
+    for (int i = 0; i < kNumDecorKinds; ++i) {
+        DecorKind k = static_cast<DecorKind>(i);
+        if (n == decorKindName(k))
+            return k;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::string
+ProgramRecipe::serialize() const
+{
+    std::ostringstream os;
+    os << "recipe v1 " << name << " " << workers;
+    for (const PatternSpec &p : patterns) {
+        os << " pat:" << patternKindName(p.kind) << ":" << p.producer
+           << ":" << p.consumer << ":" << p.param;
+    }
+    for (const DecorSpec &d : decors) {
+        os << " dec:" << decorKindName(d.kind) << ":" << d.a << ":"
+           << d.b << ":" << d.param;
+    }
+    return os.str();
+}
+
+std::optional<ProgramRecipe>
+deserializeRecipe(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string tag, ver;
+    ProgramRecipe r;
+    if (!(is >> tag >> ver >> r.name >> r.workers) || tag != "recipe" ||
+        ver != "v1" || r.workers < 1 || r.workers > 64) {
+        return std::nullopt;
+    }
+    std::string tok;
+    while (is >> tok) {
+        std::vector<std::string> f = split(tok, ':');
+        if (f.size() != 5)
+            return std::nullopt;
+        int x = 0, y = 0;
+        std::int64_t param = 0;
+        try {
+            x = std::stoi(f[2]);
+            y = std::stoi(f[3]);
+            param = std::stoll(f[4]);
+        } catch (const std::exception &) {
+            return std::nullopt;
+        }
+        if (x < 0 || x >= r.workers || y < 0 || y >= r.workers || x == y)
+            return std::nullopt;
+        if (f[0] == "pat") {
+            std::optional<PatternKind> k = patternKindFromName(f[1]);
+            if (!k)
+                return std::nullopt;
+            r.patterns.push_back(PatternSpec{*k, x, y, param});
+        } else if (f[0] == "dec") {
+            std::optional<DecorKind> k = decorKindFromName(f[1]);
+            if (!k)
+                return std::nullopt;
+            r.decors.push_back(DecorSpec{*k, x, y, param});
+        } else {
+            return std::nullopt;
+        }
+    }
+    return r;
+}
+
+ProgramRecipe
+randomRecipe(const std::string &name, Rng &rng,
+             const GeneratorOptions &opts)
+{
+    ProgramRecipe r;
+    r.name = name;
+    const int lo = std::max(2, opts.min_workers);
+    const int hi = std::max(lo, opts.max_workers);
+    r.workers = static_cast<int>(rng.range(lo, hi));
+
+    const int n_pat =
+        static_cast<int>(rng.range(1, std::max(1, opts.max_patterns)));
+    for (int i = 0; i < n_pat; ++i) {
+        PatternSpec p;
+        do {
+            p.kind = static_cast<PatternKind>(
+                rng.below(static_cast<std::uint64_t>(kNumPatternKinds)));
+        } while (p.kind == PatternKind::InputGatedPrint &&
+                 !opts.allow_inputs);
+        p.producer = static_cast<int>(rng.below(r.workers));
+        do {
+            p.consumer = static_cast<int>(rng.below(r.workers));
+        } while (p.consumer == p.producer);
+        // Blocking waits must point at smaller thread indices
+        // (deadlock freedom; see the file comment).
+        if (isBlockingPattern(p.kind) && p.producer > p.consumer)
+            std::swap(p.producer, p.consumer);
+        switch (p.kind) {
+          case PatternKind::SpinFlag:
+          case PatternKind::SpinFlagOnly:
+            p.param = rng.range(0, 2); // producer-side delay
+            break;
+          case PatternKind::PrintedValue:
+          case PatternKind::InputGatedPrint:
+          case PatternKind::LastWriter:
+            p.param = rng.range(1, 99); // published value
+            break;
+          case PatternKind::LogOrder:
+            p.param = 0;
+            break;
+          case PatternKind::OverflowCrash:
+            p.param = rng.range(2, 4); // table size
+            break;
+        }
+        r.patterns.push_back(p);
+    }
+
+    const int n_dec =
+        static_cast<int>(rng.range(0, std::max(0, opts.max_decors)));
+    for (int i = 0; i < n_dec; ++i) {
+        DecorSpec d;
+        d.kind = static_cast<DecorKind>(
+            rng.below(static_cast<std::uint64_t>(kNumDecorKinds)));
+        d.a = static_cast<int>(rng.below(r.workers));
+        do {
+            d.b = static_cast<int>(rng.below(r.workers));
+        } while (d.b == d.a);
+        // The cond consumer (b) waits on the producer (a); keep the
+        // wait pointing at a smaller index. Barriers are symmetric
+        // but a canonical order keeps recipes comparable.
+        if (d.a > d.b)
+            std::swap(d.a, d.b);
+        switch (d.kind) {
+          case DecorKind::MutexCounter:
+            d.param = rng.range(1, 3); // bumps per thread
+            break;
+          case DecorKind::Barrier:
+          case DecorKind::CondHandshake:
+            d.param = 0;
+            break;
+          case DecorKind::AtomicCounter:
+            d.param = rng.range(1, 5); // increment
+            break;
+          case DecorKind::YieldNoise:
+            d.param = rng.range(1, 3); // yields per thread
+            break;
+          case DecorKind::SleepNoise:
+            d.param = rng.range(1, 5); // virtual ticks
+            break;
+        }
+        r.decors.push_back(d);
+    }
+    return r;
+}
+
+namespace {
+
+/** Emits one recipe into a ProgramBuilder. */
+class RecipeLowering
+{
+  public:
+    explicit RecipeLowering(const ProgramRecipe &recipe)
+        : recipe(recipe), pb(recipe.name)
+    {}
+
+    GeneratedProgram
+    run()
+    {
+        GeneratedProgram out;
+        out.recipe = recipe;
+
+        for (int w = 0; w < recipe.workers; ++w) {
+            ir::FunctionBuilder &f =
+                pb.function("w" + std::to_string(w), 1);
+            f.file("fuzz.cpp").line(10 + w);
+            f.to(f.block("entry"));
+            fbs.push_back(&f);
+        }
+
+        // Barriers first (worker entry), then the remaining
+        // decorations, then the racy patterns: every blocking wait
+        // is preceded only by constructs that complete (see the
+        // deadlock-freedom argument in generator.h).
+        for (std::size_t i = 0; i < recipe.decors.size(); ++i) {
+            if (recipe.decors[i].kind == DecorKind::Barrier)
+                emitDecor(static_cast<int>(i), recipe.decors[i]);
+        }
+        for (std::size_t i = 0; i < recipe.decors.size(); ++i) {
+            if (recipe.decors[i].kind != DecorKind::Barrier)
+                emitDecor(static_cast<int>(i), recipe.decors[i]);
+        }
+        for (std::size_t i = 0; i < recipe.patterns.size(); ++i)
+            emitPattern(static_cast<int>(i), recipe.patterns[i],
+                        out.expected);
+
+        for (ir::FunctionBuilder *f : fbs)
+            f->retVoid();
+
+        ir::FunctionBuilder &m = pb.function("main", 0);
+        m.file("fuzz.cpp").line(100);
+        m.to(m.block("entry"));
+        // Input-gated configuration is written before any spawn, so
+        // reading it in a worker is ordered (no extra race).
+        for (const auto &[gate, label] : gates) {
+            ir::Reg v = m.input(label, 0, 1);
+            m.store(gate, I(0), R(v));
+        }
+        std::vector<ir::Reg> tids;
+        for (int w = 0; w < recipe.workers; ++w)
+            tids.push_back(m.threadCreate("w" + std::to_string(w), I(0)));
+        for (ir::Reg t : tids)
+            m.threadJoin(R(t));
+        m.outputStr("fuzz:done");
+        m.halt();
+
+        out.program = pb.build(/*verify=*/false);
+        out.verify_errors = ir::verifyProgram(out.program);
+        out.idioms = collectIdioms();
+        return out;
+    }
+
+  private:
+    void
+    emitDecor(int i, const DecorSpec &d)
+    {
+        const std::string tag = "d" + std::to_string(i);
+        ir::FunctionBuilder &fa = *fbs[d.a];
+        ir::FunctionBuilder &fb = *fbs[d.b];
+        switch (d.kind) {
+          case DecorKind::Barrier: {
+            ir::SyncId bar = pb.barrier(tag + "_bar", 2);
+            fa.barrierWait(bar);
+            fb.barrierWait(bar);
+            break;
+          }
+          case DecorKind::MutexCounter: {
+            ir::SyncId mu = pb.mutex(tag + "_mu");
+            ir::GlobalId cnt = pb.global(tag + "_cnt");
+            for (ir::FunctionBuilder *f : {&fa, &fb}) {
+                f->lock(mu);
+                for (std::int64_t n = 0; n < std::max<std::int64_t>(
+                                                 1, d.param);
+                     ++n) {
+                    ir::Reg v = f->load(cnt);
+                    f->store(cnt, I(0),
+                             R(f->bin(K::Add, R(v), I(1))));
+                }
+                f->unlock(mu);
+            }
+            break;
+          }
+          case DecorKind::CondHandshake: {
+            // Lost-wakeup-safe handshake: the state cell is only
+            // touched under the mutex, so it adds no race.
+            ir::SyncId mu = pb.mutex(tag + "_hm");
+            ir::SyncId cv = pb.cond(tag + "_hc");
+            ir::GlobalId ready = pb.global(tag + "_ready");
+            fa.lock(mu);
+            fa.store(ready, I(0), I(1));
+            fa.condSignal(cv);
+            fa.unlock(mu);
+
+            fb.lock(mu);
+            ir::BlockId chk = fb.block(tag + "_chk");
+            ir::BlockId wait = fb.block(tag + "_wait");
+            ir::BlockId done = fb.block(tag + "_done");
+            fb.jmp(chk);
+            fb.to(chk);
+            ir::Reg rdy = fb.load(ready);
+            fb.br(R(rdy), done, wait);
+            fb.to(wait);
+            fb.condWait(cv, mu);
+            fb.jmp(chk);
+            fb.to(done);
+            fb.unlock(mu);
+            break;
+          }
+          case DecorKind::AtomicCounter: {
+            ir::GlobalId cnt = pb.global(tag + "_acnt");
+            fa.atomicAdd(cnt, I(0), I(d.param));
+            fb.atomicAdd(cnt, I(0), I(d.param));
+            break;
+          }
+          case DecorKind::YieldNoise:
+            for (std::int64_t n = 0;
+                 n < std::max<std::int64_t>(1, d.param); ++n) {
+                fa.yield();
+                fb.yield();
+            }
+            break;
+          case DecorKind::SleepNoise:
+            fa.sleep(I(std::max<std::int64_t>(1, d.param)));
+            break;
+        }
+    }
+
+    void
+    emitPattern(int i, const PatternSpec &p,
+                std::vector<workloads::ExpectedRace> &expected)
+    {
+        const std::string tag = "p" + std::to_string(i);
+        workloads::PatternCtx ctx{&pb, fbs[p.producer],
+                                  fbs[p.consumer]};
+        switch (p.kind) {
+          case PatternKind::SpinFlag: {
+            auto [flag, data] = workloads::emitSpinFlag(
+                ctx, tag, static_cast<int>(p.param));
+            expected.push_back(flag);
+            expected.push_back(data);
+            break;
+          }
+          case PatternKind::SpinFlagOnly:
+            expected.push_back(workloads::emitSpinFlagOnly(
+                ctx, tag, static_cast<int>(p.param)));
+            break;
+          case PatternKind::PrintedValue:
+            expected.push_back(
+                workloads::emitPrintedValueRace(ctx, tag, p.param));
+            break;
+          case PatternKind::InputGatedPrint: {
+            ir::GlobalId gate = pb.global(tag + "_cfg");
+            gates.push_back({gate, tag + "_gate"});
+            expected.push_back(workloads::emitInputGatedPrintRace(
+                ctx, tag, p.param, gate));
+            break;
+          }
+          case PatternKind::LogOrder:
+            expected.push_back(workloads::emitLogOrderRace(ctx, tag));
+            break;
+          case PatternKind::LastWriter:
+            expected.push_back(workloads::emitLastWriterRace(
+                ctx, tag, p.param, p.param + 1));
+            break;
+          case PatternKind::OverflowCrash:
+            expected.push_back(workloads::emitOverflowCrashRace(
+                ctx, tag, static_cast<int>(std::max<std::int64_t>(
+                              2, p.param))));
+            break;
+        }
+    }
+
+    std::vector<std::string>
+    collectIdioms() const
+    {
+        std::set<std::string> s;
+        s.insert("thread-join"); // main always spawns and joins
+        for (const PatternSpec &p : recipe.patterns)
+            s.insert(patternKindName(p.kind));
+        for (const DecorSpec &d : recipe.decors)
+            s.insert(decorKindName(d.kind));
+        return {s.begin(), s.end()};
+    }
+
+    const ProgramRecipe &recipe;
+    ir::ProgramBuilder pb;
+    std::vector<ir::FunctionBuilder *> fbs;
+    std::vector<std::pair<ir::GlobalId, std::string>> gates;
+};
+
+} // namespace
+
+GeneratedProgram
+buildProgram(const ProgramRecipe &recipe)
+{
+    // Reject structurally unusable recipes up front (hand-written or
+    // minimizer-produced) instead of indexing out of range below.
+    auto bad = [&](const std::string &msg) {
+        GeneratedProgram out;
+        out.recipe = recipe;
+        out.verify_errors.push_back("recipe: " + msg);
+        return out;
+    };
+    if (recipe.workers < 2 || recipe.workers > 64)
+        return bad("worker count out of range");
+    for (const PatternSpec &p : recipe.patterns) {
+        if (p.producer < 0 || p.producer >= recipe.workers ||
+            p.consumer < 0 || p.consumer >= recipe.workers ||
+            p.producer == p.consumer) {
+            return bad("pattern thread indices invalid");
+        }
+    }
+    for (const DecorSpec &d : recipe.decors) {
+        if (d.a < 0 || d.a >= recipe.workers || d.b < 0 ||
+            d.b >= recipe.workers || d.a == d.b) {
+            return bad("decor thread indices invalid");
+        }
+    }
+    return RecipeLowering(recipe).run();
+}
+
+GeneratedProgram
+generateProgram(std::uint64_t fuzz_seed, std::uint64_t index,
+                const GeneratorOptions &opts)
+{
+    // Explicit std::string: the literal would otherwise decay into
+    // the (data, len) overload with fuzz_seed as the byte count.
+    Rng rng(hashCombine(
+        hashCombine(fnv1a(std::string("portend-fuzz")), fuzz_seed),
+        index));
+    std::string name = "fuzz_s" + std::to_string(fuzz_seed) + "_i" +
+                       std::to_string(index);
+    return buildProgram(randomRecipe(name, rng, opts));
+}
+
+} // namespace portend::fuzz

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Generative fuzzing of PIL programs.
+ *
+ * The generator assembles random-but-well-formed concurrent PIL
+ * programs from the racy idioms in workloads/patterns.h plus a set
+ * of properly synchronized decorations (mutex-protected counters,
+ * barriers, condition-variable handshakes, atomic counters,
+ * yield/sleep noise). Every program is described first as a
+ * ProgramRecipe — a small, serializable construction plan — and only
+ * then lowered to IR, so the delta-debugging minimizer can shrink
+ * the *plan* and regenerate, instead of hacking at instructions.
+ *
+ * Determinism contract: a recipe is a pure function of
+ * (fuzz_seed, index, GeneratorOptions), and the lowered program is a
+ * pure function of the recipe. Identical seeds therefore yield
+ * byte-identical serialized programs, which is what makes fuzz
+ * campaigns replayable and corpora diffable.
+ *
+ * Deadlock freedom by construction: every blocking construct
+ * (spin-flag wait, condition-variable handshake) waits on a thread
+ * with a *smaller* index, and barriers are emitted at worker entry
+ * before any blocking pattern. Blocking edges then always point from
+ * higher to lower thread indices, so a cycle is impossible and every
+ * generated program terminates under any fair schedule (the racy
+ * idioms themselves may still crash in an alternate ordering — that
+ * is the point).
+ */
+
+#ifndef PORTEND_FUZZ_GENERATOR_H
+#define PORTEND_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "support/rng.h"
+#include "workloads/workload.h"
+
+namespace portend::fuzz {
+
+/** The racy idioms the generator can draw from (workloads/patterns.h). */
+enum class PatternKind : std::uint8_t {
+    SpinFlag,        ///< ad-hoc sync: flag + data races ("single ordering")
+    SpinFlagOnly,    ///< ad-hoc sync: flag race only
+    PrintedValue,    ///< racy value reaches the output ("output differs")
+    InputGatedPrint, ///< output difference behind an input gate
+    LogOrder,        ///< post-race log interleaving (multi-schedule)
+    LastWriter,      ///< both sides store their id ("k-witness")
+    OverflowCrash,   ///< index overflow crash ("spec violated")
+};
+
+/** Number of PatternKind values. */
+inline constexpr int kNumPatternKinds =
+    static_cast<int>(PatternKind::OverflowCrash) + 1;
+
+/** Printable pattern name (also the idiom label in fuzz summaries). */
+const char *patternKindName(PatternKind k);
+
+/** Properly synchronized decorations (no races, extra sync surface). */
+enum class DecorKind : std::uint8_t {
+    MutexCounter,  ///< both threads bump a counter under one mutex
+    Barrier,       ///< both threads meet at a barrier (worker entry)
+    CondHandshake, ///< lost-wakeup-safe cond-var producer/consumer
+    AtomicCounter, ///< both threads AtomicRmW one cell
+    YieldNoise,    ///< extra scheduling points
+    SleepNoise,    ///< virtual-time skew between the threads
+};
+
+/** Number of DecorKind values. */
+inline constexpr int kNumDecorKinds =
+    static_cast<int>(DecorKind::SleepNoise) + 1;
+
+/** Printable decoration name (also the idiom label in summaries). */
+const char *decorKindName(DecorKind k);
+
+/** One racy pattern instance between two worker threads. */
+struct PatternSpec
+{
+    PatternKind kind = PatternKind::LastWriter;
+    int producer = 0;       ///< worker index of the first accessor
+    int consumer = 1;       ///< worker index of the second accessor
+    std::int64_t param = 0; ///< kind-specific knob (value/pad/size)
+
+    bool operator==(const PatternSpec &o) const = default;
+};
+
+/** One synchronized decoration between two worker threads. */
+struct DecorSpec
+{
+    DecorKind kind = DecorKind::MutexCounter;
+    int a = 0;              ///< first participating worker
+    int b = 1;              ///< second participating worker
+    std::int64_t param = 0; ///< kind-specific knob (iterations/ticks)
+
+    bool operator==(const DecorSpec &o) const = default;
+};
+
+/**
+ * A complete construction plan for one generated program. Recipes
+ * serialize to a single text line (stored in corpus metadata) so a
+ * reproducer records not just the program but how to regrow it.
+ */
+struct ProgramRecipe
+{
+    std::string name;  ///< program name ("fuzz_s<seed>_i<index>")
+    int workers = 2;   ///< spawned worker threads
+    std::vector<PatternSpec> patterns;
+    std::vector<DecorSpec> decors;
+
+    /** One-line text form (see deserializeRecipe). */
+    std::string serialize() const;
+
+    bool operator==(const ProgramRecipe &o) const = default;
+};
+
+/** Parse ProgramRecipe::serialize output; nullopt when malformed. */
+std::optional<ProgramRecipe>
+deserializeRecipe(const std::string &text);
+
+/** Knobs for recipe randomization. */
+struct GeneratorOptions
+{
+    int min_workers = 2;  ///< at least 2 (races need two threads)
+    int max_workers = 4;
+    int max_patterns = 3; ///< racy patterns per program (>= 1)
+    int max_decors = 3;   ///< synchronized decorations per program
+    bool allow_inputs = true; ///< permit InputGatedPrint (adds Input)
+};
+
+/**
+ * Draw a random recipe. All randomness flows through @p rng; the
+ * caller seeds it from (fuzz_seed, index) to make campaigns
+ * deterministic and individual programs addressable.
+ */
+ProgramRecipe randomRecipe(const std::string &name, Rng &rng,
+                           const GeneratorOptions &opts);
+
+/** A lowered recipe: the program plus its construction metadata. */
+struct GeneratedProgram
+{
+    ProgramRecipe recipe;
+    ir::Program program;
+
+    /** Ground truth of every emitted pattern, in emission order. */
+    std::vector<workloads::ExpectedRace> expected;
+
+    /** Sorted, de-duplicated idiom labels present in the program. */
+    std::vector<std::string> idioms;
+
+    /** Verifier diagnostics; non-empty means the generator emitted a
+     *  structurally invalid program (itself a fuzzing finding). */
+    std::vector<std::string> verify_errors;
+};
+
+/**
+ * Lower @p recipe to a PIL program. Never aborts: structural
+ * problems land in GeneratedProgram::verify_errors so the fuzzer
+ * can flag (and minimize) generator bugs like any other finding.
+ */
+GeneratedProgram buildProgram(const ProgramRecipe &recipe);
+
+/** Convenience: seed-addressable generation used by the campaign. */
+GeneratedProgram generateProgram(std::uint64_t fuzz_seed,
+                                 std::uint64_t index,
+                                 const GeneratorOptions &opts);
+
+} // namespace portend::fuzz
+
+#endif // PORTEND_FUZZ_GENERATOR_H

@@ -1,0 +1,155 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace portend::fuzz {
+
+namespace {
+
+/** Remap worker indices so only referenced threads remain. */
+ProgramRecipe
+compactWorkers(const ProgramRecipe &r)
+{
+    std::set<int> used;
+    for (const PatternSpec &p : r.patterns) {
+        used.insert(p.producer);
+        used.insert(p.consumer);
+    }
+    for (const DecorSpec &d : r.decors) {
+        used.insert(d.a);
+        used.insert(d.b);
+    }
+    std::map<int, int> remap;
+    for (int w : used)
+        remap[w] = static_cast<int>(remap.size());
+
+    ProgramRecipe out = r;
+    out.workers = std::max(2, static_cast<int>(remap.size()));
+    for (PatternSpec &p : out.patterns) {
+        p.producer = remap[p.producer];
+        p.consumer = remap[p.consumer];
+    }
+    for (DecorSpec &d : out.decors) {
+        d.a = remap[d.a];
+        d.b = remap[d.b];
+    }
+    return out;
+}
+
+/** Canonical smallest parameter for an atom kind. */
+std::int64_t
+minimalPatternParam(PatternKind k)
+{
+    switch (k) {
+      case PatternKind::SpinFlag:
+      case PatternKind::SpinFlagOnly:
+      case PatternKind::LogOrder:
+        return 0;
+      case PatternKind::PrintedValue:
+      case PatternKind::InputGatedPrint:
+      case PatternKind::LastWriter:
+        return 1;
+      case PatternKind::OverflowCrash:
+        return 2; // smallest legal table
+    }
+    return 0;
+}
+
+std::int64_t
+minimalDecorParam(DecorKind k)
+{
+    switch (k) {
+      case DecorKind::Barrier:
+      case DecorKind::CondHandshake:
+        return 0;
+      default:
+        return 1;
+    }
+}
+
+} // namespace
+
+MinimizeResult
+minimizeRecipe(const ProgramRecipe &start, const RecipePredicate &pred,
+               const MinimizeOptions &opts)
+{
+    MinimizeResult res;
+    res.recipe = start;
+
+    auto probe = [&](const ProgramRecipe &candidate) {
+        if (res.probes >= opts.max_probes)
+            return false;
+        res.probes += 1;
+        return pred(candidate);
+    };
+
+    if (!probe(start))
+        return res; // caller handed us an uninteresting start
+
+    // Phase 1: 1-minimal atom removal. Atoms are patterns then
+    // decors; retry from scratch after every successful removal
+    // (classic ddmin at granularity 1 — recipes are small enough
+    // that the coarser passes buy nothing).
+    bool changed = true;
+    while (changed && res.probes < opts.max_probes) {
+        changed = false;
+        for (std::size_t i = 0; i < res.recipe.patterns.size(); ++i) {
+            ProgramRecipe cand = res.recipe;
+            cand.patterns.erase(cand.patterns.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            if (probe(cand)) {
+                res.recipe = cand;
+                changed = true;
+                break;
+            }
+        }
+        if (changed)
+            continue;
+        for (std::size_t i = 0; i < res.recipe.decors.size(); ++i) {
+            ProgramRecipe cand = res.recipe;
+            cand.decors.erase(cand.decors.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            if (probe(cand)) {
+                res.recipe = cand;
+                changed = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: drop unreferenced worker threads.
+    {
+        ProgramRecipe cand = compactWorkers(res.recipe);
+        if (!(cand == res.recipe) && probe(cand))
+            res.recipe = cand;
+    }
+
+    // Phase 3: shrink parameters to their canonical minimum.
+    for (std::size_t i = 0; i < res.recipe.patterns.size(); ++i) {
+        std::int64_t want = minimalPatternParam(
+            res.recipe.patterns[i].kind);
+        if (res.recipe.patterns[i].param == want)
+            continue;
+        ProgramRecipe cand = res.recipe;
+        cand.patterns[i].param = want;
+        if (probe(cand))
+            res.recipe = cand;
+    }
+    for (std::size_t i = 0; i < res.recipe.decors.size(); ++i) {
+        std::int64_t want =
+            minimalDecorParam(res.recipe.decors[i].kind);
+        if (res.recipe.decors[i].param == want)
+            continue;
+        ProgramRecipe cand = res.recipe;
+        cand.decors[i].param = want;
+        if (probe(cand))
+            res.recipe = cand;
+    }
+
+    res.one_minimal = res.probes < opts.max_probes;
+    return res;
+}
+
+} // namespace portend::fuzz

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Delta-debugging minimizer for generated programs.
+ *
+ * Because every generated program is grown from a ProgramRecipe, the
+ * minimizer shrinks the *recipe* and regenerates — the classic ddmin
+ * loop applied to construction atoms (pattern instances, sync
+ * decorations) instead of text lines. The caller supplies the
+ * "still interesting" predicate (e.g. "the same oracle check still
+ * fails" or "the behavior signature is unchanged"); the result is
+ * 1-minimal: removing any single remaining atom loses the property.
+ *
+ * After atom removal the minimizer compacts unused worker threads
+ * and shrinks per-atom parameters (spin padding, published values,
+ * table sizes) toward canonical small values, so reproducers read as
+ * small as they execute.
+ */
+
+#ifndef PORTEND_FUZZ_MINIMIZE_H
+#define PORTEND_FUZZ_MINIMIZE_H
+
+#include <functional>
+
+#include "fuzz/generator.h"
+
+namespace portend::fuzz {
+
+/**
+ * "Still interesting" predicate over a candidate recipe. Called on
+ * regenerated candidates; must be deterministic.
+ */
+using RecipePredicate = std::function<bool(const ProgramRecipe &)>;
+
+/** Minimization knobs. */
+struct MinimizeOptions
+{
+    /** Probe (predicate-evaluation) budget; minimization stops at
+     *  the best recipe found when exhausted. */
+    int max_probes = 200;
+};
+
+/** Minimization outcome. */
+struct MinimizeResult
+{
+    ProgramRecipe recipe; ///< smallest recipe still satisfying pred
+    int probes = 0;       ///< predicate evaluations spent
+    bool one_minimal = false; ///< true when the loop reached fixpoint
+};
+
+/**
+ * Shrink @p start while @p pred holds.
+ *
+ * @p start must itself satisfy @p pred (checked; if it does not, the
+ * result is @p start with one_minimal = false).
+ */
+MinimizeResult minimizeRecipe(const ProgramRecipe &start,
+                              const RecipePredicate &pred,
+                              const MinimizeOptions &opts = {});
+
+} // namespace portend::fuzz
+
+#endif // PORTEND_FUZZ_MINIMIZE_H

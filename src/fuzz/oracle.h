@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Differential and metamorphic testing oracle.
+ *
+ * Given one PIL program, the oracle runs it through the full
+ * detector/classifier stack and cross-checks results that must agree
+ * by construction, in the spirit of the detector-comparison
+ * literature (detectors disagree exactly on corner cases a generator
+ * mass-produces):
+ *
+ *  - structural: the program passes ir::verifyProgram, and its text
+ *    serialization round-trips byte-identically;
+ *  - determinism: the same seed yields byte-identical verdict
+ *    reports and an identical recorded schedule trace;
+ *  - jobs invariance: `--jobs 2` verdict bytes equal `--jobs 1`
+ *    (the PR-2 scheduler contract);
+ *  - detector monotonicity: every cell raced under the full
+ *    happens-before detector is also raced under the mutex-blind
+ *    detector (fewer HB edges can only grow the unordered set) and
+ *    under the Eraser-style lockset detector (an HB race implies no
+ *    common lock);
+ *  - k-monotonicity: a "spec violated" verdict found by single-path
+ *    single-schedule analysis is still found at a larger budget, and
+ *    kWitnessHarmless k never shrinks as the budget grows;
+ *  - classifier vs. baselines: a race the static ad-hoc-sync
+ *    detector prunes as "single ordering" must be classified
+ *    "single ordering" by Portend (dynamic and static recognition of
+ *    the same spin loop must agree).
+ *
+ * Comparisons that are *expected* to disagree (the paper's point:
+ * e.g. the Record/Replay-Analyzer's conservative "likely harmful"
+ * verdicts against Portend's k-witness) are recorded as counters,
+ * never flagged.
+ */
+
+#ifndef PORTEND_FUZZ_ORACLE_H
+#define PORTEND_FUZZ_ORACLE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace portend::fuzz {
+
+/** Oracle configuration (kept small: fuzzing wants throughput). */
+struct OracleOptions
+{
+    std::uint64_t detection_seed = 1; ///< schedule seed (CLI --seed)
+    int mp = 3;                       ///< primary paths at full budget
+    int ma = 2;                       ///< alternate schedules per primary
+    std::uint64_t max_steps = 200000; ///< per-run interpreter budget
+    int executor_max_states = 64;     ///< symbolic fork cap
+
+    /**
+     * Run the expensive metamorphic re-executions (determinism,
+     * jobs invariance, k-monotonicity). The cheap checks always run.
+     */
+    bool deep = true;
+};
+
+/** One oracle check's outcome. */
+struct CheckResult
+{
+    std::string name;   ///< e.g. "determinism", "hb-subset-lockset"
+    bool ok = true;
+    std::string detail; ///< non-empty when failed (what disagreed)
+};
+
+/** Everything the oracle learned about one program. */
+struct OracleVerdict
+{
+    std::vector<CheckResult> checks;
+
+    /** Detection outcome name of the primary pipeline run. */
+    std::string outcome;
+
+    int distinct_races = 0;
+    int dynamic_races = 0;
+
+    /** Verdict-class name -> cluster count (primary run). */
+    std::map<std::string, int> class_counts;
+
+    /** Expected-to-disagree baseline counters (never flagged),
+     *  e.g. "replay-analyzer-conservative-fp". */
+    std::map<std::string, int> baseline_counts;
+
+    /** Recorded schedule trace of the primary detection run
+     *  (serialized; stored in corpus reproducers). */
+    std::string trace_text;
+
+    /** Concatenated Fig. 6 reports of the primary run. */
+    std::string report_text;
+
+    /** True when any check failed. */
+    bool flagged() const;
+
+    /** Name of the first failed check ("" when none). */
+    std::string firstFailure() const;
+
+    /**
+     * Behavior signature for corpus novelty: detection outcome +
+     * class histogram. Deterministic, wall-clock free.
+     */
+    std::string signature() const;
+};
+
+/** Run every applicable check against @p prog. */
+OracleVerdict runOracle(const ir::Program &prog,
+                        const OracleOptions &opts);
+
+} // namespace portend::fuzz
+
+#endif // PORTEND_FUZZ_ORACLE_H

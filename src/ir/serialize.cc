@@ -1,7 +1,10 @@
 #include "ir/serialize.h"
 
 #include <map>
+#include <set>
 #include <sstream>
+
+#include "ir/verifier.h"
 
 namespace portend::ir {
 
@@ -171,9 +174,18 @@ deserializeProgram(const std::string &text, std::string *error)
     static const std::map<std::string, sym::ExprKind> kinds =
         kindTable();
 
+    // Hard bounds on declared sizes: malformed or adversarial input
+    // (fuzzer-found cases) must fail cleanly, never OOM or crash.
+    constexpr int kMaxGlobalSize = 1 << 20;
+    constexpr int kMaxRegs = 1 << 20;
+    constexpr int kMaxBarrierCount = 4096;
+
     Program p;
     Function *cur_func = nullptr;
     BasicBlock *cur_block = nullptr;
+
+    std::set<std::string> global_names, mutex_names, cond_names,
+        barrier_names, func_names;
 
     std::istringstream is(text);
     std::string line;
@@ -193,7 +205,13 @@ deserializeProgram(const std::string &text, std::string *error)
             return " (line " + std::to_string(lineno) + ")";
         };
 
+        if (!saw_header && tag != "pil")
+            return fail("'" + tag + "' before 'pil v1' header" +
+                        where());
+
         if (tag == "pil") {
+            if (saw_header)
+                return fail("duplicate 'pil' header" + where());
             std::string ver;
             ls >> ver;
             if (ver != "v1")
@@ -205,25 +223,43 @@ deserializeProgram(const std::string &text, std::string *error)
             Global g;
             if (!unquote(ls, g.name) || !(ls >> g.size))
                 return fail("bad global" + where());
+            if (g.size < 1 || g.size > kMaxGlobalSize)
+                return fail("global size out of range" + where());
+            if (!global_names.insert(g.name).second)
+                return fail("duplicate global '" + g.name + "'" +
+                            where());
             std::int64_t v;
             while (ls >> v)
                 g.init.push_back(v);
+            if (!ls.eof())
+                return fail("bad global init value" + where());
+            if (g.init.size() > static_cast<std::size_t>(g.size))
+                return fail("more init values than cells" + where());
             p.globals.push_back(std::move(g));
         } else if (tag == "mutex") {
             std::string n;
             if (!unquote(ls, n))
                 return fail("bad mutex" + where());
+            if (!mutex_names.insert(n).second)
+                return fail("duplicate mutex '" + n + "'" + where());
             p.mutex_names.push_back(n);
         } else if (tag == "cond") {
             std::string n;
             if (!unquote(ls, n))
                 return fail("bad cond" + where());
+            if (!cond_names.insert(n).second)
+                return fail("duplicate cond '" + n + "'" + where());
             p.cond_names.push_back(n);
         } else if (tag == "barrier") {
             std::string n;
             int count = 0;
             if (!unquote(ls, n) || !(ls >> count))
                 return fail("bad barrier" + where());
+            if (count < 1 || count > kMaxBarrierCount)
+                return fail("barrier count out of range" + where());
+            if (!barrier_names.insert(n).second)
+                return fail("duplicate barrier '" + n + "'" +
+                            where());
             p.barrier_names.push_back(n);
             p.barrier_counts.push_back(count);
         } else if (tag == "func") {
@@ -232,6 +268,14 @@ deserializeProgram(const std::string &text, std::string *error)
                 !(ls >> f.num_regs)) {
                 return fail("bad func" + where());
             }
+            if (f.num_params < 0 || f.num_regs < 0 ||
+                f.num_regs > kMaxRegs || f.num_params > f.num_regs) {
+                return fail("func register counts out of range" +
+                            where());
+            }
+            if (!func_names.insert(f.name).second)
+                return fail("duplicate func '" + f.name + "'" +
+                            where());
             p.functions.push_back(std::move(f));
             cur_func = &p.functions.back();
             cur_block = nullptr;
@@ -276,11 +320,16 @@ deserializeProgram(const std::string &text, std::string *error)
               case 64: inst.width = sym::Width::I64; break;
               default: return fail("bad width" + where());
             }
+            if (inst.dst < -1)
+                return fail("bad dst register" + where());
             if (!unquote(ls, inst.text) ||
                 !unquote(ls, inst.loc.file) ||
                 !(ls >> inst.loc.line)) {
                 return fail("bad inst strings" + where());
             }
+            std::string trailing;
+            if (ls >> trailing)
+                return fail("trailing tokens after inst" + where());
             cur_block->insts.push_back(std::move(inst));
         } else if (tag == "end") {
             saw_end = true;
@@ -294,9 +343,23 @@ deserializeProgram(const std::string &text, std::string *error)
         return fail("missing 'pil v1' header");
     if (!saw_end)
         return fail("missing 'end'");
+    while (std::getline(is, line)) {
+        lineno += 1;
+        if (!line.empty()) {
+            return fail("content after 'end' (line " +
+                        std::to_string(lineno) + ")");
+        }
+    }
     p.entry = p.findFunction("main");
     if (p.entry < 0)
         return fail("program has no main function");
+    // Structural validation before finalize: out-of-range operands,
+    // dangling block/function/sync references, missing terminators —
+    // a deserialized program must be as safe to execute as a
+    // builder-built one.
+    std::vector<std::string> errors = verifyProgram(p);
+    if (!errors.empty())
+        return fail("verification failed: " + errors.front());
     p.finalize();
     return p;
 }

@@ -558,9 +558,45 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
         return r;
     }
     if (rt::isSpecViolation(oc)) {
-        r.kind = SingleResult::Kind::SpecViol;
-        r.viol = violationOf(oc);
-        r.detail = interp.state().outcome_detail;
+        const bool crash = oc == rt::RunOutcome::CrashOob ||
+                           oc == rt::RunOutcome::CrashDivZero;
+        if (!crash || crashInvolvesRaceCell(interp.state(), race)) {
+            r.kind = SingleResult::Kind::SpecViol;
+            r.viol = violationOf(oc);
+            r.detail = interp.state().outcome_detail;
+            return r;
+        }
+        // The primary replay died of a bug unrelated to this race
+        // (e.g. another race in the same recording crashed first);
+        // the paper queues such finds as separate reports instead of
+        // blaming the race under analysis. The alternate ordering is
+        // still probed from the pre-race checkpoint — it can reveal
+        // ad-hoc synchronization or an attributable crash — but the
+        // primary's truncated output admits no output comparison.
+        std::uint64_t primary_second_count = 0;
+        {
+            auto it = interp.state().access_counts.find(
+                {race.second.tid, race.second.pc});
+            if (it != interp.state().access_counts.end())
+                primary_second_count = it->second;
+        }
+        // The crash truncated the primary, so its step count is a
+        // useless yardstick for the alternate's timeout budget (an
+        // alternate that avoids the crash legitimately runs much
+        // longer). Hand the alternate the full step budget instead,
+        // so only a genuine busy-wait can time out.
+        SingleResult a = runAlternateFromState(
+            pre_ckpt, race, inputs, post_seed, random_post,
+            opts.max_steps, nullptr, &trace, primary_second_count,
+            stats);
+        if (a.kind == SingleResult::Kind::SpecViol ||
+            a.kind == SingleResult::Kind::SingleOrd) {
+            return a;
+        }
+        r.kind = SingleResult::Kind::Skipped;
+        r.detail = "unrelated failure during primary replay (queued "
+                   "as separate report): " +
+                   interp.state().outcome_detail;
         return r;
     }
     if (oc != rt::RunOutcome::Exited) {

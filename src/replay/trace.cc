@@ -43,19 +43,27 @@ ScheduleTrace::deserialize(const std::string &text)
         if (line.empty())
             continue;
         std::istringstream ls(line);
-        char tag;
+        std::string tag;
         ls >> tag;
-        if (tag == 'd') {
+        // Strict line shapes: truncated or overlong records and
+        // out-of-range ids are malformed input (fuzzer-found cases),
+        // not something to limp through.
+        std::string trailing;
+        if (tag == "d") {
             SchedDecision d;
             ls >> d.tid >> d.pc >> d.step;
-            if (ls.fail())
+            if (ls.fail() || ls >> trailing)
+                return std::nullopt;
+            if (d.tid < 0 || d.pc < -1)
                 return std::nullopt;
             t.decisions.push_back(d);
-        } else if (tag == 'i') {
+        } else if (tag == "i") {
             int symbolic = 0;
             rt::VmState::EnvRead r;
             ls >> symbolic >> r.sym_id >> r.value;
-            if (ls.fail())
+            if (ls.fail() || ls >> trailing)
+                return std::nullopt;
+            if (r.sym_id < -1 || (symbolic != 0 && symbolic != 1))
                 return std::nullopt;
             r.symbolic = symbolic != 0;
             t.inputs.push_back(r);

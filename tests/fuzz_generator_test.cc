@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Generator invariants: every generated program is verifier-clean,
+ * identical seeds yield byte-identical programs, recipes round-trip,
+ * and the campaign's idiom coverage spans the sync surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fuzz/generator.h"
+#include "ir/serialize.h"
+
+namespace portend::fuzz {
+namespace {
+
+TEST(FuzzGenerator, EveryProgramIsVerifierClean)
+{
+    GeneratorOptions opts;
+    for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+        for (std::uint64_t i = 0; i < 40; ++i) {
+            GeneratedProgram g = generateProgram(seed, i, opts);
+            EXPECT_TRUE(g.verify_errors.empty())
+                << "seed " << seed << " index " << i << ": "
+                << g.verify_errors.front();
+        }
+    }
+}
+
+TEST(FuzzGenerator, SameSeedYieldsByteIdenticalProgram)
+{
+    GeneratorOptions opts;
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        GeneratedProgram a = generateProgram(42, i, opts);
+        GeneratedProgram b = generateProgram(42, i, opts);
+        EXPECT_EQ(a.recipe, b.recipe);
+        EXPECT_EQ(ir::serializeProgram(a.program),
+                  ir::serializeProgram(b.program));
+    }
+}
+
+TEST(FuzzGenerator, DifferentSeedsDiffer)
+{
+    GeneratorOptions opts;
+    // Not a tautology (two draws could collide), but across 10
+    // indices at least one program must differ between seeds.
+    bool any_diff = false;
+    for (std::uint64_t i = 0; i < 10 && !any_diff; ++i) {
+        any_diff = ir::serializeProgram(
+                       generateProgram(1, i, opts).program) !=
+                   ir::serializeProgram(
+                       generateProgram(2, i, opts).program);
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(FuzzGenerator, CampaignSpansAtLeastFiveSyncIdioms)
+{
+    GeneratorOptions opts;
+    std::set<std::string> idioms;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+        GeneratedProgram g = generateProgram(42, i, opts);
+        idioms.insert(g.idioms.begin(), g.idioms.end());
+    }
+    EXPECT_GE(idioms.size(), 5u) << "idiom coverage collapsed";
+    // The properly synchronized decorations must appear too, not
+    // just the racy patterns.
+    EXPECT_TRUE(idioms.count("thread-join"));
+    EXPECT_TRUE(idioms.count("barrier") ||
+                idioms.count("cond-handshake") ||
+                idioms.count("mutex-counter"));
+}
+
+TEST(FuzzGenerator, BlockingWaitsPointAtSmallerThreadIndices)
+{
+    // The deadlock-freedom argument rests on this invariant.
+    GeneratorOptions opts;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+        ProgramRecipe r = generateProgram(7, i, opts).recipe;
+        for (const PatternSpec &p : r.patterns) {
+            if (p.kind == PatternKind::SpinFlag ||
+                p.kind == PatternKind::SpinFlagOnly) {
+                EXPECT_LT(p.producer, p.consumer);
+            }
+        }
+        for (const DecorSpec &d : r.decors) {
+            if (d.kind == DecorKind::CondHandshake) {
+                EXPECT_LT(d.a, d.b);
+            }
+        }
+    }
+}
+
+TEST(FuzzGenerator, RecipeSerializationRoundTrips)
+{
+    GeneratorOptions opts;
+    for (std::uint64_t i = 0; i < 25; ++i) {
+        ProgramRecipe r = generateProgram(42, i, opts).recipe;
+        std::optional<ProgramRecipe> back =
+            deserializeRecipe(r.serialize());
+        ASSERT_TRUE(back.has_value()) << r.serialize();
+        EXPECT_EQ(*back, r);
+    }
+}
+
+TEST(FuzzGenerator, RecipeParserRejectsMalformedText)
+{
+    EXPECT_FALSE(deserializeRecipe("").has_value());
+    EXPECT_FALSE(deserializeRecipe("recipe v2 x 2").has_value());
+    EXPECT_FALSE(deserializeRecipe("recipe v1 x 0").has_value());
+    EXPECT_FALSE(
+        deserializeRecipe("recipe v1 x 2 pat:bogus:0:1:0").has_value());
+    EXPECT_FALSE(
+        deserializeRecipe("recipe v1 x 2 pat:last-writer:0:5:1")
+            .has_value());
+    EXPECT_FALSE(
+        deserializeRecipe("recipe v1 x 2 pat:last-writer:1:1:1")
+            .has_value());
+    EXPECT_FALSE(
+        deserializeRecipe("recipe v1 x 2 dec:barrier:0:1").has_value());
+    EXPECT_FALSE(
+        deserializeRecipe("recipe v1 x 2 zzz:barrier:0:1:0")
+            .has_value());
+}
+
+TEST(FuzzGenerator, BuildRejectsOutOfRangeRecipeIndices)
+{
+    ProgramRecipe r;
+    r.name = "bad";
+    r.workers = 2;
+    r.patterns.push_back(
+        PatternSpec{PatternKind::LastWriter, 0, 5, 1});
+    GeneratedProgram g = buildProgram(r);
+    ASSERT_FALSE(g.verify_errors.empty());
+    EXPECT_NE(g.verify_errors.front().find("recipe"),
+              std::string::npos);
+}
+
+TEST(FuzzGenerator, LoweringIsDeterministicPerRecipe)
+{
+    ProgramRecipe r;
+    r.name = "fixed";
+    r.workers = 3;
+    r.patterns.push_back(
+        PatternSpec{PatternKind::SpinFlag, 0, 2, 1});
+    r.patterns.push_back(
+        PatternSpec{PatternKind::PrintedValue, 1, 0, 9});
+    r.decors.push_back(DecorSpec{DecorKind::Barrier, 0, 1, 0});
+    r.decors.push_back(DecorSpec{DecorKind::CondHandshake, 0, 2, 0});
+    GeneratedProgram a = buildProgram(r);
+    GeneratedProgram b = buildProgram(r);
+    ASSERT_TRUE(a.verify_errors.empty());
+    EXPECT_EQ(ir::serializeProgram(a.program),
+              ir::serializeProgram(b.program));
+    // Ground truth rides along: spin-flag contributes two races.
+    EXPECT_EQ(a.expected.size(), 3u);
+}
+
+} // namespace
+} // namespace portend::fuzz

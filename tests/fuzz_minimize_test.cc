@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Minimizer tests: convergence to a 1-minimal reproducer on a known
+ * injected oracle bug, predicate preservation, probe budgeting, and
+ * signature-preserving shrinking against the real oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/generator.h"
+#include "fuzz/minimize.h"
+#include "fuzz/oracle.h"
+
+namespace portend::fuzz {
+namespace {
+
+/** A bulky start recipe with one "guilty" atom buried in noise. */
+ProgramRecipe
+bulkyRecipe()
+{
+    ProgramRecipe r;
+    r.name = "bulky";
+    r.workers = 4;
+    r.patterns.push_back(
+        PatternSpec{PatternKind::LastWriter, 0, 1, 11});
+    r.patterns.push_back(
+        PatternSpec{PatternKind::OverflowCrash, 2, 3, 4});
+    r.patterns.push_back(
+        PatternSpec{PatternKind::PrintedValue, 1, 2, 33});
+    r.decors.push_back(DecorSpec{DecorKind::Barrier, 0, 1, 0});
+    r.decors.push_back(DecorSpec{DecorKind::MutexCounter, 2, 3, 3});
+    r.decors.push_back(DecorSpec{DecorKind::YieldNoise, 0, 2, 2});
+    return r;
+}
+
+TEST(FuzzMinimize, ConvergesOnInjectedOracleBug)
+{
+    // Simulated oracle bug: "fails whenever the program contains an
+    // overflow-crash pattern". The minimizer must strip everything
+    // else and shrink the guilty atom's parameter to its minimum.
+    auto pred = [](const ProgramRecipe &r) {
+        for (const PatternSpec &p : r.patterns)
+            if (p.kind == PatternKind::OverflowCrash)
+                return true;
+        return false;
+    };
+    MinimizeResult res = minimizeRecipe(bulkyRecipe(), pred);
+    EXPECT_TRUE(res.one_minimal);
+    ASSERT_EQ(res.recipe.patterns.size(), 1u);
+    EXPECT_EQ(res.recipe.patterns[0].kind,
+              PatternKind::OverflowCrash);
+    EXPECT_EQ(res.recipe.patterns[0].param, 2); // smallest table
+    EXPECT_TRUE(res.recipe.decors.empty());
+    EXPECT_EQ(res.recipe.workers, 2); // unused threads compacted
+    EXPECT_TRUE(pred(res.recipe));
+}
+
+TEST(FuzzMinimize, UninterestingStartIsReturnedUnchanged)
+{
+    auto never = [](const ProgramRecipe &) { return false; };
+    ProgramRecipe start = bulkyRecipe();
+    MinimizeResult res = minimizeRecipe(start, never);
+    EXPECT_EQ(res.recipe, start);
+    EXPECT_FALSE(res.one_minimal);
+    EXPECT_EQ(res.probes, 1);
+}
+
+TEST(FuzzMinimize, RespectsProbeBudget)
+{
+    auto always = [](const ProgramRecipe &) { return true; };
+    MinimizeOptions opts;
+    opts.max_probes = 3;
+    MinimizeResult res = minimizeRecipe(bulkyRecipe(), always, opts);
+    EXPECT_LE(res.probes, 3);
+    EXPECT_FALSE(res.one_minimal);
+}
+
+TEST(FuzzMinimize, ResultIsOneMinimal)
+{
+    auto pred = [](const ProgramRecipe &r) {
+        for (const PatternSpec &p : r.patterns)
+            if (p.kind == PatternKind::OverflowCrash)
+                return true;
+        return false;
+    };
+    MinimizeResult res = minimizeRecipe(bulkyRecipe(), pred);
+    // Removing any single remaining atom must lose the property.
+    for (std::size_t i = 0; i < res.recipe.patterns.size(); ++i) {
+        ProgramRecipe cand = res.recipe;
+        cand.patterns.erase(cand.patterns.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        EXPECT_FALSE(pred(cand));
+    }
+}
+
+TEST(FuzzMinimize, SignaturePreservingShrinkAgainstRealOracle)
+{
+    // The campaign's regression-exemplar path: shrink while the
+    // oracle signature is unchanged and the oracle stays clean.
+    GeneratedProgram g = generateProgram(42, 3, GeneratorOptions{});
+    ASSERT_TRUE(g.verify_errors.empty());
+    OracleOptions oopts;
+    const std::string sig = runOracle(g.program, oopts).signature();
+
+    auto pred = [&](const ProgramRecipe &cand) {
+        GeneratedProgram cg = buildProgram(cand);
+        if (!cg.verify_errors.empty())
+            return false;
+        OracleVerdict v = runOracle(cg.program, oopts);
+        return !v.flagged() && v.signature() == sig;
+    };
+    MinimizeResult res = minimizeRecipe(g.recipe, pred);
+    EXPECT_TRUE(res.one_minimal);
+    EXPECT_LE(res.recipe.patterns.size(), g.recipe.patterns.size());
+    EXPECT_LE(res.recipe.decors.size(), g.recipe.decors.size());
+    EXPECT_TRUE(pred(res.recipe));
+}
+
+} // namespace
+} // namespace portend::fuzz

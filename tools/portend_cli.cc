@@ -12,12 +12,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "fuzz/corpus.h"
+#include "fuzz/fuzzer.h"
+#include "ir/serialize.h"
 #include "portend/classify.h"
 #include "portend/portend.h"
 #include "rt/vmstate.h"
@@ -38,8 +42,14 @@ Usage:
   portend list                          list registered workloads
   portend run <workload> [options]      detect and classify every race
   portend run --all [options]           whole registry, one report each
+  portend run --file <prog.pil> [options]    same pipeline on a PIL file
   portend classify <workload> [options] classify with an explicit k budget
   portend classify --all [options]      whole registry, compact tables
+  portend classify --file <prog.pil> [options]   compact table for a file
+  portend fuzz [options]                generate racy PIL programs, cross-
+                                        check detectors and classifier,
+                                        minimize and store reproducers
+  portend corpus run <dir>              replay a reproducer corpus
   portend --help                        print this help
 
 Workloads:
@@ -52,9 +62,9 @@ Options:
                        multi-path at N > 1, multi-schedule at N >= 5
   --mp <N>             primary paths explored (Mp, default 5)
   --ma <N>             alternate schedules per primary (Ma, default 2)
-  --jobs <N>           classification worker threads (default: one
-                       per hardware thread); verdicts are identical
-                       for every N
+  --jobs <N>           worker threads for classification, batch mode,
+                       and fuzzing (default: one per hardware
+                       thread); results are identical for every N
   --seed <N>           detection-run schedule seed (default 1)
   --detector <name>    hb | hb-nomutex | lockset (default hb)
   --class <name>       only report races of this class (paper
@@ -63,6 +73,19 @@ Options:
   --no-multi-schedule  disable multi-schedule analysis (stage 3)
   --no-adhoc           disable ad-hoc synchronization detection
   --json               emit a JSON report instead of the Fig. 6 text
+
+Fuzzing options (portend fuzz):
+  --budget <N>         programs to generate (default 200); with a
+                       fixed --fuzz-seed the campaign is
+                       deterministic: summary and corpus bytes are
+                       byte-identical on every run and --jobs value
+  --seconds <S>        wall-clock box instead of --budget (program
+                       count then depends on the host)
+  --fuzz-seed <N>      program-generation seed (default 1); --seed
+                       stays the detection schedule seed, so the two
+                       vary independently
+  --corpus <dir>       write minimized reproducers here (replay them
+                       with `portend corpus run <dir>`)
 
 Race classes (paper Fig. 1):
   spec violated        an ordering crashes, deadlocks, or hangs
@@ -191,6 +214,32 @@ loadWorkload(const std::string &name)
     return workloads::buildWorkload(name);
 }
 
+/**
+ * Wrap a serialized PIL file (a corpus entry's program.pil, a user
+ * program) as an ad-hoc workload so it runs through the standard
+ * pipeline. Deserialization verifies the program structurally; a
+ * malformed file is a usage error, never a crash.
+ */
+workloads::Workload
+loadProgramFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        usageError("cannot open file: " + path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    std::string error;
+    std::optional<ir::Program> prog =
+        ir::deserializeProgram(os.str(), &error);
+    if (!prog)
+        usageError(path + ": " + error);
+    workloads::Workload w;
+    w.name = prog->name.empty() ? path : prog->name;
+    w.language = "PIL";
+    w.program = std::move(*prog);
+    return w;
+}
+
 /** Install a workload's semantic predicates (e.g. fmm timestamps). */
 void
 applyWorkloadConfig(const workloads::Workload &w, core::PortendOptions &o)
@@ -231,12 +280,12 @@ struct PipelineRun
     std::vector<const core::PortendReport *> selected;
 };
 
-/** The shared run/classify preamble: load, configure, run, filter. */
+/** The shared run/classify tail: configure, run, filter. */
 PipelineRun
-runPipeline(const std::string &name, CliOptions &cli)
+runPipelineOn(workloads::Workload workload, CliOptions &cli)
 {
     PipelineRun p;
-    p.workload = loadWorkload(name);
+    p.workload = std::move(workload);
     applyWorkloadConfig(p.workload, cli.opts);
     core::Portend tool(p.workload.program, cli.opts);
     p.result = tool.run();
@@ -244,6 +293,13 @@ runPipeline(const std::string &name, CliOptions &cli)
         if (!cli.only_class || r.classification.cls == *cli.only_class)
             p.selected.push_back(&r);
     return p;
+}
+
+/** The shared run/classify preamble: load, configure, run, filter. */
+PipelineRun
+runPipeline(const std::string &name, CliOptions &cli)
+{
+    return runPipelineOn(loadWorkload(name), cli);
 }
 
 /**
@@ -375,6 +431,22 @@ cmdRun(const std::string &name, bool classify_mode, CliOptions cli)
     return 0;
 }
 
+/** `run --file` / `classify --file`: the pipeline over a PIL file. */
+int
+cmdRunFile(const std::string &path, bool classify_mode,
+           CliOptions cli)
+{
+    PipelineRun p = runPipelineOn(loadProgramFile(path), cli);
+    std::string out = cli.json
+                          ? jsonReport(p.workload, p.result,
+                                       p.selected) +
+                                "\n"
+                          : (classify_mode ? classifyText(p, cli)
+                                           : runText(p));
+    std::fputs(out.c_str(), stdout);
+    return 0;
+}
+
 /**
  * Batch mode over the full registry: whole workload pipelines are
  * the scheduler's unit of parallelism here (each inner pipeline runs
@@ -420,6 +492,87 @@ cmdBatch(bool classify_mode, CliOptions cli)
     return 0;
 }
 
+/**
+ * `portend fuzz`: run a campaign. The deterministic summary goes to
+ * stdout (acceptance diffs it byte-for-byte between runs); the
+ * wall-clock line goes to stderr so timing never breaks determinism.
+ */
+int
+cmdFuzz(int argc, char **argv)
+{
+    fuzz::FuzzOptions fo;
+    fo.jobs = 0; // CLI default: one worker per hardware thread
+    bool budget_given = false;
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (a == "--budget") {
+            fo.budget = static_cast<int>(parseInt("--budget", next));
+            if (fo.budget < 1)
+                usageError("--budget must be >= 1");
+            budget_given = true;
+            ++i;
+        } else if (a == "--seconds") {
+            fo.seconds =
+                static_cast<double>(parseInt("--seconds", next));
+            if (fo.seconds <= 0)
+                usageError("--seconds must be >= 1");
+            ++i;
+        } else if (a == "--fuzz-seed") {
+            fo.fuzz_seed = static_cast<std::uint64_t>(
+                parseInt("--fuzz-seed", next));
+            ++i;
+        } else if (a == "--seed") {
+            fo.detection_seed =
+                static_cast<std::uint64_t>(parseInt("--seed", next));
+            ++i;
+        } else if (a == "--jobs") {
+            fo.jobs = static_cast<int>(parseInt("--jobs", next));
+            if (fo.jobs < 1)
+                usageError("--jobs must be >= 1");
+            ++i;
+        } else if (a == "--corpus") {
+            if (!next)
+                usageError("--corpus needs a directory");
+            fo.corpus_dir = next;
+            ++i;
+        } else {
+            usageError("unknown fuzz option: " + a);
+        }
+    }
+    if (budget_given && fo.seconds > 0)
+        usageError("--budget and --seconds are mutually exclusive");
+
+    fuzz::FuzzResult res = fuzz::runFuzz(fo);
+    std::fputs(res.summaryText().c_str(), stdout);
+    std::fprintf(stderr, "wall-clock: %.2fs (%d jobs)\n", res.seconds,
+                 ThreadPool::resolveJobs(fo.jobs));
+    return res.clean() ? 0 : 1;
+}
+
+/** `portend corpus run <dir>`: replay a reproducer corpus. */
+int
+cmdCorpusRun(const std::string &dir)
+{
+    fuzz::CorpusRunResult res =
+        fuzz::runCorpus(dir, fuzz::OracleOptions{});
+    if (res.total == 0) {
+        std::fprintf(stderr,
+                     "portend: no corpus entries under %s\n",
+                     dir.c_str());
+        return 2;
+    }
+    for (const fuzz::ReplayOutcome &o : res.outcomes) {
+        if (o.ok)
+            std::printf("PASS %s\n", o.name.c_str());
+        else
+            std::printf("FAIL %s: %s\n", o.name.c_str(),
+                        o.detail.c_str());
+    }
+    std::printf("corpus: %d/%d green\n", res.passed, res.total);
+    return res.allGreen() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -445,10 +598,26 @@ main(int argc, char **argv)
             CliOptions cli = parseOptions(argc, argv, 3);
             return cmdBatch(classify_mode, cli);
         }
+        if (argc >= 3 && std::strcmp(argv[2], "--file") == 0) {
+            if (argc < 4 || argv[3][0] == '-')
+                usageError("--file needs a path to a .pil program");
+            CliOptions cli = parseOptions(argc, argv, 4);
+            return cmdRunFile(argv[3], classify_mode, cli);
+        }
         if (argc < 3 || argv[2][0] == '-')
-            usageError(cmd + " needs a workload name (or --all)");
+            usageError(cmd +
+                       " needs a workload name (or --all, --file)");
         CliOptions cli = parseOptions(argc, argv, 3);
         return cmdRun(argv[2], classify_mode, cli);
+    }
+    if (cmd == "fuzz")
+        return cmdFuzz(argc, argv);
+    if (cmd == "corpus") {
+        if (argc < 4 || std::strcmp(argv[2], "run") != 0)
+            usageError("usage: portend corpus run <dir>");
+        if (argc > 4)
+            usageError("corpus run takes exactly one directory");
+        return cmdCorpusRun(argv[3]);
     }
     usageError("unknown command: " + cmd);
 }
