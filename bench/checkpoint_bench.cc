@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Checkpoint-cost and replay-prefix-savings benchmark.
+ *
+ * Quantifies the two effects of the copy-on-write VmState and the
+ * shared checkpoint ladder, across the 11 registry workloads plus a
+ * batch of fixed-seed fuzzed programs:
+ *
+ *  1. Per-fork checkpoint cost: the time to copy a mid-execution
+ *     VmState (Portend's checkpoint/fork primitive) with structural
+ *     sharing vs the deep-copy baseline (the same copy followed by
+ *     VmState::unshareAll(), which materializes every page, stack,
+ *     and map exactly as the pre-COW code did on every copy).
+ *
+ *  2. Prefix-replay savings: wall-clock time to classify every race
+ *     cluster with a per-batch CheckpointLadder vs replaying each
+ *     cluster's pre-race prefix from step 0, with a byte-equality
+ *     check over the Fig. 6 report text (the ladder must change
+ *     time, never verdicts).
+ *
+ * Emits one JSON object. Exit status: 0 when the reports are
+ * byte-identical and the aggregate fork speedup is >= 2x, 1
+ * otherwise (CI gates on it).
+ *
+ * Usage: bench_checkpoint [forks] [fuzz_programs] [fuzz_seed]
+ *   forks          copy repetitions per measured state (default 2000)
+ *   fuzz_programs  fuzzed programs to include (default 8)
+ *   fuzz_seed      generator seed (default 42)
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "fuzz/generator.h"
+#include "replay/checkpoint.h"
+#include "replay/replayer.h"
+#include "rt/interpreter.h"
+#include "rt/policy.h"
+
+namespace {
+
+using namespace portend;
+
+/** One measured program. */
+struct Subject
+{
+    std::string name;
+    ir::Program program;
+    std::vector<core::SemanticPredicate> semantic_predicates;
+};
+
+/** Fork-cost measurement over one pre-race state. */
+struct ForkCost
+{
+    double cow_ns = 0.0;
+    double deep_ns = 0.0;
+    std::uint64_t state_cells = 0;
+};
+
+/** Classification timing with and without a ladder. */
+struct ClassifyCost
+{
+    double ladder_s = 0.0;
+    double replay_s = 0.0;
+    std::uint64_t prefix_steps_saved = 0;
+    int clusters = 0;
+    bool identical = true;
+};
+
+/**
+ * Time @p forks state copies. The copied state is consumed via its
+ * step counter so the copy cannot be optimized away; deep mode
+ * materializes every COW container afterwards, reproducing the
+ * pre-COW per-fork cost.
+ */
+double
+timeForks(const rt::VmState &state, int forks, bool deep)
+{
+    std::uint64_t sink = 0;
+    const auto pass = [&] {
+        Stopwatch sw;
+        for (int i = 0; i < forks; ++i) {
+            rt::VmState copy = state;
+            if (deep)
+                copy.unshareAll();
+            sink += copy.global_step + copy.mem.size();
+        }
+        return sw.seconds() * 1e9 / std::max(1, forks);
+    };
+    pass(); // warmup: faults pages, ramps the clock
+    double best = pass();
+    for (int r = 0; r < 2; ++r)
+        best = std::min(best, pass());
+    if (sink == 0) // defeat dead-code elimination
+        std::fprintf(stderr, "impossible\n");
+    return best;
+}
+
+/** Replay to the first cluster's pre-race point; null if unreachable. */
+bool
+preRaceState(const Subject &s, const core::DetectionResult &det,
+             rt::VmState &out)
+{
+    if (det.clusters.empty())
+        return false;
+    const race::RaceReport &race = det.clusters[0].representative;
+    core::PortendOptions opts;
+    rt::ExecOptions eo = core::RaceAnalyzer::replayOptions(opts);
+    eo.concrete_inputs = det.trace.concreteInputs();
+    rt::Interpreter interp(s.program, eo);
+    rt::RotatePolicy rotate;
+    replay::TracePolicy tp(det.trace,
+                           replay::TracePolicy::Mode::Strict, &rotate);
+    interp.setPolicy(&tp);
+    rt::Interpreter::StopSpec pre;
+    pre.before_cell.push_back(
+        {race.first.tid, race.cell, race.first.cell_occurrence});
+    interp.run(pre);
+    if (!interp.stopped())
+        return false;
+    out = interp.state();
+    return true;
+}
+
+/** Fig. 6 report text of one classification pass. */
+std::string
+renderAll(const Subject &s, const core::DetectionResult &det,
+          const std::vector<core::Classification> &cls)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < det.clusters.size(); ++i) {
+        core::PortendReport r;
+        r.cluster = det.clusters[i];
+        r.classification = cls[i];
+        os << core::formatReport(s.program, r);
+    }
+    return os.str();
+}
+
+ClassifyCost
+timeClassification(const Subject &s, const core::DetectionResult &det)
+{
+    ClassifyCost cost;
+    cost.clusters = static_cast<int>(det.clusters.size());
+    core::PortendOptions opts;
+    opts.semantic_predicates = s.semantic_predicates;
+    core::RaceAnalyzer analyzer(s.program, opts);
+
+    // Baseline: every cluster replays its prefix from step 0.
+    std::vector<core::Classification> plain;
+    Stopwatch sw;
+    for (const auto &c : det.clusters)
+        plain.push_back(analyzer.classify(c.representative, det.trace));
+    cost.replay_s = sw.seconds();
+
+    // Ladder: one shared build replay, clusters fork from rungs.
+    std::vector<core::Classification> laddered;
+    sw.reset();
+    replay::CheckpointLadder ladder = replay::CheckpointLadder::build(
+        s.program, det.trace,
+        replay::CheckpointLadder::targetsFor(det.clusters),
+        core::RaceAnalyzer::replayOptions(opts),
+        opts.semantic_predicates);
+    for (const auto &c : det.clusters) {
+        laddered.push_back(
+            analyzer.classify(c.representative, det.trace, &ladder));
+    }
+    cost.ladder_s = sw.seconds();
+    cost.prefix_steps_saved =
+        ladder.prefixStepsCovered() >= ladder.buildSteps()
+            ? ladder.prefixStepsCovered() - ladder.buildSteps()
+            : 0;
+    cost.identical =
+        renderAll(s, det, plain) == renderAll(s, det, laddered);
+    return cost;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int forks = argc > 1 ? std::atoi(argv[1]) : 2000;
+    const int fuzz_programs = argc > 2 ? std::atoi(argv[2]) : 8;
+    const std::uint64_t fuzz_seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+    if (forks < 1 || fuzz_programs < 0) {
+        std::fprintf(stderr, "usage: bench_checkpoint [forks] "
+                             "[fuzz_programs] [fuzz_seed]\n");
+        return 2;
+    }
+
+    std::vector<Subject> subjects;
+    for (const std::string &name : workloads::workloadNames()) {
+        workloads::Workload w = workloads::buildWorkload(name);
+        subjects.push_back(
+            {name, w.program, w.semantic_predicates});
+    }
+    fuzz::GeneratorOptions gopts;
+    for (int i = 0; i < fuzz_programs; ++i) {
+        fuzz::GeneratedProgram gp = fuzz::generateProgram(
+            fuzz_seed, static_cast<std::uint64_t>(i), gopts);
+        if (!gp.verify_errors.empty())
+            continue;
+        subjects.push_back({gp.program.name, std::move(gp.program), {}});
+    }
+
+    bool all_identical = true;
+    Accumulator fork_speedups;     // per-subject cow-vs-deep ratios
+    double ladder_total = 0.0;
+    double replay_total = 0.0;
+    std::uint64_t steps_saved = 0;
+
+    std::printf("{\n  \"bench\": \"checkpoint\",\n");
+    std::printf("  \"forks\": %d,\n", forks);
+    std::printf("  \"fuzz_programs\": %d,\n", fuzz_programs);
+    std::printf("  \"fuzz_seed\": %llu,\n",
+                static_cast<unsigned long long>(fuzz_seed));
+    std::printf("  \"subjects\": [\n");
+
+    bool first_row = true;
+    for (const Subject &s : subjects) {
+        core::PortendOptions popts;
+        popts.semantic_predicates = s.semantic_predicates;
+        core::Portend tool(s.program, popts);
+        core::DetectionResult det = tool.detect();
+
+        rt::VmState pre;
+        if (!preRaceState(s, det, pre))
+            continue; // race-free or unreachable: nothing to measure
+
+        ForkCost fork;
+        fork.state_cells = pre.mem.size();
+        fork.cow_ns = timeForks(pre, forks, false);
+        fork.deep_ns = timeForks(pre, forks, true);
+        const double speedup =
+            fork.cow_ns > 0.0 ? fork.deep_ns / fork.cow_ns : 0.0;
+        fork_speedups.add(speedup);
+
+        ClassifyCost cls = timeClassification(s, det);
+        all_identical = all_identical && cls.identical;
+        ladder_total += cls.ladder_s;
+        replay_total += cls.replay_s;
+        steps_saved += cls.prefix_steps_saved;
+
+        std::printf("%s    {\"name\": \"%s\", \"cells\": %llu, "
+                    "\"clusters\": %d, "
+                    "\"fork_cow_ns\": %.1f, \"fork_deep_ns\": %.1f, "
+                    "\"fork_speedup\": %.2f, "
+                    "\"classify_ladder_s\": %.6f, "
+                    "\"classify_replay_s\": %.6f, "
+                    "\"prefix_steps_saved\": %llu, "
+                    "\"identical_reports\": %s}",
+                    first_row ? "" : ",\n", s.name.c_str(),
+                    static_cast<unsigned long long>(fork.state_cells),
+                    cls.clusters, fork.cow_ns, fork.deep_ns, speedup,
+                    cls.ladder_s, cls.replay_s,
+                    static_cast<unsigned long long>(
+                        cls.prefix_steps_saved),
+                    cls.identical ? "true" : "false");
+        first_row = false;
+    }
+
+    const double mean_fork_speedup = fork_speedups.mean();
+    const double classify_speedup =
+        ladder_total > 0.0 ? replay_total / ladder_total : 0.0;
+    std::printf("\n  ],\n");
+    std::printf("  \"summary\": {\n");
+    std::printf("    \"mean_fork_speedup\": %.2f,\n",
+                mean_fork_speedup);
+    std::printf("    \"min_fork_speedup\": %.2f,\n",
+                fork_speedups.count() ? fork_speedups.min() : 0.0);
+    std::printf("    \"classify_ladder_s\": %.6f,\n", ladder_total);
+    std::printf("    \"classify_replay_s\": %.6f,\n", replay_total);
+    std::printf("    \"classify_speedup\": %.3f,\n", classify_speedup);
+    std::printf("    \"prefix_steps_saved\": %llu\n",
+                static_cast<unsigned long long>(steps_saved));
+    std::printf("  },\n");
+    std::printf("  \"deterministic\": %s\n",
+                all_identical ? "true" : "false");
+    std::printf("}\n");
+
+    // CI gate: reports byte-identical and forks >= 2x cheaper.
+    return (all_identical && mean_fork_speedup >= 2.0) ? 0 : 1;
+}

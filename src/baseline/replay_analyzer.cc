@@ -80,9 +80,9 @@ ReplayAnalyzer::analyze(const race::RaceReport &race,
     primary.run();
     std::uint64_t primary_second_count = 0;
     {
-        auto it = primary.state().access_counts.find(
+        auto it = primary.state().access_counts->find(
             {race.second.tid, race.second.pc});
-        if (it != primary.state().access_counts.end())
+        if (it != primary.state().access_counts->end())
             primary_second_count = it->second;
     }
 
@@ -131,10 +131,10 @@ ReplayAnalyzer::analyze(const race::RaceReport &race,
     rt::VmState post_alt_snapshot = alt.state();
     alt.run();
     if (primary_second_count > 0) {
-        auto it = alt.state().access_counts.find(
+        auto it = alt.state().access_counts->find(
             {race.second.tid, race.second.pc});
         std::uint64_t alt_count =
-            it == alt.state().access_counts.end() ? 0 : it->second;
+            it == alt.state().access_counts->end() ? 0 : it->second;
         if (alt_count > primary_second_count) {
             out.replay_failed = true;
             out.verdict = ReplayVerdict::LikelyHarmful;

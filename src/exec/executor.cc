@@ -48,7 +48,9 @@ Executor::decide(rt::Interpreter &interp, const sym::ExprPtr &cond,
     if (t_ok && f_ok) {
         // Fork the false side if we still have state budget; the
         // clone re-executes the deciding instruction and consumes
-        // the forced decision instead of calling back here.
+        // the forced decision instead of calling back here. The
+        // clone is a COW checkpoint: cheap to take, and immutable
+        // on the worklist until adopted.
         if (states_created < opts.max_states) {
             rt::VmState clone = interp.state();
             clone.forced_decisions.push_back(false);

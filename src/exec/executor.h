@@ -9,6 +9,13 @@
  * the untaken side (Fig. 5's execution tree). Exploration is bounded
  * by Mp, the number of completed paths to collect (paper §3.3's
  * "upper bound on the number of primary paths").
+ *
+ * Fork cost: a worklist entry is a copy-on-write VmState checkpoint
+ * (rt/vmstate.h) — the fork copies page/stack/map pointers, O(pages)
+ * not O(state), and stays immutable while queued. The running
+ * interpreter's write barriers unshare only what it touches, and a
+ * resumed state pays the same way; states that are pruned or never
+ * adopted cost nothing beyond their pointer copies.
  */
 
 #ifndef PORTEND_EXEC_EXECUTOR_H

@@ -35,14 +35,14 @@ bool
 PrimarySearchPolicy::racePassed(const rt::VmState &state,
                                 const race::RaceReport &race)
 {
-    auto f = state.cell_access_counts.find({race.first.tid, race.cell});
-    if (f == state.cell_access_counts.end() ||
+    auto f = state.cell_access_counts->find({race.first.tid, race.cell});
+    if (f == state.cell_access_counts->end() ||
         f->second < race.first.cell_occurrence) {
         return false;
     }
     auto s =
-        state.cell_access_counts.find({race.second.tid, race.cell});
-    return s != state.cell_access_counts.end() &&
+        state.cell_access_counts->find({race.second.tid, race.cell});
+    return s != state.cell_access_counts->end() &&
            s->second >= race.second.cell_occurrence;
 }
 
@@ -89,12 +89,36 @@ RaceAnalyzer::RaceAnalyzer(const ir::Program &prog,
 {}
 
 rt::ExecOptions
-RaceAnalyzer::baseOptions() const
+RaceAnalyzer::replayOptions(const PortendOptions &opts)
 {
     rt::ExecOptions eo;
     eo.preempt_on_memory = true;
     eo.max_steps = opts.max_steps;
     return eo;
+}
+
+rt::ExecOptions
+RaceAnalyzer::baseOptions() const
+{
+    return replayOptions(opts);
+}
+
+const replay::CheckpointLadder::Rung *
+RaceAnalyzer::usableRung(const replay::CheckpointLadder *ladder,
+                         const race::RaceReport &race,
+                         const std::vector<std::int64_t> &inputs) const
+{
+    if (!ladder || ladder->inputs() != inputs)
+        return nullptr;
+    const replay::CheckpointLadder::Rung *rung = ladder->find(
+        race.first.tid, race.cell, race.first.cell_occurrence);
+    // A rung past this analyzer's budget is unusable: a from-0
+    // replay under the (possibly tighter, sliced) budget would have
+    // timed out before reaching it, and the ladder must never change
+    // verdicts.
+    if (rung && rung->state.global_step >= opts.max_steps)
+        return nullptr;
+    return rung;
 }
 
 ViolationKind
@@ -230,9 +254,15 @@ RaceAnalyzer::statesEqual(const rt::VmState &a, const rt::VmState &b)
     // perturbs them, and [45] diffs memory/registers, not schedules.
     if (a.mem.size() != b.mem.size())
         return false;
-    for (std::size_t i = 0; i < a.mem.size(); ++i) {
+    for (std::size_t i = 0; i < a.mem.size();) {
+        // Pages the two images still share are equal by construction.
+        if (a.mem.sharesPage(i, b.mem)) {
+            i = a.mem.pageEnd(i);
+            continue;
+        }
         if (!a.mem[i]->equals(*b.mem[i]))
             return false;
+        ++i;
     }
     return true;
 }
@@ -452,10 +482,10 @@ RaceAnalyzer::runAlternateFromState(
         // back through the read waiting for the held writer, so the
         // two accesses admit only one real ordering.
         if (primary_second_count > 0) {
-            auto it = alt.state().access_counts.find(
+            auto it = alt.state().access_counts->find(
                 {race.second.tid, race.second.pc});
             std::uint64_t alt_count =
-                it == alt.state().access_counts.end() ? 0
+                it == alt.state().access_counts->end() ? 0
                                                       : it->second;
             if (alt_count > primary_second_count) {
                 if (opts.adhoc_detection) {
@@ -488,6 +518,7 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
                              const replay::ScheduleTrace &trace,
                              const std::vector<std::int64_t> &inputs,
                              std::uint64_t post_seed, bool random_post,
+                             const replay::CheckpointLadder *ladder,
                              AnalysisStats &stats) const
 {
     SingleResult r;
@@ -503,25 +534,37 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
                            &rotate);
     interp.setPolicy(&tp);
 
-    rt::Interpreter::StopSpec pre;
-    pre.before_cell.push_back(
-        {race.first.tid, race.cell, race.first.cell_occurrence});
-    rt::RunOutcome oc = interp.run(pre);
+    const replay::CheckpointLadder::Rung *rung =
+        usableRung(ladder, race, inputs);
+    if (rung) {
+        // Fork from the cached pre-race checkpoint instead of
+        // replaying the prefix; the rung state carries the prefix's
+        // step counters (so the ledger stays identical) and the
+        // monitor adopts the prefix's predicate state.
+        interp.setState(rung->state);
+        sem.restore(rung->semantics);
+    } else {
+        rt::Interpreter::StopSpec pre;
+        pre.before_cell.push_back(
+            {race.first.tid, race.cell, race.first.cell_occurrence});
+        rt::RunOutcome pre_oc = interp.run(pre);
 
-    if (!interp.stopped()) {
-        absorbStats(stats, interp.state());
-        if (rt::isSpecViolation(oc)) {
-            r.kind = SingleResult::Kind::SpecViol;
-            r.viol = violationOf(oc);
-            r.detail = interp.state().outcome_detail;
-        } else {
-            r.kind = SingleResult::Kind::NotReached;
-            r.detail = "race point not reached during replay";
+        if (!interp.stopped()) {
+            absorbStats(stats, interp.state());
+            if (rt::isSpecViolation(pre_oc)) {
+                r.kind = SingleResult::Kind::SpecViol;
+                r.viol = violationOf(pre_oc);
+                r.detail = interp.state().outcome_detail;
+            } else {
+                r.kind = SingleResult::Kind::NotReached;
+                r.detail = "race point not reached during replay";
+            }
+            return r;
         }
-        return r;
     }
 
     rt::VmState pre_ckpt = interp.state();
+    rt::RunOutcome oc = rt::RunOutcome::Running;
 
     // Post-race primary snapshot: first accessor, then second.
     int stage = 0;
@@ -575,9 +618,9 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
         // primary's truncated output admits no output comparison.
         std::uint64_t primary_second_count = 0;
         {
-            auto it = interp.state().access_counts.find(
+            auto it = interp.state().access_counts->find(
                 {race.second.tid, race.second.pc});
-            if (it != interp.state().access_counts.end())
+            if (it != interp.state().access_counts->end())
                 primary_second_count = it->second;
         }
         // The crash truncated the primary, so its step count is a
@@ -610,9 +653,9 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
     r.primary_steps = interp.state().global_step;
     std::uint64_t primary_second_count = 0;
     {
-        auto it = interp.state().access_counts.find(
+        auto it = interp.state().access_counts->find(
             {race.second.tid, race.second.pc});
-        if (it != interp.state().access_counts.end())
+        if (it != interp.state().access_counts->end())
             primary_second_count = it->second;
     }
 
@@ -647,8 +690,21 @@ RaceAnalyzer::runAlternate(const race::RaceReport &race,
                            const std::vector<std::int64_t> &inputs,
                            std::uint64_t post_seed, bool random_post,
                            std::uint64_t budget_steps,
+                           const replay::CheckpointLadder *ladder,
                            AnalysisStats &stats) const
 {
+    // The rung is valid here too: on the faithful pre-race prefix
+    // the PrimarySearchPolicy follows the trace decision-for-
+    // decision exactly like the ladder's strict TracePolicy did.
+    if (const replay::CheckpointLadder::Rung *rung =
+            usableRung(ladder, race, inputs)) {
+        absorbStats(stats, rung->state);
+        return runAlternateFromState(rung->state, race, inputs,
+                                     post_seed, random_post,
+                                     budget_steps, nullptr, &trace, 0,
+                                     stats);
+    }
+
     rt::ExecOptions eo = baseOptions();
     eo.concrete_inputs = inputs;
     rt::Interpreter interp(prog, eo);
@@ -707,7 +763,7 @@ RaceAnalyzer::replayEvidence(const race::RaceReport &race,
                                 : trace.decisions.back().step + 1;
     SingleResult r = runAlternate(
         race, trace, inputs, verdict.evidence_seed,
-        verdict.evidence_seed != 0, budget, scratch);
+        verdict.evidence_seed != 0, budget, nullptr, scratch);
     switch (r.kind) {
       case SingleResult::Kind::SpecViol:
         // Reconstruct the concrete outcome class from the verdict.
@@ -731,15 +787,16 @@ RaceAnalyzer::replayEvidence(const race::RaceReport &race,
 
 Classification
 RaceAnalyzer::classify(const race::RaceReport &race,
-                       const replay::ScheduleTrace &trace) const
+                       const replay::ScheduleTrace &trace,
+                       const replay::CheckpointLadder *ladder) const
 {
     Stopwatch sw;
     Classification c;
     const std::vector<std::int64_t> inputs0 = trace.concreteInputs();
 
     // ---- Stage 1: single-pre/single-post (Algorithm 1). ----
-    SingleResult s1 =
-        singleClassify(race, trace, inputs0, 0, false, c.stats);
+    SingleResult s1 = singleClassify(race, trace, inputs0, 0, false,
+                                     ladder, c.stats);
     c.states_differ = s1.states_differ;
 
     bool done = true;
@@ -860,7 +917,7 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                     static_cast<std::uint64_t>(j) + 1;
                 SingleResult a = runAlternate(
                     race, trace, inputs_p, seed,
-                    opts.multi_schedule, budget, c.stats);
+                    opts.multi_schedule, budget, ladder, c.stats);
                 switch (a.kind) {
                   case SingleResult::Kind::SpecViol:
                     c.cls = RaceClass::SpecViolated;
@@ -907,7 +964,7 @@ RaceAnalyzer::classify(const race::RaceReport &race,
             c.stats.schedules_explored += 1;
             SingleResult s = singleClassify(
                 race, trace, inputs0, static_cast<std::uint64_t>(j),
-                true, c.stats);
+                true, ladder, c.stats);
             if (s.kind == SingleResult::Kind::SpecViol) {
                 c.cls = RaceClass::SpecViolated;
                 c.viol = s.viol;

@@ -37,9 +37,11 @@
 #include "ir/program.h"
 #include "portend/classify.h"
 #include "race/report.h"
+#include "replay/checkpoint.h"
 #include "replay/replayer.h"
 #include "replay/trace.h"
 #include "rt/interpreter.h"
+#include "rt/semantics.h"
 #include "rt/staticinfo.h"
 
 namespace portend::core {
@@ -48,13 +50,11 @@ namespace portend::core {
  * A semantic predicate: invoked on every event of an analysis run;
  * returns a non-empty violation description when the "high level"
  * specification is broken (paper §3.5, e.g. "fmm timestamps must
- * not go backwards"). The scratch map is private to one execution
- * (fresh per run), letting predicates express stateful properties
- * like monotonicity without leaking state across replays.
+ * not go backwards"). Defined in rt/semantics.h (with its monitor)
+ * so the replay layer's checkpoint ladder can snapshot and restore
+ * monitor state; aliased here for the public API.
  */
-using SemanticPredicate = std::function<std::string(
-    const rt::Interpreter &, const rt::Event &,
-    std::map<std::string, std::int64_t> &scratch)>;
+using SemanticPredicate = rt::SemanticPredicate;
 
 /** Which race detector feeds the classifier. */
 enum class DetectorKind : std::uint8_t {
@@ -108,45 +108,8 @@ struct PortendOptions
     std::uint64_t total_step_budget = 0;
 };
 
-/**
- * Event sink evaluating semantic predicates during a run.
- */
-class SemanticMonitor : public rt::EventSink
-{
-  public:
-    SemanticMonitor(const rt::Interpreter &interp,
-                    const std::vector<SemanticPredicate> &preds)
-        : interp(interp), preds(preds)
-    {}
-
-    void
-    onEvent(const rt::Event &ev) override
-    {
-        if (!violation_.empty())
-            return;
-        for (const auto &p : preds) {
-            std::string msg = p(interp, ev, scratch);
-            if (!msg.empty()) {
-                violation_ = msg;
-                violation_cell_ = ev.cell;
-                return;
-            }
-        }
-    }
-
-    /** Non-empty when a predicate was violated. */
-    const std::string &violation() const { return violation_; }
-
-    /** Cell of the violating event (-1 when not cell-related). */
-    int violationCell() const { return violation_cell_; }
-
-  private:
-    const rt::Interpreter &interp;
-    const std::vector<SemanticPredicate> &preds;
-    std::map<std::string, std::int64_t> scratch;
-    std::string violation_;
-    int violation_cell_ = -1;
-};
+/** Event sink evaluating semantic predicates (see rt/semantics.h). */
+using SemanticMonitor = rt::SemanticMonitor;
 
 /**
  * Schedule policy for multi-path primary exploration: follows the
@@ -198,9 +161,25 @@ class RaceAnalyzer
     /**
      * Classify @p race given the recorded @p trace of the execution
      * that exposed it.
+     *
+     * @param ladder optional shared replay-prefix checkpoint ladder
+     *        built over the same (program, trace, options); the
+     *        analyzer forks pre-race states from its rung instead of
+     *        replaying the prefix from step 0. Verdicts and ledger
+     *        stats are byte-identical with or without a ladder —
+     *        only wall-clock time changes.
      */
-    Classification classify(const race::RaceReport &race,
-                            const replay::ScheduleTrace &trace) const;
+    Classification
+    classify(const race::RaceReport &race,
+             const replay::ScheduleTrace &trace,
+             const replay::CheckpointLadder *ladder = nullptr) const;
+
+    /**
+     * The interpreter options every replay-based analysis run uses
+     * (and a CheckpointLadder build must match): preempt on every
+     * memory access, @p opts' step budget, default RNG seed.
+     */
+    static rt::ExecOptions replayOptions(const PortendOptions &opts);
 
     /** Result of replaying a classification's evidence (§3.6). */
     struct EvidenceReplay
@@ -250,6 +229,7 @@ class RaceAnalyzer
                                 const std::vector<std::int64_t> &inputs,
                                 std::uint64_t post_seed,
                                 bool random_post,
+                                const replay::CheckpointLadder *ladder,
                                 AnalysisStats &stats) const;
 
     /**
@@ -262,7 +242,19 @@ class RaceAnalyzer
                               const std::vector<std::int64_t> &inputs,
                               std::uint64_t post_seed, bool random_post,
                               std::uint64_t budget_steps,
+                              const replay::CheckpointLadder *ladder,
                               AnalysisStats &stats) const;
+
+    /**
+     * The ladder rung for @p race's pre-race point, or nullptr when
+     * @p ladder is absent, was built over different inputs, or its
+     * rung lies beyond this analyzer's step budget (a tighter budget
+     * must time out exactly as a from-0 replay would).
+     */
+    const replay::CheckpointLadder::Rung *
+    usableRung(const replay::CheckpointLadder *ladder,
+               const race::RaceReport &race,
+               const std::vector<std::int64_t> &inputs) const;
 
     /**
      * Core of Algorithm 1 lines 5-22: enforce the alternate ordering

@@ -1,9 +1,10 @@
 #include "portend/scheduler.h"
 
 #include <algorithm>
-#include <memory>
+#include <future>
 #include <utility>
 
+#include "replay/checkpoint.h"
 #include "support/stats.h"
 #include "support/threadpool.h"
 
@@ -22,24 +23,34 @@ ClassificationScheduler::jobs() const
 }
 
 PortendOptions
-ClassificationScheduler::taskOptions(std::size_t n_clusters) const
+ClassificationScheduler::taskOptions(std::size_t n_clusters,
+                                     std::size_t index) const
 {
     PortendOptions task = opts;
-    const auto n = static_cast<std::uint64_t>(
-        std::max<std::size_t>(1, n_clusters));
+    const std::size_t n = std::max<std::size_t>(1, n_clusters);
+    index = std::min(index, n - 1);
 
     // Fixed per-cluster slices of the global budgets, computed from
-    // the cluster count alone: identical regardless of worker count
-    // or interleaving, so budget-capped verdicts stay deterministic.
+    // (cluster count, cluster index) alone: identical regardless of
+    // worker count or interleaving, so budget-capped verdicts stay
+    // deterministic. The first `total % n` clusters carry the
+    // division remainder, so the slices sum back to the total
+    // (except in the documented total < n regime, where the
+    // never-below-1 floor lets every cluster make progress).
     if (opts.total_state_budget > 0) {
+        const int base =
+            opts.total_state_budget / static_cast<int>(n);
+        const int rem = opts.total_state_budget % static_cast<int>(n);
         const int slice = std::max(
-            1, opts.total_state_budget / static_cast<int>(n));
+            1, base + (index < static_cast<std::size_t>(rem) ? 1 : 0));
         task.executor_max_states =
             std::min(opts.executor_max_states, slice);
     }
     if (opts.total_step_budget > 0) {
-        const std::uint64_t slice =
-            std::max<std::uint64_t>(1, opts.total_step_budget / n);
+        const std::uint64_t base = opts.total_step_budget / n;
+        const std::uint64_t rem = opts.total_step_budget % n;
+        const std::uint64_t slice = std::max<std::uint64_t>(
+            1, base + (index < rem ? 1 : 0));
         task.max_steps = std::min(opts.max_steps, slice);
     }
     return task;
@@ -61,26 +72,63 @@ ClassificationScheduler::classifyAll(
         return reports;
     }
 
-    const PortendOptions task_opts = taskOptions(clusters.size());
     const int n_workers = std::min(
         jobs(), static_cast<int>(clusters.size()));
     stats_.jobs = n_workers;
 
-    // Each worker owns one analyzer reused across the clusters it
-    // claims; verdicts land in their cluster's slot, so merge order
-    // is the cluster order regardless of completion order.
-    ThreadPool::parallelFor(n_workers, clusters.size(), [&] {
-        auto analyzer = std::make_shared<RaceAnalyzer>(
-            prog, task_opts, static_info);
-        return [&, analyzer](std::size_t i) {
-            const double waited = sw.seconds();
-            PortendReport &out = reports[i];
-            out.cluster = clusters[i];
-            out.classification = analyzer->classify(
-                clusters[i].representative, trace);
-            out.classification.stats.queue_seconds = waited;
-        };
-    });
+    // One shared replay of the recorded trace caches every cluster's
+    // pre-race checkpoint; the jobs fork copy-on-write states from
+    // the rungs instead of re-replaying the prefix. Read-only from
+    // here on (the workers only copy rung states).
+    const replay::CheckpointLadder ladder =
+        replay::CheckpointLadder::build(
+            prog, trace,
+            replay::CheckpointLadder::targetsFor(clusters),
+            RaceAnalyzer::replayOptions(opts),
+            opts.semantic_predicates);
+    stats_.ladder_rungs = static_cast<int>(ladder.size());
+    stats_.ladder_steps = ladder.buildSteps();
+    stats_.ladder_covered_steps = ladder.prefixStepsCovered();
+
+    // Every cluster is one pool job with its own budget slice and a
+    // job-local analyzer (construction is cheap: the expensive
+    // StaticInfo is shared read-only). queue_seconds is the per-job
+    // enqueue→start delta — the time the job actually waited for a
+    // free worker — not elapsed-since-batch-start, which would
+    // charge ladder construction and a worker's earlier cluster
+    // compute time as queue wait.
+    std::vector<double> enqueued_at(clusters.size(), 0.0);
+    const auto job = [&](std::size_t i) {
+        const double started = sw.seconds();
+        RaceAnalyzer analyzer(prog, taskOptions(clusters.size(), i),
+                              static_info);
+        PortendReport &out = reports[i];
+        out.cluster = clusters[i];
+        out.classification = analyzer.classify(
+            clusters[i].representative, trace, &ladder);
+        out.classification.stats.queue_seconds =
+            std::max(0.0, started - enqueued_at[i]);
+    };
+    if (n_workers == 1) {
+        // Inline on the calling thread, same queue semantics: every
+        // job is "enqueued" at dispatch and starts when the one
+        // worker frees up.
+        const double dispatched = sw.seconds();
+        for (std::size_t i = 0; i < clusters.size(); ++i)
+            enqueued_at[i] = dispatched;
+        for (std::size_t i = 0; i < clusters.size(); ++i)
+            job(i);
+    } else {
+        ThreadPool pool(n_workers);
+        std::vector<std::future<void>> pending;
+        pending.reserve(clusters.size());
+        for (std::size_t i = 0; i < clusters.size(); ++i) {
+            enqueued_at[i] = sw.seconds();
+            pending.push_back(pool.submit([&job, i] { job(i); }));
+        }
+        for (auto &f : pending)
+            f.get();
+    }
 
     // Workers have joined: the verdict slots are plain memory now,
     // so batch accounting is a simple sum.

@@ -6,15 +6,20 @@
  * analysis, and race clusters are classified independently — the
  * same independence the paper exploits with Cloud9-style parallel
  * exploration. The scheduler fans the clusters of one detection run
- * out to a support/ thread pool: each worker owns a private
+ * out to a support/ thread pool: each job owns a private
  * RaceAnalyzer (interpreters, solver, RNG state) while all workers
- * share the program and one read-only rt::StaticInfo computed up
- * front.
+ * share the program, one read-only rt::StaticInfo computed up
+ * front, and one read-only replay::CheckpointLadder built per batch
+ * (a single replay of the recorded trace caches every cluster's
+ * pre-race checkpoint; workers fork copy-on-write states from the
+ * rungs instead of replaying the prefix from step 0).
  *
  * Determinism contract: verdicts are merged by cluster index, never
  * by completion order, and per-cluster budgets are sliced from the
  * global budget *before* any job runs (the cluster count is known up
  * front), so a run with `--jobs N` is byte-identical to `--jobs 1`.
+ * The ladder preserves this: rungs are exact replay prefixes, so
+ * verdicts and ledger stats match a ladder-less run byte for byte.
  * The only cross-thread writes are the per-cluster verdict slots,
  * which are disjoint by index; batch accounting is summed from them
  * after the join.
@@ -55,6 +60,11 @@ struct SchedulerStats
     int clusters = 0;               ///< jobs executed
     int jobs = 1;                   ///< worker threads used
     double seconds = 0.0;           ///< batch wall-clock time
+
+    /** Checkpoint-ladder accounting (see replay/checkpoint.h). */
+    int ladder_rungs = 0;           ///< pre-race checkpoints cached
+    std::uint64_t ladder_steps = 0; ///< steps of the one build replay
+    std::uint64_t ladder_covered_steps = 0; ///< prefix steps saved
 };
 
 /**
@@ -92,11 +102,16 @@ class ClassificationScheduler
     const SchedulerStats &stats() const { return stats_; }
 
     /**
-     * The per-cluster option set classifyAll() hands each worker:
-     * the global step/state budgets sliced into @p n_clusters fixed
-     * shares (exposed for tests).
+     * The option set classifyAll() hands the job for cluster
+     * @p index of @p n_clusters: the global step/state budgets
+     * sliced into fixed per-cluster shares. Division remainders are
+     * distributed deterministically — the first `total % n` clusters
+     * receive one extra unit — so the slices sum back to the exact
+     * global budget instead of silently dropping up to n-1 units
+     * (exposed for tests).
      */
-    PortendOptions taskOptions(std::size_t n_clusters) const;
+    PortendOptions taskOptions(std::size_t n_clusters,
+                               std::size_t index) const;
 
   private:
     const ir::Program &prog;

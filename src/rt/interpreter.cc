@@ -19,12 +19,11 @@ Interpreter::reset()
     st.rng = Rng(opts.rng_seed);
 
     // Memory image.
-    st.mem.reserve(prog.numCells());
     for (const auto &g : prog.globals) {
         for (int i = 0; i < g.size; ++i) {
             std::int64_t init =
                 i < static_cast<int>(g.init.size()) ? g.init[i] : 0;
-            st.mem.push_back(sym::Expr::constant(init));
+            st.mem.append(sym::Expr::constant(init));
         }
     }
 
@@ -40,7 +39,7 @@ Interpreter::reset()
     f.func = prog.entry;
     f.regs.assign(prog.function(prog.entry).num_regs,
                   sym::Expr::constant(0));
-    main.stack.push_back(std::move(f));
+    main.stack.rw().push_back(std::move(f));
     st.threads.push_back(std::move(main));
 }
 
@@ -50,7 +49,7 @@ Interpreter::evalOperand(const ThreadState &t, const ir::Operand &o) const
     if (o.isImm())
         return sym::Expr::constant(o.imm);
     PORTEND_ASSERT(o.isReg(), "evaluating absent operand");
-    const Frame &f = t.stack.back();
+    const Frame &f = t.stack->back();
     PORTEND_ASSERT(o.reg >= 0 &&
                        o.reg < static_cast<int>(f.regs.size()),
                    "register out of range");
@@ -60,7 +59,7 @@ Interpreter::evalOperand(const ThreadState &t, const ir::Operand &o) const
 const ir::Inst &
 Interpreter::fetch(const ThreadState &t) const
 {
-    const Frame &f = t.stack.back();
+    const Frame &f = t.stack->back();
     return prog.function(f.func).blocks[f.block].insts[f.inst];
 }
 
@@ -197,7 +196,7 @@ Interpreter::resolveIndex(ThreadId tid, const ir::Inst &inst,
 void
 Interpreter::advance(ThreadState &t)
 {
-    t.stack.back().inst += 1;
+    t.stack.rw().back().inst += 1;
 }
 
 bool
@@ -303,7 +302,7 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
 
       case ir::Op::ConstOp: {
         ThreadState &t = st.thread(tid);
-        t.stack.back().regs[inst.dst] =
+        t.stack.rw().back().regs[inst.dst] =
             sym::Expr::constant(inst.a.imm);
         advance(t);
         break;
@@ -311,7 +310,7 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
 
       case ir::Op::Mov: {
         ThreadState &t = st.thread(tid);
-        t.stack.back().regs[inst.dst] = evalOperand(t, inst.a);
+        t.stack.rw().back().regs[inst.dst] = evalOperand(t, inst.a);
         advance(t);
         break;
       }
@@ -341,7 +340,7 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
             }
         }
         ThreadState &t2 = st.thread(tid);
-        t2.stack.back().regs[inst.dst] =
+        t2.stack.rw().back().regs[inst.dst] =
             sym::Expr::binary(inst.kind, a, b);
         advance(t2);
         break;
@@ -349,7 +348,7 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
 
       case ir::Op::Un: {
         ThreadState &t = st.thread(tid);
-        t.stack.back().regs[inst.dst] =
+        t.stack.rw().back().regs[inst.dst] =
             sym::Expr::unary(inst.kind, evalOperand(t, inst.a));
         advance(t);
         break;
@@ -360,7 +359,7 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         sym::ExprPtr c = evalOperand(t, inst.a);
         sym::ExprPtr cond =
             sym::mkNe(c, sym::mkConst(0, c->width()));
-        t.stack.back().regs[inst.dst] =
+        t.stack.rw().back().regs[inst.dst] =
             sym::Expr::ite(cond, evalOperand(t, inst.b),
                            evalOperand(t, inst.c));
         advance(t);
@@ -377,9 +376,9 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         }
         int cell = prog.cellId(inst.gid, static_cast<int>(i));
         ThreadState &t2 = st.thread(tid);
-        t2.stack.back().regs[inst.dst] = st.mem[cell];
-        st.access_counts[{tid, inst.pc}] += 1;
-        st.cell_access_counts[{tid, cell}] += 1;
+        t2.stack.rw().back().regs[inst.dst] = st.mem[cell];
+        st.access_counts.rw()[{tid, inst.pc}] += 1;
+        st.cell_access_counts.rw()[{tid, cell}] += 1;
         t2.recent_reads.push_back(cell);
         if (static_cast<int>(t2.recent_reads.size()) >
             opts.spin_window) {
@@ -391,8 +390,8 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         ev.tid = tid;
         ev.pc = inst.pc;
         ev.cell = cell;
-        ev.occurrence = st.access_counts[{tid, inst.pc}];
-        ev.cell_occurrence = st.cell_access_counts[{tid, cell}];
+        ev.occurrence = st.access_counts.ro().at({tid, inst.pc});
+        ev.cell_occurrence = st.cell_access_counts.ro().at({tid, cell});
         ev.loc = inst.loc;
         publish(ev);
         break;
@@ -408,17 +407,17 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         }
         int cell = prog.cellId(inst.gid, static_cast<int>(i));
         sym::ExprPtr val = evalOperand(st.thread(tid), inst.b);
-        st.mem[cell] = val;
-        st.access_counts[{tid, inst.pc}] += 1;
-        st.cell_access_counts[{tid, cell}] += 1;
+        st.mem.write(cell, val);
+        st.access_counts.rw()[{tid, inst.pc}] += 1;
+        st.cell_access_counts.rw()[{tid, cell}] += 1;
         advance(st.thread(tid));
         Event ev;
         ev.kind = EventKind::MemWrite;
         ev.tid = tid;
         ev.pc = inst.pc;
         ev.cell = cell;
-        ev.occurrence = st.access_counts[{tid, inst.pc}];
-        ev.cell_occurrence = st.cell_access_counts[{tid, cell}];
+        ev.occurrence = st.access_counts.ro().at({tid, inst.pc});
+        ev.cell_occurrence = st.cell_access_counts.ro().at({tid, cell});
         ev.loc = inst.loc;
         publish(ev);
         break;
@@ -435,12 +434,12 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         int cell = prog.cellId(inst.gid, static_cast<int>(i));
         sym::ExprPtr delta = evalOperand(st.thread(tid), inst.b);
         sym::ExprPtr old = st.mem[cell];
-        st.mem[cell] = sym::mkAdd(old, delta);
+        st.mem.write(cell, sym::mkAdd(old, delta));
         ThreadState &t2 = st.thread(tid);
         if (inst.dst >= 0)
-            t2.stack.back().regs[inst.dst] = old;
-        st.access_counts[{tid, inst.pc}] += 1;
-        st.cell_access_counts[{tid, cell}] += 1;
+            t2.stack.rw().back().regs[inst.dst] = old;
+        st.access_counts.rw()[{tid, inst.pc}] += 1;
+        st.cell_access_counts.rw()[{tid, cell}] += 1;
         advance(t2);
         Event r;
         r.kind = EventKind::MemRead;
@@ -448,8 +447,8 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         r.pc = inst.pc;
         r.cell = cell;
         r.atomic = true;
-        r.occurrence = st.access_counts[{tid, inst.pc}];
-        r.cell_occurrence = st.cell_access_counts[{tid, cell}];
+        r.occurrence = st.access_counts.ro().at({tid, inst.pc});
+        r.cell_occurrence = st.cell_access_counts.ro().at({tid, cell});
         r.loc = inst.loc;
         publish(r);
         Event w = r;
@@ -472,14 +471,14 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
                 return;
         }
         ThreadState &t2 = st.thread(tid);
-        Frame &f = t2.stack.back();
+        Frame &f = t2.stack.rw().back();
         f.block = take ? inst.then_block : inst.else_block;
         f.inst = 0;
         break;
       }
 
       case ir::Op::Jmp: {
-        Frame &f = st.thread(tid).stack.back();
+        Frame &f = st.thread(tid).stack.rw().back();
         f.block = inst.then_block;
         f.inst = 0;
         break;
@@ -498,7 +497,7 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
                 nf.regs[i] = evalOperand(t, *args[i]);
         }
         advance(t); // return resumes after the call
-        t.stack.push_back(std::move(nf));
+        t.stack.rw().push_back(std::move(nf));
         break;
       }
 
@@ -506,12 +505,12 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         ThreadState &t = st.thread(tid);
         sym::ExprPtr rv =
             inst.a.present() ? evalOperand(t, inst.a) : nullptr;
-        ir::Reg dst = t.stack.back().ret_dst;
-        t.stack.pop_back();
-        if (t.stack.empty()) {
+        ir::Reg dst = t.stack->back().ret_dst;
+        t.stack.rw().pop_back();
+        if (t.stack->empty()) {
             exitThread(tid);
         } else if (rv && dst >= 0) {
-            t.stack.back().regs[dst] = rv;
+            t.stack.rw().back().regs[dst] = rv;
         }
         break;
       }
@@ -533,14 +532,14 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
                        sym::Expr::constant(0));
         if (prog.function(inst.fid).num_params > 0)
             cf.regs[0] = arg;
-        child.stack.push_back(std::move(cf));
+        child.stack.rw().push_back(std::move(cf));
         ThreadId child_tid = child.tid;
         st.threads.push_back(std::move(child));
 
         // Reacquire after the push_back (vector may reallocate).
         ThreadState &t2 = st.thread(tid);
         if (inst.dst >= 0) {
-            t2.stack.back().regs[inst.dst] =
+            t2.stack.rw().back().regs[inst.dst] =
                 sym::Expr::constant(child_tid);
         }
         Event ev;
@@ -755,7 +754,7 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
             read.value = cv;
         }
         st.env_log.push_back(read);
-        t.stack.back().regs[inst.dst] = v;
+        t.stack.rw().back().regs[inst.dst] = v;
         advance(t);
         break;
       }
@@ -774,7 +773,7 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         VmState::EnvRead read;
         read.value = cv;
         st.env_log.push_back(read);
-        t.stack.back().regs[inst.dst] = sym::Expr::constant(cv);
+        t.stack.rw().back().regs[inst.dst] = sym::Expr::constant(cv);
         advance(t);
         break;
       }
@@ -837,6 +836,7 @@ Interpreter::run(const StopSpec &stop)
     active_stop = stop.empty() ? nullptr : &stop;
     stopped_at_spec = false;
     stop_event_fired = false;
+    fired_before_cell.clear();
     SchedulePolicy *pol = policy ? policy : &default_policy;
 
     while (!st.finished()) {
@@ -889,18 +889,22 @@ Interpreter::run(const StopSpec &stop)
             const ir::Inst &inst = fetch(st.thread(tid));
 
             if (active_stop) {
+                // Every matching point is recorded (not just the
+                // first): the checkpoint ladder stops one shared
+                // replay at many clusters' pre-race points and must
+                // learn which of them this stop satisfies.
                 bool hit = false;
                 for (const auto &p : active_stop->before) {
                     if (p.tid == tid && p.pc == inst.pc) {
-                        auto it = st.access_counts.find({tid, inst.pc});
+                        auto it = st.access_counts->find({tid, inst.pc});
                         std::uint64_t seen =
-                            it == st.access_counts.end() ? 0
+                            it == st.access_counts->end() ? 0
                                                          : it->second;
                         if (seen + 1 == p.occurrence)
                             hit = true;
                     }
                 }
-                if (!hit && !active_stop->before_cell.empty() &&
+                if (!active_stop->before_cell.empty() &&
                     (inst.op == ir::Op::Load ||
                      inst.op == ir::Op::Store ||
                      inst.op == ir::Op::AtomicRmW)) {
@@ -912,18 +916,23 @@ Interpreter::run(const StopSpec &stop)
                             iv < prog.global(inst.gid).size) {
                             int cell = prog.cellId(
                                 inst.gid, static_cast<int>(iv));
-                            for (const auto &p :
-                                 active_stop->before_cell) {
+                            for (std::size_t pi = 0;
+                                 pi < active_stop->before_cell.size();
+                                 ++pi) {
+                                const auto &p =
+                                    active_stop->before_cell[pi];
                                 if (p.tid != tid || p.cell != cell)
                                     continue;
-                                auto it = st.cell_access_counts.find(
+                                auto it = st.cell_access_counts->find(
                                     {tid, cell});
                                 std::uint64_t seen =
-                                    it == st.cell_access_counts.end()
+                                    it == st.cell_access_counts->end()
                                         ? 0
                                         : it->second;
-                                if (seen + 1 == p.occurrence)
+                                if (seen + 1 == p.occurrence) {
                                     hit = true;
+                                    fired_before_cell.push_back(pi);
+                                }
                             }
                         }
                     }

@@ -209,6 +209,19 @@ class Interpreter
     /** True when the last run() returned because a stop fired. */
     bool stopped() const { return stopped_at_spec; }
 
+    /**
+     * Indices into the last StopSpec's before_cell list that matched
+     * when the run stopped (empty unless stopped() and the stop came
+     * from a cell point). Checkpoint-ladder construction uses this
+     * to learn which of many requested pre-race points a shared
+     * replay just reached.
+     */
+    const std::vector<std::size_t> &
+    firedCellStops() const
+    {
+        return fired_before_cell;
+    }
+
     /** The program being executed. */
     const ir::Program &program() const { return prog; }
 
@@ -273,6 +286,7 @@ class Interpreter
     const StopSpec *active_stop = nullptr;
     bool stopped_at_spec = false;
     bool stop_event_fired = false;
+    std::vector<std::size_t> fired_before_cell;
 };
 
 } // namespace portend::rt

@@ -66,7 +66,7 @@ std::set<ir::GlobalId>
 StaticInfo::mayWriteOnStack(const VmState &state, ThreadId tid) const
 {
     std::set<ir::GlobalId> out;
-    for (const auto &frame : state.thread(tid).stack) {
+    for (const auto &frame : *state.thread(tid).stack) {
         const auto &mw = mayWrite(frame.func);
         out.insert(mw.begin(), mw.end());
     }

@@ -116,4 +116,14 @@ VmState::allExited() const
     return true;
 }
 
+void
+VmState::unshareAll()
+{
+    mem.unshareAll();
+    for (auto &t : threads)
+        t.stack.rw();
+    access_counts.rw();
+    cell_access_counts.rw();
+}
+
 } // namespace portend::rt

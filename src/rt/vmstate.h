@@ -1,17 +1,22 @@
 /**
  * @file
- * Value-semantic virtual machine state.
+ * Value-semantic virtual machine state with copy-on-write internals.
  *
  * Everything the interpreter mutates lives in VmState, and VmState is
  * plainly copyable: copying it is Portend's checkpoint primitive
  * (pre-race / post-race checkpoints of Algorithm 1) and the fork
- * primitive of multi-path exploration. Expression nodes are immutable
- * and shared between copies.
+ * primitive of multi-path exploration. The heavy containers — the
+ * paged memory image, per-thread frame stacks, and the dynamic
+ * access-count maps — are structurally shared between copies
+ * (support/cow.h): a checkpoint costs O(pages + threads), and a
+ * resumed fork pays per touched page/stack/map, never for the whole
+ * state. Expression nodes were always immutable and shared.
  */
 
 #ifndef PORTEND_RT_VMSTATE_H
 #define PORTEND_RT_VMSTATE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -21,11 +26,84 @@
 
 #include "ir/program.h"
 #include "rt/events.h"
+#include "support/cow.h"
 #include "support/hash.h"
 #include "support/rng.h"
 #include "sym/solver.h"
 
 namespace portend::rt {
+
+/**
+ * The flat global-memory image, split into fixed-size pages that
+ * copies share until written (the checkpoint write barrier lives in
+ * write()). Reads never unshare.
+ */
+class MemImage
+{
+  public:
+    /** Cells per page: small enough that a barrier copy is cheap,
+     *  large enough that the page vector stays short. */
+    static constexpr std::size_t kPageCells = 64;
+
+    /** Number of cells. */
+    std::size_t size() const { return n; }
+
+    /** Read cell @p i (never unshares). */
+    const sym::ExprPtr &
+    operator[](std::size_t i) const
+    {
+        return pages[i / kPageCells].ro()[i % kPageCells];
+    }
+
+    /** Write cell @p i, cloning its page first when shared. */
+    void
+    write(std::size_t i, sym::ExprPtr v)
+    {
+        pages[i / kPageCells].rw()[i % kPageCells] = std::move(v);
+    }
+
+    /** Append a cell during image construction. */
+    void
+    append(sym::ExprPtr v)
+    {
+        if (n % kPageCells == 0)
+            pages.emplace_back();
+        pages.back().rw().push_back(std::move(v));
+        n += 1;
+    }
+
+    /**
+     * True when the page holding cell @p i is structurally shared
+     * with @p o's (then every cell of the page compares equal, so
+     * state diffing can hop to pageEnd(i) without reading cells).
+     */
+    bool
+    sharesPage(std::size_t i, const MemImage &o) const
+    {
+        const std::size_t pg = i / kPageCells;
+        return pg < o.pages.size() &&
+               pages[pg].sharedWith(o.pages[pg]);
+    }
+
+    /** First cell index past the page holding cell @p i. */
+    std::size_t
+    pageEnd(std::size_t i) const
+    {
+        return std::min(n, (i / kPageCells + 1) * kPageCells);
+    }
+
+    /** Force-unshare every page (deep-copy baseline for benches). */
+    void
+    unshareAll()
+    {
+        for (auto &p : pages)
+            p.rw();
+    }
+
+  private:
+    std::size_t n = 0;
+    std::vector<Cow<std::vector<sym::ExprPtr>>> pages;
+};
 
 /** Scheduling status of one thread. */
 enum class ThreadStatus : std::uint8_t {
@@ -55,7 +133,14 @@ struct ThreadState
 {
     ThreadId tid = -1;
     ThreadStatus status = ThreadStatus::Runnable;
-    std::vector<Frame> stack;
+
+    /**
+     * Frame stack, copy-on-write: checkpoint copies share it, and a
+     * forked thread unshares on its first executed instruction
+     * (threads never scheduled after a fork stay shared). Read via
+     * stack-> / *stack, mutate via stack.rw().
+     */
+    Cow<std::vector<Frame>> stack;
 
     ir::SyncId wait_sync = -1;   ///< sync object blocked on
     ThreadId wait_tid = -1;      ///< thread blocked on (join)
@@ -149,8 +234,8 @@ struct VmStats
  */
 struct VmState
 {
-    /** Flat memory cells across all globals. */
-    std::vector<sym::ExprPtr> mem;
+    /** Flat memory cells across all globals (paged, copy-on-write). */
+    MemImage mem;
 
     std::vector<ThreadState> threads;
     std::vector<MutexState> mutexes;
@@ -185,15 +270,20 @@ struct VmState
     /** Environment reads in consumption order. */
     std::vector<EnvRead> env_log;
 
-    /** Dynamic execution counts of memory-access instructions. */
-    std::map<std::pair<ThreadId, int>, std::uint64_t> access_counts;
+    /**
+     * Dynamic execution counts of memory-access instructions.
+     * Copy-on-write like the memory image: checkpoints share the
+     * map; the first post-fork access clones it once.
+     */
+    Cow<std::map<std::pair<ThreadId, int>, std::uint64_t>> access_counts;
 
     /**
      * Per (thread, cell) access counts. Race identity is cell-based
      * because a divergent path may perform the racing access at a
      * different program counter (paper §3.3, Fig. 4).
      */
-    std::map<std::pair<ThreadId, int>, std::uint64_t> cell_access_counts;
+    Cow<std::map<std::pair<ThreadId, int>, std::uint64_t>>
+        cell_access_counts;
 
     /** Forced outcomes of pending symbolic decisions (set on fork). */
     std::deque<bool> forced_decisions;
@@ -237,6 +327,15 @@ struct VmState
 
     /** True once outcome is final. */
     bool finished() const { return outcome != RunOutcome::Running; }
+
+    /**
+     * Force-unshare every copy-on-write container (memory pages,
+     * thread stacks, access-count maps), materializing a full deep
+     * copy. Only benches and tests call this: it is the deep-copy
+     * baseline that checkpoint_bench compares the structural-sharing
+     * copy against, and the isolation probe of rt_checkpoint_test.
+     */
+    void unshareAll();
 };
 
 } // namespace portend::rt

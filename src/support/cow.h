@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Copy-on-write box for checkpoint-heavy value types.
+ *
+ * Portend's checkpoint primitive is "copy the VmState"; before this
+ * header that copy was a deep copy of every container. Cow<T> makes
+ * the copy structural sharing instead: copies alias one immutable
+ * payload, readers go through ro()/operator->, and the first writer
+ * after a share pays for exactly one clone (the write barrier).
+ * Checkpoints that are never resumed therefore cost O(1), and a
+ * resumed fork pays O(touched state), never O(whole state).
+ *
+ * Thread compatibility contract (what keeps the scheduler TSan-clean):
+ *
+ *  - A Cow value is mutated (rw()) only by the thread that owns the
+ *    enclosing object (a worker's private VmState).
+ *  - Shared checkpoints (ladder rungs, executor worklist entries)
+ *    are read-only; concurrent threads may *copy* them — copying
+ *    only touches the shared_ptr control block, whose reference
+ *    count is atomic.
+ *  - rw() mutates in place only when use_count() == 1. That test is
+ *    reliable here because the only cross-thread references are the
+ *    long-lived read-only checkpoints above: while one exists the
+ *    count stays > 1 and the writer clones; the count can reach 1
+ *    again only via destruction ordered by a pool join.
+ */
+
+#ifndef PORTEND_SUPPORT_COW_H
+#define PORTEND_SUPPORT_COW_H
+
+#include <memory>
+#include <utility>
+
+namespace portend {
+
+/**
+ * A value of T behind a shared immutable payload with a write
+ * barrier. Copying a Cow shares; rw() unshares.
+ */
+template <typename T>
+class Cow
+{
+  public:
+    Cow() : p(std::make_shared<T>()) {}
+    explicit Cow(T v) : p(std::make_shared<T>(std::move(v))) {}
+
+    Cow(const Cow &) = default;
+    Cow(Cow &&) = default;
+    Cow &operator=(const Cow &) = default;
+    Cow &operator=(Cow &&) = default;
+
+    /** Read-only view of the payload. */
+    const T &ro() const { return *p; }
+    const T &operator*() const { return *p; }
+    const T *operator->() const { return p.get(); }
+
+    /**
+     * Mutable view; clones the payload first when it is shared (the
+     * write barrier). See the header comment for the threading
+     * contract behind the use_count() test.
+     */
+    T &
+    rw()
+    {
+        if (p.use_count() != 1)
+            p = std::make_shared<T>(*p);
+        return *p;
+    }
+
+    /** True when both boxes alias the same payload (tests/bench). */
+    bool sharedWith(const Cow &o) const { return p == o.p; }
+
+  private:
+    std::shared_ptr<T> p;
+};
+
+} // namespace portend
+
+#endif // PORTEND_SUPPORT_COW_H
