@@ -1,0 +1,224 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/hash.h"
+
+namespace portend::explore {
+
+const char *
+exploreModeName(ExploreMode m)
+{
+    switch (m) {
+      case ExploreMode::Random:
+        return "random";
+      case ExploreMode::Dpor:
+        return "dpor";
+    }
+    return "?";
+}
+
+std::string
+canonicalSignature(const rt::ScheduleObservation &obs)
+{
+    using Access = rt::ScheduleObservation::Access;
+    const std::vector<Access> &ev = obs.accesses;
+
+    // Foata layering: an event's level is one past the deepest event
+    // it depends on. Events sharing a level are pairwise independent
+    // by construction, so sorting a level is pure canonicalization.
+    std::vector<int> level(ev.size(), 0);
+    for (std::size_t i = 0; i < ev.size(); ++i) {
+        int lv = 0;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (rt::ScheduleObservation::dependent(ev[j], ev[i]))
+                lv = std::max(lv, level[j] + 1);
+        }
+        level[i] = lv;
+    }
+
+    struct Key
+    {
+        int level;
+        rt::ThreadId tid;
+        int site;
+        bool write;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (level != o.level)
+                return level < o.level;
+            if (tid != o.tid)
+                return tid < o.tid;
+            if (site != o.site)
+                return site < o.site;
+            return write < o.write;
+        }
+    };
+    std::vector<Key> keys;
+    keys.reserve(ev.size());
+    for (std::size_t i = 0; i < ev.size(); ++i)
+        keys.push_back({level[i], ev[i].tid, ev[i].site, ev[i].write});
+    std::sort(keys.begin(), keys.end());
+
+    std::string out;
+    out.reserve(keys.size() * 10);
+    int cur = -1;
+    for (const Key &k : keys) {
+        if (k.level != cur) {
+            if (cur >= 0)
+                out += '|';
+            cur = k.level;
+        } else {
+            out += ',';
+        }
+        out += 't' + std::to_string(k.tid) + (k.write ? "w" : "r") +
+               std::to_string(k.site);
+    }
+    return out;
+}
+
+std::string
+signatureHash(const rt::ScheduleObservation &obs)
+{
+    const std::string sig = canonicalSignature(obs);
+    const std::uint64_t h = fnv1a(sig);
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+ScheduleExplorer::ScheduleExplorer(ExplorerOptions o) : opts(o)
+{
+    if (opts.max_runs <= 0)
+        opts.max_runs = opts.budget * 4 + 4;
+    if (opts.mode == ExploreMode::Dpor) {
+        // The systematic baseline: no injected preemptions, pure
+        // deterministic fallback. Runs after the random phase.
+        push({}, 0);
+    }
+}
+
+std::optional<PostSpec>
+ScheduleExplorer::next()
+{
+    if (opts.mode == ExploreMode::Random) {
+        // Legacy sampling: exactly `budget` runs, duplicates and all.
+        if (runs_ >= opts.budget)
+            return std::nullopt;
+        runs_ += 1;
+        random_issued_ += 1;
+        last_preemptions_ = 0;
+        return PostSpec::random(opts.seed_base + random_issued_);
+    }
+
+    // Dpor: the full random phase always runs (the superset
+    // contract), so a verdict decided there is decided identically
+    // in both modes; only then do budget and cap apply.
+    if (opts.random_first && random_issued_ < opts.budget) {
+        runs_ += 1;
+        random_issued_ += 1;
+        last_preemptions_ = 0;
+        return PostSpec::random(opts.seed_base + random_issued_);
+    }
+    if (distinct_ >= opts.budget || runs_ >= opts.max_runs)
+        return std::nullopt;
+    if (frontier.empty()) {
+        exhausted_ = true;
+        return std::nullopt;
+    }
+    Candidate c = std::move(frontier.front());
+    frontier.pop_front();
+    runs_ += 1;
+    last_preemptions_ = c.preemptions;
+    return PostSpec::guided(std::move(c.prefix));
+}
+
+bool
+ScheduleExplorer::record(const rt::ScheduleObservation &obs)
+{
+    last_sig_ = signatureHash(obs);
+    const bool fresh = seen_.insert(last_sig_).second;
+    if (fresh)
+        distinct_ += 1;
+    if (opts.mode == ExploreMode::Dpor &&
+        last_preemptions_ < opts.preemption_bound) {
+        expand(obs, last_preemptions_);
+    }
+    return fresh;
+}
+
+void
+ScheduleExplorer::push(std::vector<rt::ThreadId> prefix, int preemptions)
+{
+    if (!issued_.insert(prefix).second)
+        return; // sleep-set pruning: one execution per prefix, ever
+    frontier.push_back({std::move(prefix), preemptions});
+}
+
+void
+ScheduleExplorer::expand(const rt::ScheduleObservation &obs,
+                         int base_preempt)
+{
+    using Access = rt::ScheduleObservation::Access;
+    const std::vector<Access> &ev = obs.accesses;
+    // Guard against pathological runs (spin loops under a random
+    // schedule): candidate generation is quadratic in the window.
+    const std::size_t window = std::min<std::size_t>(ev.size(), 512);
+
+    for (std::size_t j = 1; j < window; ++j) {
+        for (std::size_t i = 0; i < j; ++i) {
+            const Access &a = ev[i];
+            const Access &b = ev[j];
+            if (a.tid == b.tid || a.pick < 0)
+                continue;
+            if (a.site != b.site || !(a.write || b.write))
+                continue;
+
+            // Backtrack: at the decision that ran `a`, run `b`'s
+            // thread instead — repeatedly, until it has executed
+            // its conflicting access — flipping the pair in one
+            // injected preemption (a chunk; a single rescheduled
+            // step followed by the fair fallback almost never
+            // realizes a distant flip). When b's thread was not
+            // enabled there (blocked on a lock, not yet created),
+            // fall back to every other enabled choice — the classic
+            // persistent-set widening.
+            const std::size_t p = static_cast<std::size_t>(a.pick);
+            if (p >= obs.picks.size() || p >= obs.enabled.size())
+                continue;
+            std::vector<rt::ThreadId> base(obs.picks.begin(),
+                                           obs.picks.begin() +
+                                               static_cast<long>(p));
+            const std::vector<rt::ThreadId> &en = obs.enabled[p];
+            const bool b_enabled =
+                std::find(en.begin(), en.end(), b.tid) != en.end();
+            if (b_enabled) {
+                // One pick per pending b-segment up to (and
+                // including) the conflicting access itself.
+                int chunk = 1;
+                for (std::size_t k = 0; k < j; ++k) {
+                    if (ev[k].tid == b.tid && ev[k].pick >= a.pick)
+                        chunk += 1;
+                }
+                std::vector<rt::ThreadId> child = base;
+                child.insert(child.end(),
+                             static_cast<std::size_t>(chunk), b.tid);
+                push(std::move(child), base_preempt + 1);
+            } else {
+                for (rt::ThreadId t : en) {
+                    if (t == obs.picks[p])
+                        continue;
+                    std::vector<rt::ThreadId> child = base;
+                    child.push_back(t);
+                    push(std::move(child), base_preempt + 1);
+                }
+            }
+        }
+    }
+}
+
+} // namespace portend::explore

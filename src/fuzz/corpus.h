@@ -50,6 +50,19 @@ struct CorpusEntry
     std::uint64_t fuzz_seed = 0;   ///< campaign seed that found it
     std::uint64_t index = 0;       ///< program index in the campaign
     std::uint64_t detection_seed = 1; ///< schedule seed to replay with
+
+    /**
+     * Stage-3 explorer the signature was recorded under ("random" |
+     * "dpor"; "" = whatever the replay requests). Pinned like
+     * detection_seed: a signature names the behavior of one exact
+     * configuration, and explorers legitimately differ on races the
+     * dpor superset upgrades from "k-witness harmless" to a
+     * decisive class. The oracle battery (including the
+     * cross-explorer monotonicity checks) still runs under the
+     * replay's requested explorer.
+     */
+    std::string explore;
+
     std::string signature;         ///< expected oracle signature
     std::string recipe_text;       ///< ProgramRecipe::serialize form
     std::string program_text;      ///< ir::serializeProgram form

@@ -98,6 +98,7 @@ persistEntry(const ProgramRecipe &recipe, const OracleVerdict &v,
     entry.fuzz_seed = opts.fuzz_seed;
     entry.index = index;
     entry.detection_seed = opts.detection_seed;
+    entry.explore = explore::exploreModeName(opts.oracle.explore);
     entry.signature = v.signature();
     entry.recipe_text = recipe.serialize();
     entry.program_text = ir::serializeProgram(gen.program);

@@ -59,6 +59,7 @@ fullOptions(const OracleOptions &o)
     p.max_steps = o.max_steps;
     p.executor_max_states = o.executor_max_states;
     p.detection_seed = o.detection_seed;
+    p.explore = o.explore;
     p.jobs = 1;
     return p;
 }
@@ -246,6 +247,69 @@ runOracle(const ir::Program &prog, const OracleOptions &opts)
         check("jobs-invariance", renderRun(prog, rj) == v.report_text,
               "verdict report bytes differ between --jobs 1 and "
               "--jobs 2");
+    }
+
+    // -- Schedule-coverage monotonicity ------------------------------
+    // Raising the Ma budget, or switching the stage-3 explorer from
+    // random to dpor, may only *add* witnessed behaviors: a "spec
+    // violated" verdict must never be lost. The explorer guarantees
+    // this structurally — dpor runs the random schedules first, with
+    // the same seeds and in the same order — so a failure here means
+    // the exploration superset contract broke.
+    {
+        const auto lostViolation =
+            [&](const core::PortendResult &lo,
+                const core::PortendResult &hi) {
+                std::map<std::string, const core::PortendReport *> h;
+                for (const core::PortendReport &rep : hi.reports)
+                    h[rep.cluster.representative.key()] = &rep;
+                std::string bad;
+                for (const core::PortendReport &rep : lo.reports) {
+                    if (rep.classification.cls !=
+                        core::RaceClass::SpecViolated) {
+                        continue;
+                    }
+                    auto it = h.find(rep.cluster.representative.key());
+                    if (it == h.end())
+                        continue;
+                    if (it->second->classification.cls !=
+                        core::RaceClass::SpecViolated) {
+                        bad += (bad.empty() ? "" : "; ") +
+                               std::string("race on ") +
+                               prog.cellName(
+                                   rep.cluster.representative.cell) +
+                               " degraded to " +
+                               core::raceClassName(
+                                   it->second->classification.cls);
+                    }
+                }
+                return bad;
+            };
+
+        // random -> dpor at equal budget.
+        core::PortendOptions o = full;
+        o.explore = full.explore == explore::ExploreMode::Dpor
+                        ? explore::ExploreMode::Random
+                        : explore::ExploreMode::Dpor;
+        core::PortendResult other = core::Portend(prog, o).run();
+        const core::PortendResult &as_random =
+            full.explore == explore::ExploreMode::Dpor ? other : r1;
+        const core::PortendResult &as_dpor =
+            full.explore == explore::ExploreMode::Dpor ? r1 : other;
+        const std::string lost_explore =
+            lostViolation(as_random, as_dpor);
+        check("explore-monotonicity", lost_explore.empty(),
+              "random->dpor lost a spec-violated verdict: " +
+                  lost_explore);
+
+        // Ma raise in the primary explorer.
+        core::PortendOptions wide = full;
+        wide.ma = full.ma * 2;
+        core::PortendResult rw = core::Portend(prog, wide).run();
+        const std::string lost_ma = lostViolation(r1, rw);
+        check("ma-monotonicity", lost_ma.empty(),
+              "doubling --ma lost a spec-violated verdict: " +
+                  lost_ma);
     }
 
     // -- k-monotonicity ----------------------------------------------

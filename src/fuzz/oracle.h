@@ -22,6 +22,12 @@
  *  - k-monotonicity: a "spec violated" verdict found by single-path
  *    single-schedule analysis is still found at a larger budget, and
  *    kWitnessHarmless k never shrinks as the budget grows;
+ *  - schedule-coverage monotonicity: raising the Ma budget, or
+ *    switching the stage-3 explorer from `random` to `dpor`, never
+ *    loses a "spec violated" verdict — the dpor explorer runs the
+ *    random explorer's schedules first (same seeds, same order)
+ *    before its systematic candidates, so it witnesses a superset
+ *    of behaviors at equal budget;
  *  - classifier vs. baselines: a race the static ad-hoc-sync
  *    detector prunes as "single ordering" must be classified
  *    "single ordering" by Portend (dynamic and static recognition of
@@ -41,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "explore/explorer.h"
 #include "ir/program.h"
 
 namespace portend::fuzz {
@@ -53,6 +60,10 @@ struct OracleOptions
     int ma = 2;                       ///< alternate schedules per primary
     std::uint64_t max_steps = 200000; ///< per-run interpreter budget
     int executor_max_states = 64;     ///< symbolic fork cap
+
+    /** Stage-3 explorer of the primary pipeline run (CLI --explore);
+     *  deep mode cross-checks it against the other explorer. */
+    explore::ExploreMode explore = explore::ExploreMode::Dpor;
 
     /**
      * Run the expensive metamorphic re-executions (determinism,

@@ -284,8 +284,9 @@ RaceAnalyzer::absorbStats(AnalysisStats &stats, const rt::VmState &s)
 RaceAnalyzer::SingleResult
 RaceAnalyzer::runAlternateFromState(
     const rt::VmState &pre, const race::RaceReport &race,
-    const std::vector<std::int64_t> &inputs, std::uint64_t post_seed,
-    bool random_post, std::uint64_t primary_total_steps,
+    const std::vector<std::int64_t> &inputs,
+    const explore::PostSpec &post,
+    std::uint64_t primary_total_steps,
     const rt::VmState *post_primary,
     const replay::ScheduleTrace *post_trace,
     std::uint64_t primary_second_count, AnalysisStats &stats) const
@@ -300,8 +301,8 @@ RaceAnalyzer::runAlternateFromState(
     // alternate must start with a fresh scheduling decision so the
     // enforcement policy can exclude that thread.
     alt.state().resume_in_segment = false;
-    if (random_post)
-        alt.state().rng = Rng(post_seed * 0x9e3779b97f4a7c15ull + 1);
+    if (post.kind == explore::PostSpec::Kind::Random)
+        alt.state().rng = Rng(post.seed * 0x9e3779b97f4a7c15ull + 1);
 
     const std::uint64_t pre_steps = pre.global_step;
     const std::uint64_t body =
@@ -314,18 +315,28 @@ RaceAnalyzer::runAlternateFromState(
     SemanticMonitor sem(alt, opts.semantic_predicates);
     alt.addSink(&sem);
 
-    // Deterministic rotation for the single-alternate stage (spin
-    // loops must progress); randomized for multi-schedule analysis.
-    // The deterministic alternate keeps following the original
-    // trace after enforcement so that orderings unrelated to the
-    // race are preserved.
+    // Post-race scheduling per the spec: the Trace kind keeps
+    // following the original trace after enforcement (stage 1's
+    // deterministic alternate, preserving orderings unrelated to
+    // the race, with rotation past the trace so spin loops
+    // progress); Random samples from the reseeded state RNG; Guided
+    // applies an explorer-issued decision prefix and completes with
+    // deterministic rotation. Random and Guided runs are observed
+    // through a GuidedPolicy so the explorer learns the schedule
+    // they actually realized.
     rt::RotatePolicy rotate;
     rt::RandomPolicy rnd;
-    rt::SchedulePolicy *post =
-        random_post ? static_cast<rt::SchedulePolicy *>(&rnd)
-                    : static_cast<rt::SchedulePolicy *>(&rotate);
-    replay::AlternatePolicy pol(race, post,
-                                random_post ? nullptr : post_trace);
+    const bool observed = post.kind != explore::PostSpec::Kind::Trace;
+    rt::GuidedPolicy guided(
+        post.prefix,
+        post.kind == explore::PostSpec::Kind::Random
+            ? static_cast<rt::SchedulePolicy *>(&rnd)
+            : static_cast<rt::SchedulePolicy *>(&rotate));
+    rt::SchedulePolicy *postp =
+        observed ? static_cast<rt::SchedulePolicy *>(&guided)
+                 : static_cast<rt::SchedulePolicy *>(&rotate);
+    replay::AlternatePolicy pol(race, postp,
+                                observed ? nullptr : post_trace);
     alt.setPolicy(&pol);
 
     // Snapshot the state right after both racing accesses completed
@@ -384,6 +395,13 @@ RaceAnalyzer::runAlternateFromState(
         oc = alt.run();
     }
     absorbStats(stats, alt.state());
+    // Every return below carries the explorer feedback: the schedule
+    // this run realized (post-race only; the enforcement phase is
+    // not a scheduling choice) and whether enforcement succeeded at
+    // all — a starved alternate witnessed no post-race schedule.
+    r.alternate_enforced = pol.enforced();
+    if (observed)
+        r.observation = guided.takeObservation();
 
     if (!sem.violation().empty()) {
         // Attribute only when the violated property concerns the
@@ -517,7 +535,7 @@ RaceAnalyzer::SingleResult
 RaceAnalyzer::singleClassify(const race::RaceReport &race,
                              const replay::ScheduleTrace &trace,
                              const std::vector<std::int64_t> &inputs,
-                             std::uint64_t post_seed, bool random_post,
+                             const explore::PostSpec &post,
                              const replay::CheckpointLadder *ladder,
                              AnalysisStats &stats) const
 {
@@ -568,12 +586,12 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
 
     // Post-race primary snapshot: first accessor, then second.
     int stage = 0;
-    rt::Interpreter::StopSpec post;
+    rt::Interpreter::StopSpec post_stop;
     const auto kind_of = [](bool is_write) {
         return is_write ? rt::EventKind::MemWrite
                         : rt::EventKind::MemRead;
     };
-    post.after_event = [&](const rt::Event &ev) {
+    post_stop.after_event = [&](const rt::Event &ev) {
         if (ev.cell != race.cell)
             return false;
         if (stage == 0 && ev.tid == race.first.tid &&
@@ -584,7 +602,7 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
         return stage == 1 && ev.tid == race.second.tid &&
                ev.kind == kind_of(race.second.is_write);
     };
-    oc = interp.run(post);
+    oc = interp.run(post_stop);
     const bool have_post_primary = interp.stopped();
     rt::VmState post_primary;
     if (have_post_primary)
@@ -629,9 +647,8 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
         // longer). Hand the alternate the full step budget instead,
         // so only a genuine busy-wait can time out.
         SingleResult a = runAlternateFromState(
-            pre_ckpt, race, inputs, post_seed, random_post,
-            opts.max_steps, nullptr, &trace, primary_second_count,
-            stats);
+            pre_ckpt, race, inputs, post, opts.max_steps, nullptr,
+            &trace, primary_second_count, stats);
         if (a.kind == SingleResult::Kind::SpecViol ||
             a.kind == SingleResult::Kind::SingleOrd) {
             return a;
@@ -660,9 +677,9 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
     }
 
     SingleResult a = runAlternateFromState(
-        pre_ckpt, race, inputs, post_seed, random_post,
-        r.primary_steps, have_post_primary ? &post_primary : nullptr,
-        &trace, primary_second_count, stats);
+        pre_ckpt, race, inputs, post, r.primary_steps,
+        have_post_primary ? &post_primary : nullptr, &trace,
+        primary_second_count, stats);
     r.states_differ = a.states_differ;
     if (a.kind != SingleResult::Kind::OutSame) {
         a.states_differ = r.states_differ;
@@ -671,6 +688,8 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
         return a;
     }
 
+    r.alternate_enforced = a.alternate_enforced;
+    r.observation = std::move(a.observation);
     r.alternate_out = a.alternate_out;
     OutputComparison cmp = compareConcreteOutputs(
         r.primary_out, a.alternate_out, race.first.tid,
@@ -688,7 +707,7 @@ RaceAnalyzer::SingleResult
 RaceAnalyzer::runAlternate(const race::RaceReport &race,
                            const replay::ScheduleTrace &trace,
                            const std::vector<std::int64_t> &inputs,
-                           std::uint64_t post_seed, bool random_post,
+                           const explore::PostSpec &post,
                            std::uint64_t budget_steps,
                            const replay::CheckpointLadder *ladder,
                            AnalysisStats &stats) const
@@ -699,8 +718,7 @@ RaceAnalyzer::runAlternate(const race::RaceReport &race,
     if (const replay::CheckpointLadder::Rung *rung =
             usableRung(ladder, race, inputs)) {
         absorbStats(stats, rung->state);
-        return runAlternateFromState(rung->state, race, inputs,
-                                     post_seed, random_post,
+        return runAlternateFromState(rung->state, race, inputs, post,
                                      budget_steps, nullptr, &trace, 0,
                                      stats);
     }
@@ -729,9 +747,9 @@ RaceAnalyzer::runAlternate(const race::RaceReport &race,
         }
         return r;
     }
-    return runAlternateFromState(interp.state(), race, inputs,
-                                 post_seed, random_post, budget_steps,
-                                 nullptr, &trace, 0, stats);
+    return runAlternateFromState(interp.state(), race, inputs, post,
+                                 budget_steps, nullptr, &trace, 0,
+                                 stats);
 }
 
 RaceAnalyzer::EvidenceReplay
@@ -761,9 +779,23 @@ RaceAnalyzer::replayEvidence(const race::RaceReport &race,
     const std::uint64_t budget =
         trace.decisions.empty() ? opts.max_steps
                                 : trace.decisions.back().step + 1;
-    SingleResult r = runAlternate(
-        race, trace, inputs, verdict.evidence_seed,
-        verdict.evidence_seed != 0, budget, nullptr, scratch);
+    // Rebuild the post-race schedule the evidence names: an
+    // explorer-issued decision prefix replays exactly (guided runs
+    // are prefix + deterministic fallback), a seed replays the
+    // random sampler, and neither means the stage-1 trace-following
+    // alternate.
+    explore::PostSpec spec;
+    if (!verdict.evidence_schedule.empty()) {
+        spec = explore::PostSpec::guided(
+            {verdict.evidence_schedule.begin(),
+             verdict.evidence_schedule.end()});
+    } else if (verdict.evidence_seed != 0) {
+        spec = explore::PostSpec::random(verdict.evidence_seed);
+    } else {
+        spec = explore::PostSpec::trace();
+    }
+    SingleResult r = runAlternate(race, trace, inputs, spec, budget,
+                                  nullptr, scratch);
     switch (r.kind) {
       case SingleResult::Kind::SpecViol:
         // Reconstruct the concrete outcome class from the verdict.
@@ -795,8 +827,9 @@ RaceAnalyzer::classify(const race::RaceReport &race,
     const std::vector<std::int64_t> inputs0 = trace.concreteInputs();
 
     // ---- Stage 1: single-pre/single-post (Algorithm 1). ----
-    SingleResult s1 = singleClassify(race, trace, inputs0, 0, false,
-                                     ladder, c.stats);
+    SingleResult s1 =
+        singleClassify(race, trace, inputs0,
+                       explore::PostSpec::trace(), ladder, c.stats);
     c.states_differ = s1.states_differ;
 
     bool done = true;
@@ -906,25 +939,23 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                 continue;
             std::vector<std::int64_t> inputs_p =
                 concretizeEnvLog(p.state.env_log, p.model);
-            const int nsched = opts.multi_schedule ? opts.ma : 1;
-            for (int j = 0; j < nsched; ++j) {
+
+            if (!opts.multi_schedule) {
+                // Single deterministic alternate per path. Evidence
+                // seed stays 0: the verdict came from the
+                // trace-following schedule, and replayEvidence must
+                // rebuild exactly that (a nonzero seed would replay
+                // a random post-race schedule instead).
                 c.stats.schedules_explored += 1;
-                // Distinct seed per (path, schedule) pair so every
-                // alternate explores a genuinely different
-                // post-race interleaving.
-                const std::uint64_t seed =
-                    static_cast<std::uint64_t>(path_index) * 16 +
-                    static_cast<std::uint64_t>(j) + 1;
                 SingleResult a = runAlternate(
-                    race, trace, inputs_p, seed,
-                    opts.multi_schedule, budget, ladder, c.stats);
+                    race, trace, inputs_p, explore::PostSpec::trace(),
+                    budget, ladder, c.stats);
                 switch (a.kind) {
                   case SingleResult::Kind::SpecViol:
                     c.cls = RaceClass::SpecViolated;
                     c.viol = a.viol;
                     c.detail = a.detail;
                     c.evidence_inputs = inputs_p;
-                    c.evidence_seed = seed;
                     c.evidence_alternate = true;
                     c.stats.seconds = sw.seconds();
                     return c;
@@ -939,12 +970,89 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                         c.detail = "outputs diverge on an explored "
                                    "path/schedule";
                         c.evidence_inputs = inputs_p;
-                        c.evidence_seed = seed;
                         c.evidence_alternate = true;
                         c.stats.seconds = sw.seconds();
                         return c;
                     }
                     witnesses += 1;
+                    break;
+                  }
+                  default:
+                    break; // no witness from this combination
+                }
+                continue;
+            }
+
+            // Multi-schedule: the explorer issues this path's
+            // post-race schedules — Ma seeded samples under
+            // `random`, the same samples plus systematic
+            // bounded-preemption backtracking until Ma *distinct*
+            // interleaving classes under `dpor`.
+            explore::ExplorerOptions xopts;
+            xopts.mode = opts.explore;
+            xopts.budget = opts.ma;
+            xopts.preemption_bound = opts.preemption_bound;
+            // Legacy seed layout: seed j of path p is p * 16 + j.
+            xopts.seed_base =
+                static_cast<std::uint64_t>(path_index) * 16;
+            explore::ScheduleExplorer sched_ex(xopts);
+            while (std::optional<explore::PostSpec> spec =
+                       sched_ex.next()) {
+                c.stats.schedules_explored += 1;
+                SingleResult a =
+                    runAlternate(race, trace, inputs_p, *spec, budget,
+                                 ladder, c.stats);
+                // Only an enforced alternate witnessed a post-race
+                // schedule; everything else teaches the explorer
+                // nothing.
+                const bool fresh =
+                    a.alternate_enforced &&
+                    sched_ex.record(a.observation);
+                switch (a.kind) {
+                  case SingleResult::Kind::SpecViol:
+                    c.cls = RaceClass::SpecViolated;
+                    c.viol = a.viol;
+                    c.detail = a.detail;
+                    c.evidence_inputs = inputs_p;
+                    c.evidence_seed = spec->seed;
+                    c.evidence_schedule.assign(spec->prefix.begin(),
+                                               spec->prefix.end());
+                    if (a.alternate_enforced)
+                        c.evidence_signature =
+                            sched_ex.lastSignature();
+                    c.evidence_alternate = true;
+                    c.stats.distinct_schedules += sched_ex.distinct();
+                    c.stats.seconds = sw.seconds();
+                    return c;
+                  case SingleResult::Kind::OutSame: {
+                    OutputComparison cmp = compareSymbolicOutputs(
+                        p.state.output, p.state.path.constraints(),
+                        a.alternate_out, ex.solver(),
+                        race.first.tid, race.second.tid);
+                    if (!cmp.match) {
+                        c.cls = RaceClass::OutputDiffers;
+                        c.output_diff = cmp.diff;
+                        c.detail = "outputs diverge on an explored "
+                                   "path/schedule";
+                        c.evidence_inputs = inputs_p;
+                        c.evidence_seed = spec->seed;
+                        c.evidence_schedule.assign(
+                            spec->prefix.begin(), spec->prefix.end());
+                        c.evidence_signature =
+                            sched_ex.lastSignature();
+                        c.evidence_alternate = true;
+                        c.stats.distinct_schedules +=
+                            sched_ex.distinct();
+                        c.stats.seconds = sw.seconds();
+                        return c;
+                    }
+                    // Under dpor a witness is a *distinct*
+                    // interleaving class; the random sampler keeps
+                    // its legacy run counting.
+                    if (opts.explore == explore::ExploreMode::Random ||
+                        fresh) {
+                        witnesses += 1;
+                    }
                     break;
                   }
                   case SingleResult::Kind::SingleOrd:
@@ -956,22 +1064,37 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                                   "OutDiff directly");
                 }
             }
+            c.stats.distinct_schedules += sched_ex.distinct();
         }
     } else if (opts.multi_schedule) {
-        // Multi-schedule without multi-path: rerun Algorithm 1 with
-        // randomized post-race schedules on the original inputs.
-        for (int j = 1; j <= opts.ma; ++j) {
+        // Multi-schedule without multi-path: rerun Algorithm 1 on
+        // the original inputs with explorer-issued post-race
+        // schedules (legacy seeds 1..Ma under `random`).
+        explore::ExplorerOptions xopts;
+        xopts.mode = opts.explore;
+        xopts.budget = opts.ma;
+        xopts.preemption_bound = opts.preemption_bound;
+        xopts.seed_base = 0;
+        explore::ScheduleExplorer sched_ex(xopts);
+        while (std::optional<explore::PostSpec> spec =
+                   sched_ex.next()) {
             c.stats.schedules_explored += 1;
-            SingleResult s = singleClassify(
-                race, trace, inputs0, static_cast<std::uint64_t>(j),
-                true, ladder, c.stats);
+            SingleResult s = singleClassify(race, trace, inputs0,
+                                            *spec, ladder, c.stats);
+            const bool fresh = s.alternate_enforced &&
+                               sched_ex.record(s.observation);
             if (s.kind == SingleResult::Kind::SpecViol) {
                 c.cls = RaceClass::SpecViolated;
                 c.viol = s.viol;
                 c.detail = s.detail;
                 c.evidence_inputs = inputs0;
-                c.evidence_seed = static_cast<std::uint64_t>(j);
+                c.evidence_seed = spec->seed;
+                c.evidence_schedule.assign(spec->prefix.begin(),
+                                           spec->prefix.end());
+                if (s.alternate_enforced)
+                    c.evidence_signature = sched_ex.lastSignature();
                 c.evidence_alternate = true;
+                c.stats.distinct_schedules += sched_ex.distinct();
                 c.stats.seconds = sw.seconds();
                 return c;
             }
@@ -979,14 +1102,22 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                 c.cls = RaceClass::OutputDiffers;
                 c.output_diff = s.output_diff;
                 c.evidence_inputs = inputs0;
-                c.evidence_seed = static_cast<std::uint64_t>(j);
+                c.evidence_seed = spec->seed;
+                c.evidence_schedule.assign(spec->prefix.begin(),
+                                           spec->prefix.end());
+                c.evidence_signature = sched_ex.lastSignature();
                 c.evidence_alternate = true;
+                c.stats.distinct_schedules += sched_ex.distinct();
                 c.stats.seconds = sw.seconds();
                 return c;
             }
-            if (s.kind == SingleResult::Kind::OutSame)
+            if (s.kind == SingleResult::Kind::OutSame &&
+                (opts.explore == explore::ExploreMode::Random ||
+                 fresh)) {
                 witnesses += 1;
+            }
         }
+        c.stats.distinct_schedules += sched_ex.distinct();
     }
 
     c.cls = RaceClass::KWitnessHarmless;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "exec/executor.h"
+#include "explore/explorer.h"
 #include "ir/program.h"
 #include "portend/classify.h"
 #include "race/report.h"
@@ -67,7 +68,16 @@ enum class DetectorKind : std::uint8_t {
 struct PortendOptions
 {
     int mp = 5;                 ///< primary paths (Mp)
-    int ma = 2;                 ///< alternate schedules per primary (Ma)
+
+    /**
+     * Alternate schedules per primary (Ma). Under the dpor explorer
+     * this is a *distinct-schedule* budget: stage 3 keeps issuing
+     * schedules until Ma Mazurkiewicz-inequivalent post-race
+     * interleavings were witnessed (or the space/run cap is
+     * exhausted); under the random explorer it is the legacy run
+     * count, duplicates and all.
+     */
+    int ma = 2;
     bool adhoc_detection = true;   ///< classify hangs as single ordering
     bool multi_path = true;        ///< enable stage 2
     bool multi_schedule = true;    ///< enable stage 3
@@ -76,6 +86,17 @@ struct PortendOptions
     std::uint64_t max_steps = 2000000; ///< absolute step budget
     std::uint64_t detection_seed = 1;  ///< seed for detection run
     DetectorKind detector = DetectorKind::HappensBefore;
+
+    /** Stage-3 post-race schedule explorer (CLI --explore). */
+    explore::ExploreMode explore = explore::ExploreMode::Dpor;
+
+    /**
+     * Preemption bound of the dpor explorer: systematic candidates
+     * carrying more injected preemptions than this are not generated
+     * (CHESS-style bounding; the random phase is unbounded).
+     */
+    int preemption_bound = 4;
+
     std::vector<SemanticPredicate> semantic_predicates;
     sym::SolverOptions solver;
     int executor_max_states = 512;
@@ -221,14 +242,22 @@ class RaceAnalyzer
         std::uint64_t primary_steps = 0;
         rt::OutputLog primary_out;
         rt::OutputLog alternate_out;
+
+        /**
+         * What the alternate did after enforcement (Random/Guided
+         * post specs only): the explorer's feedback. Valid only when
+         * alternate_enforced — a starved or never-exercised alternate
+         * witnessed no post-race schedule and must not be recorded.
+         */
+        rt::ScheduleObservation observation;
+        bool alternate_enforced = false;
     };
 
     /** Full Algorithm 1 on concrete inputs. */
     SingleResult singleClassify(const race::RaceReport &race,
                                 const replay::ScheduleTrace &trace,
                                 const std::vector<std::int64_t> &inputs,
-                                std::uint64_t post_seed,
-                                bool random_post,
+                                const explore::PostSpec &post,
                                 const replay::CheckpointLadder *ladder,
                                 AnalysisStats &stats) const;
 
@@ -236,11 +265,13 @@ class RaceAnalyzer
      * Alternate-only analysis for a multi-path primary: replays
      * concretized inputs to the pre-race point, enforces the
      * alternate ordering, and returns its outcome and outputs.
+     * The post-race schedule is whatever @p post prescribes —
+     * stage 3 feeds explorer-issued specs through here.
      */
     SingleResult runAlternate(const race::RaceReport &race,
                               const replay::ScheduleTrace &trace,
                               const std::vector<std::int64_t> &inputs,
-                              std::uint64_t post_seed, bool random_post,
+                              const explore::PostSpec &post,
                               std::uint64_t budget_steps,
                               const replay::CheckpointLadder *ladder,
                               AnalysisStats &stats) const;
@@ -277,7 +308,7 @@ class RaceAnalyzer
     SingleResult runAlternateFromState(
         const rt::VmState &pre, const race::RaceReport &race,
         const std::vector<std::int64_t> &inputs,
-        std::uint64_t post_seed, bool random_post,
+        const explore::PostSpec &post,
         std::uint64_t primary_total_steps,
         const rt::VmState *post_primary,
         const replay::ScheduleTrace *post_trace,

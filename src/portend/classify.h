@@ -78,6 +78,15 @@ struct AnalysisStats
     std::uint64_t steps = 0;           ///< instructions interpreted
     int paths_explored = 0;            ///< primary paths analyzed
     int schedules_explored = 0;        ///< alternate schedules run
+
+    /**
+     * Mazurkiewicz-inequivalent post-race interleavings witnessed
+     * during stage 3 (canonical-signature distinct; see explore/).
+     * Always <= schedules_explored; the gap is budget the random
+     * explorer burned on equivalent schedules.
+     */
+    int distinct_schedules = 0;
+
     int states_created = 0;            ///< symbolic states forked
     double seconds = 0.0;              ///< wall-clock analysis time
     double queue_seconds = 0.0;        ///< wait for a free worker
@@ -110,6 +119,23 @@ struct Classification
 
     /** Post-race schedule seed reproducing the behaviour. */
     std::uint64_t evidence_seed = 0;
+
+    /**
+     * Explorer-issued post-race decision prefix reproducing the
+     * behaviour (rt::GuidedPolicy input). Non-empty only for
+     * verdicts found by a dpor-guided schedule; then evidence_seed
+     * is 0 and replay is prefix + deterministic fallback.
+     */
+    std::vector<int> evidence_schedule;
+
+    /**
+     * Canonical signature hash of the post-race interleaving behind
+     * the verdict (explore::signatureHash): names *which* equivalence
+     * class of schedules exhibits the behaviour. Empty for verdicts
+     * whose evidence is the stage-1 trace-following alternate or a
+     * primary-ordering violation.
+     */
+    std::string evidence_signature;
 
     /** True when the harmful ordering is the alternate one. */
     bool evidence_alternate = false;

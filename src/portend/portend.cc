@@ -130,8 +130,19 @@ formatReport(const ir::Program &prog, const PortendReport &report)
         }
         os << "\n";
         os << "  evidence ordering: "
-           << (c.evidence_alternate ? "alternate" : "primary")
-           << ", post-race schedule seed " << c.evidence_seed << "\n";
+           << (c.evidence_alternate ? "alternate" : "primary");
+        if (!c.evidence_schedule.empty()) {
+            os << ", post-race schedule prefix";
+            for (int t : c.evidence_schedule)
+                os << " " << t;
+        } else {
+            os << ", post-race schedule seed " << c.evidence_seed;
+        }
+        os << "\n";
+        if (!c.evidence_signature.empty()) {
+            os << "  schedule signature: " << c.evidence_signature
+               << "\n";
+        }
     }
     os << "  post-race concrete states: "
        << (c.states_differ ? "differ" : "same") << "\n";

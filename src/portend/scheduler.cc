@@ -140,6 +140,7 @@ ClassificationScheduler::classifyAll(
         stats_.states_created += s.states_created;
         stats_.paths_explored += s.paths_explored;
         stats_.schedules_explored += s.schedules_explored;
+        stats_.distinct_schedules += s.distinct_schedules;
     }
     stats_.seconds = sw.seconds();
     return reports;

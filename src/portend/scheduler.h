@@ -18,6 +18,10 @@
  * by completion order, and per-cluster budgets are sliced from the
  * global budget *before* any job runs (the cluster count is known up
  * front), so a run with `--jobs N` is byte-identical to `--jobs 1`.
+ * The stage-3 schedule explorer (see explore/) is job-local state
+ * driven purely by its own cluster's runs, so its schedules — and
+ * the distinct-interleaving ledger sliced per cluster from the Ma
+ * budget — are jobs-invariant too.
  * The ladder preserves this: rungs are exact replay prefixes, so
  * verdicts and ledger stats match a ladder-less run byte for byte.
  * The only cross-thread writes are the per-cluster verdict slots,
@@ -57,6 +61,15 @@ struct SchedulerStats
     int states_created = 0;         ///< symbolic states forked
     int paths_explored = 0;         ///< primary paths analyzed
     int schedules_explored = 0;     ///< alternate schedules run
+
+    /**
+     * Distinct (Mazurkiewicz-inequivalent) post-race interleavings
+     * across all clusters — what the batch's Ma budget actually
+     * bought. The per-cluster Ma dial is a *distinct*-schedule
+     * budget under the dpor explorer, so this ledger entry is the
+     * one to compare across explorers at equal budget.
+     */
+    int distinct_schedules = 0;
     int clusters = 0;               ///< jobs executed
     int jobs = 1;                   ///< worker threads used
     double seconds = 0.0;           ///< batch wall-clock time

@@ -11,6 +11,8 @@
 #ifndef PORTEND_RT_POLICY_H
 #define PORTEND_RT_POLICY_H
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "rt/events.h"
@@ -97,6 +99,158 @@ class RotatePolicy : public SchedulePolicy
         }
         return runnable.front();
     }
+};
+
+/**
+ * What one guided (or observed) execution actually did: the raw
+ * material for dependence analysis between schedules. Every
+ * scheduling decision is recorded with the runnable set it chose
+ * from, and every observable event is mapped onto a *site* — the
+ * accessed cell for memory events, a pseudo-site for sync objects,
+ * thread lifecycle, and outputs — so two events conflict iff they
+ * touch the same site and at least one writes it (or share a
+ * thread, i.e. program order).
+ */
+struct ScheduleObservation
+{
+    /** One observed event, reduced to its dependence footprint. */
+    struct Access
+    {
+        ThreadId tid = -1;
+        int site = 0;     ///< cell id, or a negative pseudo-site
+        bool write = false;
+        int pick = -1;    ///< index of the decision that scheduled
+                          ///< the segment containing this event
+                          ///< (-1: before the first observed pick)
+    };
+
+    std::vector<Access> accesses;
+
+    /** Chosen thread per decision point, in decision order. */
+    std::vector<ThreadId> picks;
+
+    /** Runnable set offered at each decision point. */
+    std::vector<std::vector<ThreadId>> enabled;
+
+    bool empty() const { return accesses.empty() && picks.empty(); }
+
+    /** Dependence footprint of one event (see struct comment). */
+    static Access
+    accessOf(const Event &ev, int pick)
+    {
+        Access a;
+        a.tid = ev.tid;
+        a.pick = pick;
+        switch (ev.kind) {
+          case EventKind::MemRead:
+            a.site = ev.cell;
+            a.write = false;
+            break;
+          case EventKind::MemWrite:
+            a.site = ev.cell;
+            a.write = true;
+            break;
+          case EventKind::MutexLock:
+          case EventKind::MutexUnlock:
+          case EventKind::CondWait:
+          case EventKind::CondSignal:
+          case EventKind::BarrierWait:
+            // All operations on one sync object conflict.
+            a.site = -(2 + ev.sid);
+            a.write = true;
+            break;
+          case EventKind::ThreadCreate:
+          case EventKind::ThreadJoin:
+            // Lifecycle events order against the peer thread.
+            a.site = -(100000 + ev.other);
+            a.write = true;
+            break;
+          case EventKind::ThreadStart:
+          case EventKind::ThreadExit:
+            a.site = -(100000 + ev.tid);
+            a.write = true;
+            break;
+          case EventKind::Output:
+            // One console: cross-thread output order is observable.
+            a.site = -1;
+            a.write = true;
+            break;
+        }
+        return a;
+    }
+
+    /** True when two accesses may not be reordered. */
+    static bool
+    dependent(const Access &a, const Access &b)
+    {
+        return a.tid == b.tid ||
+               (a.site == b.site && (a.write || b.write));
+    }
+};
+
+/**
+ * Replays an explorer-issued schedule: consumes an explicit list of
+ * thread choices at successive preemption points, then delegates to
+ * a fallback policy, recording everything it saw either way. A
+ * guided run is fully deterministic (deterministic fallback assumed;
+ * a seeded RandomPolicy fallback is deterministic per seed), so any
+ * schedule the explorer found interesting replays from its prefix
+ * alone — this is what makes explorer evidence replayable.
+ *
+ * The prefix is consumed by this policy instance's own cursor, not
+ * the VM state, so construct a fresh GuidedPolicy per run.
+ */
+class GuidedPolicy : public SchedulePolicy
+{
+  public:
+    /**
+     * @param prefix   thread to schedule at the first, second, ...
+     *                 decision point this policy is consulted for
+     * @param fallback decision maker past the prefix (non-owning);
+     *                 also consulted when a prefix thread is not
+     *                 runnable (a diverged replay)
+     */
+    GuidedPolicy(std::vector<ThreadId> prefix, SchedulePolicy *fallback)
+        : prefix(std::move(prefix)), fallback(fallback)
+    {}
+
+    ThreadId
+    pick(const VmState &state,
+         const std::vector<ThreadId> &runnable) override
+    {
+        const std::size_t idx = obs.picks.size();
+        ThreadId chosen = -2;
+        if (idx < prefix.size()) {
+            for (ThreadId t : runnable) {
+                if (t == prefix[idx])
+                    chosen = t;
+            }
+        }
+        if (chosen == -2)
+            chosen = fallback->pick(state, runnable);
+        obs.enabled.push_back(runnable);
+        obs.picks.push_back(chosen);
+        return chosen;
+    }
+
+    void
+    onEvent(const Event &ev) override
+    {
+        obs.accesses.push_back(ScheduleObservation::accessOf(
+            ev, static_cast<int>(obs.picks.size()) - 1));
+        fallback->onEvent(ev);
+    }
+
+    /** Everything this run did, for explorer feedback. */
+    const ScheduleObservation &observation() const { return obs; }
+
+    /** Move the observation out (the policy is dead afterwards). */
+    ScheduleObservation takeObservation() { return std::move(obs); }
+
+  private:
+    std::vector<ThreadId> prefix;
+    SchedulePolicy *fallback;
+    ScheduleObservation obs;
 };
 
 } // namespace portend::rt

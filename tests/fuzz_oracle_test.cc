@@ -57,8 +57,56 @@ TEST(FuzzOracle, DeepBatteryRunsAllChecks)
     for (const char *want :
          {"verify", "roundtrip", "hb-subset-nomutex",
           "hb-subset-lockset", "determinism", "jobs-invariance",
-          "k-monotonicity"}) {
+          "k-monotonicity", "explore-monotonicity",
+          "ma-monotonicity"}) {
         EXPECT_TRUE(names.count(want)) << "check missing: " << want;
+    }
+}
+
+// The schedule-coverage monotonicity property: across a generated
+// batch, switching random -> dpor and doubling Ma never loses a
+// "spec violated" verdict. Runs under both primary explorers so
+// both directions of the cross-check exercise.
+TEST(FuzzOracle, ScheduleCoverageMonotonicityHolds)
+{
+    GeneratorOptions gopts;
+    for (explore::ExploreMode mode :
+         {explore::ExploreMode::Dpor, explore::ExploreMode::Random}) {
+        OracleOptions oopts;
+        oopts.deep = true;
+        oopts.explore = mode;
+        for (std::uint64_t i = 0; i < 6; ++i) {
+            GeneratedProgram g = generateProgram(1337, i, gopts);
+            ASSERT_TRUE(g.verify_errors.empty());
+            OracleVerdict v = runOracle(g.program, oopts);
+            for (const CheckResult &c : v.checks) {
+                if (c.name == "explore-monotonicity" ||
+                    c.name == "ma-monotonicity") {
+                    EXPECT_TRUE(c.ok)
+                        << exploreModeName(mode) << " index " << i
+                        << ": " << c.name << ": " << c.detail;
+                }
+            }
+        }
+    }
+}
+
+// The monotonicity property also holds on the paper workloads —
+// including the ones whose stage 3 actually decides the verdict.
+TEST(FuzzOracle, ScheduleCoverageMonotonicityOnWorkloads)
+{
+    OracleOptions opts;
+    opts.deep = true;
+    for (const char *name : {"pbzip2", "bbuf", "avv"}) {
+        workloads::Workload w = workloads::buildWorkload(name);
+        OracleVerdict v = runOracle(w.program, opts);
+        for (const CheckResult &c : v.checks) {
+            if (c.name == "explore-monotonicity" ||
+                c.name == "ma-monotonicity") {
+                EXPECT_TRUE(c.ok)
+                    << name << ": " << c.name << ": " << c.detail;
+            }
+        }
     }
 }
 

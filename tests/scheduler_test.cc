@@ -189,6 +189,103 @@ TEST(SchedulerBudgetTest, JobsZeroResolvesToHardware)
     EXPECT_GE(sched.jobs(), 1);
 }
 
+/** Full pipeline under an explicit explorer and worker count. */
+PortendResult
+runWithExplorer(const workloads::Workload &w, explore::ExploreMode m,
+                int jobs, int ma = 4)
+{
+    PortendOptions opts;
+    opts.jobs = jobs;
+    opts.ma = ma;
+    opts.explore = m;
+    opts.semantic_predicates = w.semantic_predicates;
+    Portend tool(w.program, opts);
+    return tool.run();
+}
+
+// The explorer is job-local state driven only by its own cluster's
+// runs: dpor verdicts, k counts, distinct-schedule ledgers, and the
+// Fig. 6 report bytes are identical across --jobs values. (The same
+// byte streams are pinned by the golden suite, which CI runs under
+// both the regular and TSan builds — cross-build identity rides on
+// that.)
+TEST(ExplorerDeterminismTest, DporIdenticalAcrossJobs)
+{
+    for (const std::string &name : workloads::workloadNames()) {
+        workloads::Workload w = workloads::buildWorkload(name);
+        PortendResult seq =
+            runWithExplorer(w, explore::ExploreMode::Dpor, 1);
+        PortendResult par =
+            runWithExplorer(w, explore::ExploreMode::Dpor, 4);
+
+        ASSERT_EQ(seq.reports.size(), par.reports.size()) << name;
+        for (std::size_t i = 0; i < seq.reports.size(); ++i) {
+            const Classification &a = seq.reports[i].classification;
+            const Classification &b = par.reports[i].classification;
+            EXPECT_EQ(a.cls, b.cls) << name << " cluster " << i;
+            EXPECT_EQ(a.k, b.k) << name << " cluster " << i;
+            EXPECT_EQ(a.stats.distinct_schedules,
+                      b.stats.distinct_schedules)
+                << name << " cluster " << i;
+            EXPECT_EQ(a.stats.schedules_explored,
+                      b.stats.schedules_explored)
+                << name << " cluster " << i;
+            EXPECT_EQ(a.evidence_signature, b.evidence_signature)
+                << name << " cluster " << i;
+            EXPECT_EQ(a.evidence_schedule, b.evidence_schedule)
+                << name << " cluster " << i;
+        }
+        EXPECT_EQ(reportText(w.program, seq),
+                  reportText(w.program, par))
+            << name;
+        EXPECT_EQ(seq.scheduling.distinct_schedules,
+                  par.scheduling.distinct_schedules)
+            << name;
+    }
+}
+
+// Same contract for the legacy random explorer (whose runs the dpor
+// random phase must reproduce seed-for-seed).
+TEST(ExplorerDeterminismTest, RandomIdenticalAcrossJobs)
+{
+    workloads::Workload w = workloads::buildWorkload("pbzip2");
+    PortendResult seq =
+        runWithExplorer(w, explore::ExploreMode::Random, 1);
+    PortendResult par =
+        runWithExplorer(w, explore::ExploreMode::Random, 4);
+    EXPECT_EQ(reportText(w.program, seq), reportText(w.program, par));
+}
+
+// Rerunning the identical dpor configuration twice is byte-stable —
+// the explorer has no hidden wall-clock or address-order state
+// (this is what makes the TSan build's golden runs meaningful).
+TEST(ExplorerDeterminismTest, DporIsRunToRunStable)
+{
+    workloads::Workload w = workloads::buildWorkload("ctrace");
+    PortendResult one =
+        runWithExplorer(w, explore::ExploreMode::Dpor, 2);
+    PortendResult two =
+        runWithExplorer(w, explore::ExploreMode::Dpor, 2);
+    EXPECT_EQ(reportText(w.program, one), reportText(w.program, two));
+    EXPECT_EQ(one.scheduling.distinct_schedules,
+              two.scheduling.distinct_schedules);
+}
+
+// The batch ledger aggregates the per-cluster distinct-schedule
+// counts exactly (scheduler accounting for the new stat).
+TEST(SchedulerStatsTest, DistinctScheduleLedgerSums)
+{
+    workloads::Workload w = workloads::buildWorkload("pbzip2");
+    PortendResult res = runWith(w, 2);
+    int distinct = 0;
+    for (const PortendReport &r : res.reports) {
+        EXPECT_LE(r.classification.stats.distinct_schedules,
+                  r.classification.stats.schedules_explored);
+        distinct += r.classification.stats.distinct_schedules;
+    }
+    EXPECT_EQ(res.scheduling.distinct_schedules, distinct);
+}
+
 // classifyRace now reuses the facade's analyzer (and its hoisted
 // StaticInfo): repeated calls agree with each other and with the
 // batch verdict for the same race.

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "explore/explorer.h"
 #include "fuzz/corpus.h"
 #include "fuzz/fuzzer.h"
 #include "ir/serialize.h"
@@ -49,7 +50,7 @@ Usage:
   portend fuzz [options]                generate racy PIL programs, cross-
                                         check detectors and classifier,
                                         minimize and store reproducers
-  portend corpus run <dir>              replay a reproducer corpus
+  portend corpus run <dir> [--explore <name>]  replay a reproducer corpus
   portend --help                        print this help
 
 Workloads:
@@ -61,7 +62,15 @@ Options:
                        Ma = 2 when N >= 5 (else 1), and enables
                        multi-path at N > 1, multi-schedule at N >= 5
   --mp <N>             primary paths explored (Mp, default 5)
-  --ma <N>             alternate schedules per primary (Ma, default 2)
+  --ma <N>             alternate-schedule budget per primary (Ma,
+                       default 2): distinct post-race interleavings
+                       under the dpor explorer, plain run count
+                       under random
+  --explore <name>     stage-3 schedule explorer: "dpor" enumerates
+                       bounded-preemption interleavings, prunes
+                       Mazurkiewicz-equivalent ones, and spends Ma
+                       on provably distinct schedules; "random" is
+                       the legacy seeded sampler (default dpor)
   --jobs <N>           worker threads for classification, batch mode,
                        and fuzzing (default: one per hardware
                        thread); results are identical for every N
@@ -110,6 +119,21 @@ usageError(const std::string &msg)
     std::exit(2);
 }
 
+/** Parse an --explore value; usage error on anything unknown. */
+explore::ExploreMode
+parseExploreMode(const char *value)
+{
+    if (!value)
+        usageError("--explore needs a value");
+    std::string e = value;
+    if (e == "dpor")
+        return explore::ExploreMode::Dpor;
+    if (e == "random")
+        return explore::ExploreMode::Random;
+    usageError("unknown explorer: " + e +
+               " (expected dpor or random)");
+}
+
 std::int64_t
 parseInt(const char *flag, const char *value)
 {
@@ -155,6 +179,9 @@ parseOptions(int argc, char **argv, int start)
             cli.opts.ma = static_cast<int>(parseInt("--ma", next));
             if (cli.opts.ma < 1)
                 usageError("--ma must be >= 1");
+            ++i;
+        } else if (a == "--explore") {
+            cli.opts.explore = parseExploreMode(next);
             ++i;
         } else if (a == "--jobs") {
             cli.opts.jobs =
@@ -337,6 +364,10 @@ jsonReport(const workloads::Workload &w, const core::PortendResult &res,
         os << "      \"k\": " << c.k << ",\n";
         os << "      \"states_differ\": "
            << (c.states_differ ? "true" : "false") << ",\n";
+        os << "      \"distinct_schedules\": "
+           << c.stats.distinct_schedules << ",\n";
+        os << "      \"signature\": \""
+           << jsonEscape(c.evidence_signature) << "\",\n";
         os << "      \"detail\": \"" << jsonEscape(c.detail)
            << "\"\n";
         os << "    }" << (i + 1 < reports.size() ? "," : "") << "\n";
@@ -552,10 +583,9 @@ cmdFuzz(int argc, char **argv)
 
 /** `portend corpus run <dir>`: replay a reproducer corpus. */
 int
-cmdCorpusRun(const std::string &dir)
+cmdCorpusRun(const std::string &dir, fuzz::OracleOptions opts)
 {
-    fuzz::CorpusRunResult res =
-        fuzz::runCorpus(dir, fuzz::OracleOptions{});
+    fuzz::CorpusRunResult res = fuzz::runCorpus(dir, opts);
     if (res.total == 0) {
         std::fprintf(stderr,
                      "portend: no corpus entries under %s\n",
@@ -615,9 +645,18 @@ main(int argc, char **argv)
     if (cmd == "corpus") {
         if (argc < 4 || std::strcmp(argv[2], "run") != 0)
             usageError("usage: portend corpus run <dir>");
-        if (argc > 4)
-            usageError("corpus run takes exactly one directory");
-        return cmdCorpusRun(argv[3]);
+        fuzz::OracleOptions opts;
+        for (int i = 4; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a == "--explore") {
+                opts.explore = parseExploreMode(
+                    i + 1 < argc ? argv[i + 1] : nullptr);
+                ++i;
+            } else {
+                usageError("unknown corpus option: " + a);
+            }
+        }
+        return cmdCorpusRun(argv[3], opts);
     }
     usageError("unknown command: " + cmd);
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate the golden-verdict files pinned under tests/golden/.
+#
+# Usage: tools/update_goldens.sh [build-dir]   (default: build)
+#
+# Each golden file is the raw byte output of
+#   portend classify <workload> --json
+# for one registry workload — the same bytes `classify --all --json`
+# emits per array element — and the ctest suite golden_<workload>
+# diffs against it byte-for-byte. Regenerating therefore always
+# produces a reviewable git diff: goldens only change when verdict
+# behavior changes, and that diff is the re-review surface.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+PORTEND="$BUILD/portend"
+if [[ ! -x "$PORTEND" ]]; then
+    echo "error: $PORTEND not built (cmake --build $BUILD)" >&2
+    exit 1
+fi
+
+mkdir -p tests/golden
+workloads=$("$PORTEND" list | awk 'NR > 1 { print $1 }')
+for w in $workloads; do
+    "$PORTEND" classify "$w" --json > "tests/golden/$w.json"
+    echo "regenerated tests/golden/$w.json"
+done
+
+echo
+echo "Goldens regenerated. Review the diff before committing:"
+git --no-pager diff --stat -- tests/golden || true
