@@ -46,12 +46,13 @@ Executor::decide(rt::Interpreter &interp, const sym::ExprPtr &cond,
     const bool f_ok = false_side != sym::SatResult::Unsat;
 
     if (t_ok && f_ok) {
-        // Fork the false side if we still have state budget; the
-        // clone re-executes the deciding instruction and consumes
-        // the forced decision instead of calling back here. The
-        // clone is a COW checkpoint: cheap to take, and immutable
+        // Fork the false side if we still have state and fork-depth
+        // budget; the clone re-executes the deciding instruction and
+        // consumes the forced decision instead of calling back here.
+        // The clone is a COW checkpoint: cheap to take, and immutable
         // on the worklist until adopted.
-        if (states_created < opts.max_states) {
+        if (states_created < opts.max_states &&
+            static_cast<int>(pc.size()) < opts.max_fork_depth) {
             rt::VmState clone = interp.state();
             clone.forced_decisions.push_back(false);
             // The clone re-executes the deciding instruction inside

@@ -95,6 +95,9 @@ ScheduleExplorer::ScheduleExplorer(ExplorerOptions o) : opts(o)
 {
     if (opts.max_runs <= 0)
         opts.max_runs = opts.budget * 4 + 4;
+    // Pre-seed classes witnessed by earlier explorers so distinct_
+    // only counts globally-new ones (per-path budget sharing).
+    seen_ = opts.known;
     if (opts.mode == ExploreMode::Dpor) {
         // The systematic baseline: no injected preemptions, pure
         // deterministic fallback. Runs after the random phase.

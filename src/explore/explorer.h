@@ -155,6 +155,15 @@ struct ExplorerOptions
      * measure pure systematic coverage.
      */
     bool random_first = true;
+
+    /**
+     * Signature hashes already witnessed by earlier explorers (the
+     * per-path budgeting used by multi-path analysis: each path's
+     * explorer inherits its predecessors' classes, so distinct()
+     * counts only globally-new interleaving classes and the budget
+     * is shared across paths instead of multiplied by them).
+     */
+    std::set<std::string> known;
 };
 
 /**

@@ -58,6 +58,8 @@ renderMeta(const CorpusEntry &e)
     os << "detection_seed=" << e.detection_seed << "\n";
     os << "explore=" << e.explore << "\n";
     os << "signature=" << e.signature << "\n";
+    if (!e.witness.empty())
+        os << "witness=" << e.witness << "\n";
     os << "recipe=" << e.recipe_text << "\n";
     return os.str();
 }
@@ -97,6 +99,8 @@ parseMeta(const std::string &text, CorpusEntry &e, std::string *error)
                 e.explore = val;
             else if (key == "signature")
                 e.signature = val;
+            else if (key == "witness")
+                e.witness = val;
             else if (key == "recipe")
                 e.recipe_text = val;
             // Unknown keys are ignored (forward compatibility).

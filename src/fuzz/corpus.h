@@ -64,6 +64,11 @@ struct CorpusEntry
     std::string explore;
 
     std::string signature;         ///< expected oracle signature
+
+    /** Solver-concretized witness inputs of the deep symbolic run
+     *  ("cell:name=value ...", "" when none; emitted only when
+     *  non-empty, so legacy corpus bytes are unchanged). */
+    std::string witness;
     std::string recipe_text;       ///< ProgramRecipe::serialize form
     std::string program_text;      ///< ir::serializeProgram form
     std::string trace_text;        ///< ScheduleTrace::serialize form

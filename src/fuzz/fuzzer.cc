@@ -100,6 +100,7 @@ persistEntry(const ProgramRecipe &recipe, const OracleVerdict &v,
     entry.detection_seed = opts.detection_seed;
     entry.explore = explore::exploreModeName(opts.oracle.explore);
     entry.signature = v.signature();
+    entry.witness = v.witness_text;
     entry.recipe_text = recipe.serialize();
     entry.program_text = ir::serializeProgram(gen.program);
     entry.trace_text = v.trace_text;

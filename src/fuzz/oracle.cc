@@ -355,6 +355,114 @@ runOracle(const ir::Program &prog, const OracleOptions &opts)
         check("k-monotonicity", viol.empty(), viol);
     }
 
+    // -- Symbolic-input monotonicity + witness replay ----------------
+    // Making declared inputs symbolic may only *upgrade* verdicts:
+    // the single-path stage-1 baseline witnesses one concrete
+    // (input, schedule) point, and every path the symbolic forker
+    // adds is another feasible point, so a decisive stage-1 verdict
+    // (spec violated / output differs) can never become harmless.
+    // The comparison deliberately uses the stage-1 baseline, not the
+    // full legacy run: two full multi-path runs with different
+    // symbol sets may truncate different path suffixes at the Mp
+    // budget, which reorders — without shrinking — the witnessed
+    // set. Any decisive symbolic verdict must also carry evidence
+    // that replayEvidence reproduces byte-identically.
+    if (!prog.inputs.empty()) {
+        core::PortendOptions lo = full;
+        lo.mp = 1;
+        lo.ma = 1;
+        lo.multi_path = false;
+        lo.multi_schedule = false;
+        core::PortendResult rl = core::Portend(prog, lo).run();
+
+        core::PortendOptions so = full;
+        for (const ir::InputDecl &d : prog.inputs)
+            so.sym_inputs.push_back(
+                rt::SymInputSpec{d.name, false, 0, 0});
+        core::PortendResult rs = core::Portend(prog, so).run();
+
+        const auto rank = [](core::RaceClass c) {
+            switch (c) {
+            case core::RaceClass::SpecViolated:
+                return 4;
+            case core::RaceClass::OutputDiffers:
+                return 3;
+            case core::RaceClass::KWitnessHarmless:
+                return 2;
+            case core::RaceClass::SingleOrdering:
+                return 1;
+            default:
+                return 0;
+            }
+        };
+        std::map<std::string, const core::PortendReport *> sym;
+        for (const core::PortendReport &rep : rs.reports)
+            sym[rep.cluster.representative.key()] = &rep;
+        std::string viol;
+        for (const core::PortendReport &rep : rl.reports) {
+            if (rank(rep.classification.cls) < 3)
+                continue; // only decisive stage-1 verdicts bind
+            auto it = sym.find(rep.cluster.representative.key());
+            if (it == sym.end())
+                continue;
+            if (rank(it->second->classification.cls) <
+                rank(rep.classification.cls)) {
+                viol += (viol.empty() ? "" : "; ") +
+                        std::string("race on ") +
+                        prog.cellName(
+                            rep.cluster.representative.cell) +
+                        " downgraded from " +
+                        core::raceClassName(rep.classification.cls) +
+                        " to " +
+                        core::raceClassName(
+                            it->second->classification.cls) +
+                        " under symbolic inputs";
+            }
+        }
+        check("sym-monotonicity", viol.empty(), viol);
+
+        for (const core::PortendReport &rep : rs.reports) {
+            for (const core::WitnessInput &w :
+                 rep.classification.evidence_witness) {
+                v.witness_text +=
+                    (v.witness_text.empty() ? "" : " ") +
+                    prog.cellName(rep.cluster.representative.cell) +
+                    ":" + w.name + "=" + std::to_string(w.value);
+            }
+        }
+
+        core::RaceAnalyzer analyzer(prog, so);
+        const auto renderReplay =
+            [](const core::RaceAnalyzer::EvidenceReplay &r) {
+                std::string s = rt::runOutcomeName(r.outcome);
+                s += "|" + r.detail + "|";
+                for (const rt::OutputRecord &rec : r.output.records)
+                    s += rec.toString() + "\n";
+                return s;
+            };
+        std::string mismatch;
+        for (const core::PortendReport &rep : rs.reports) {
+            if (rank(rep.classification.cls) < 3)
+                continue;
+            core::RaceAnalyzer::EvidenceReplay a =
+                analyzer.replayEvidence(rep.cluster.representative,
+                                        rs.detection.trace,
+                                        rep.classification);
+            core::RaceAnalyzer::EvidenceReplay b =
+                analyzer.replayEvidence(rep.cluster.representative,
+                                        rs.detection.trace,
+                                        rep.classification);
+            if (renderReplay(a) != renderReplay(b)) {
+                mismatch += (mismatch.empty() ? "" : "; ") +
+                            std::string("replay of ") +
+                            prog.cellName(
+                                rep.cluster.representative.cell) +
+                            " is not deterministic";
+            }
+        }
+        check("witness-replay", mismatch.empty(), mismatch);
+    }
+
     return v;
 }
 

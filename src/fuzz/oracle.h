@@ -28,6 +28,13 @@
  *    random explorer's schedules first (same seeds, same order)
  *    before its systematic candidates, so it witnesses a superset
  *    of behaviors at equal budget;
+ *  - sym-monotonicity: making declared program inputs symbolic may
+ *    only upgrade verdicts — a decisive single-path stage-1 verdict
+ *    (spec violated / output differs) never becomes harmless when
+ *    the multi-path forker explores additional feasible inputs;
+ *  - witness-replay: every decisive verdict of the symbolic run
+ *    carries evidence that replayEvidence reproduces
+ *    byte-identically on repeated replays;
  *  - classifier vs. baselines: a race the static ad-hoc-sync
  *    detector prunes as "single ordering" must be classified
  *    "single ordering" by Portend (dynamic and static recognition of
@@ -104,6 +111,14 @@ struct OracleVerdict
 
     /** Concatenated Fig. 6 reports of the primary run. */
     std::string report_text;
+
+    /**
+     * Solver-concretized witness inputs of the deep symbolic run
+     * ("cell:name=value ..." per decisive verdict, space-joined;
+     * "" when the program declares no inputs or nothing upgraded).
+     * Stored in corpus reproducer meta.txt.
+     */
+    std::string witness_text;
 
     /** True when any check failed. */
     bool flagged() const;

@@ -1,5 +1,7 @@
 #include "ir/builder.h"
 
+#include <algorithm>
+
 #include "ir/verifier.h"
 #include "support/logging.h"
 
@@ -326,6 +328,16 @@ FunctionBuilder::input(const std::string &iname, std::int64_t lo,
     i.text = iname;
     i.lo = lo;
     i.hi = hi;
+    // Register (or widen) the program-level declaration so tools can
+    // enumerate inputs without scanning instruction streams.
+    for (auto &decl : owner->prog.inputs) {
+        if (decl.name == iname) {
+            decl.lo = std::min(decl.lo, lo);
+            decl.hi = std::max(decl.hi, hi);
+            return d;
+        }
+    }
+    owner->prog.inputs.push_back(InputDecl{iname, lo, hi});
     return d;
 }
 

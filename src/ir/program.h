@@ -43,6 +43,20 @@ struct Global
 };
 
 /**
+ * A declared program input: a named environment read with a bounded
+ * domain [lo, hi]. Declarations let tools (CLI `--sym-input`, the
+ * fuzzer, benches) discover which inputs a program reads without
+ * scanning instruction streams; `Op::Input` instructions reference
+ * declarations by name.
+ */
+struct InputDecl
+{
+    std::string name;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+};
+
+/**
  * A complete PIL program.
  *
  * Finalize() assigns a unique linear program counter to every
@@ -59,10 +73,14 @@ class Program
     std::vector<std::string> cond_names;
     std::vector<std::string> barrier_names;
     std::vector<int> barrier_counts;     ///< participant count per barrier
+    std::vector<InputDecl> inputs;       ///< declared environment inputs
     FuncId entry = -1;
 
     /** Function id by name; -1 when absent. */
     FuncId findFunction(const std::string &fname) const;
+
+    /** Input declaration by name; nullptr when absent. */
+    const InputDecl *findInput(const std::string &iname) const;
 
     /** Function by id (checked). */
     const Function &function(FuncId f) const { return functions.at(f); }

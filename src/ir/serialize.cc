@@ -137,6 +137,13 @@ serializeProgram(const Program &p)
         os << "barrier " << quote(p.barrier_names[i]) << " "
            << p.barrier_counts[i] << "\n";
     }
+    // Input declarations are emitted only when present so programs
+    // without them serialize byte-identically to the pre-declaration
+    // format (on-disk corpus compatibility).
+    for (const auto &d : p.inputs) {
+        os << "input " << quote(d.name) << " " << d.lo << " " << d.hi
+           << "\n";
+    }
     for (const auto &f : p.functions) {
         os << "func " << quote(f.name) << " " << f.num_params << " "
            << f.num_regs << "\n";
@@ -185,7 +192,7 @@ deserializeProgram(const std::string &text, std::string *error)
     BasicBlock *cur_block = nullptr;
 
     std::set<std::string> global_names, mutex_names, cond_names,
-        barrier_names, func_names;
+        barrier_names, func_names, input_names;
 
     std::istringstream is(text);
     std::string line;
@@ -262,6 +269,21 @@ deserializeProgram(const std::string &text, std::string *error)
                             where());
             p.barrier_names.push_back(n);
             p.barrier_counts.push_back(count);
+        } else if (tag == "input") {
+            InputDecl d;
+            if (!unquote(ls, d.name) || !(ls >> d.lo) ||
+                !(ls >> d.hi)) {
+                return fail("bad input declaration" + where());
+            }
+            if (d.lo > d.hi)
+                return fail("input domain empty" + where());
+            if (!input_names.insert(d.name).second)
+                return fail("duplicate input '" + d.name + "'" +
+                            where());
+            std::string trailing;
+            if (ls >> trailing)
+                return fail("trailing tokens after input" + where());
+            p.inputs.push_back(std::move(d));
         } else if (tag == "func") {
             Function f;
             if (!unquote(ls, f.name) || !(ls >> f.num_params) ||

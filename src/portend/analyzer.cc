@@ -29,6 +29,30 @@ concretizeEnvLog(const std::vector<rt::VmState::EnvRead> &log,
     return out;
 }
 
+/**
+ * Named witness bindings for the symbolic entries of an env log,
+ * using the same model/fallback rule as concretizeEnvLog so the
+ * witness names exactly the values replay will consume.
+ */
+std::vector<WitnessInput>
+witnessOf(const std::vector<rt::VmState::EnvRead> &log,
+          const sym::Model &model)
+{
+    std::vector<WitnessInput> out;
+    for (const auto &r : log) {
+        if (!r.symbolic)
+            continue;
+        WitnessInput w;
+        w.name = r.name.empty() ? "sym" + std::to_string(r.sym_id)
+                                : r.name;
+        w.value = model.values.count(r.sym_id)
+                      ? model.values.at(r.sym_id)
+                      : r.lo;
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
 } // namespace
 
 bool
@@ -874,6 +898,7 @@ RaceAnalyzer::classify(const race::RaceReport &race,
         rt::ExecOptions eo = baseOptions();
         eo.input_mode = rt::InputMode::Symbolic;
         eo.max_symbolic_inputs = opts.max_symbolic_inputs;
+        eo.sym_inputs = opts.sym_inputs;
         rt::Interpreter sym_interp(prog, eo);
 
         exec::ExecutorOptions xo;
@@ -881,6 +906,8 @@ RaceAnalyzer::classify(const race::RaceReport &race,
         xo.max_states = opts.executor_max_states;
         xo.solver = opts.solver;
         exec::Executor ex(xo);
+        // Whether decisive verdicts carry a named input witness.
+        const bool named = !opts.sym_inputs.empty();
 
         SemanticMonitor sem(sym_interp, opts.semantic_predicates);
         sym_interp.addSink(&sem);
@@ -897,6 +924,12 @@ RaceAnalyzer::classify(const race::RaceReport &race,
         c.stats.paths_explored = static_cast<int>(paths.size());
         c.stats.states_created = ex.statesCreated();
         absorbStats(c.stats, sym_interp.state());
+        // Keep the solver ledger current at every exit point: output
+        // comparison below issues further queries.
+        auto noteSolver = [&] {
+            c.stats.solver_queries = ex.solver().stats().queries;
+        };
+        noteSolver();
 
         // A primary path itself violating the specification is
         // direct evidence of harm (when attributable to this race).
@@ -913,7 +946,11 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                 c.detail = p.state.outcome_detail;
                 c.evidence_inputs =
                     concretizeEnvLog(p.state.env_log, p.model);
+                if (named)
+                    c.evidence_witness =
+                        witnessOf(p.state.env_log, p.model);
                 c.evidence_alternate = false;
+                noteSolver();
                 c.stats.seconds = sw.seconds();
                 return c;
             }
@@ -922,6 +959,7 @@ RaceAnalyzer::classify(const race::RaceReport &race,
             c.cls = RaceClass::SpecViolated;
             c.viol = ViolationKind::SemanticAssert;
             c.detail = sem.violation();
+            noteSolver();
             c.stats.seconds = sw.seconds();
             return c;
         }
@@ -929,6 +967,11 @@ RaceAnalyzer::classify(const race::RaceReport &race,
         const std::uint64_t budget =
             trace.decisions.empty() ? opts.max_steps
                                     : trace.decisions.back().step + 1;
+
+        // Under named symbolic inputs the distinct-schedule budget
+        // is shared: each path's explorer inherits the interleaving
+        // classes earlier paths witnessed (per-path budgeting).
+        std::set<std::string> known_sigs;
 
         int path_index = 0;
         for (const auto &p : paths) {
@@ -956,7 +999,11 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                     c.viol = a.viol;
                     c.detail = a.detail;
                     c.evidence_inputs = inputs_p;
+                    if (named)
+                        c.evidence_witness =
+                            witnessOf(p.state.env_log, p.model);
                     c.evidence_alternate = true;
+                    noteSolver();
                     c.stats.seconds = sw.seconds();
                     return c;
                   case SingleResult::Kind::OutSame: {
@@ -970,7 +1017,11 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                         c.detail = "outputs diverge on an explored "
                                    "path/schedule";
                         c.evidence_inputs = inputs_p;
+                        if (named)
+                            c.evidence_witness =
+                                witnessOf(p.state.env_log, p.model);
                         c.evidence_alternate = true;
+                        noteSolver();
                         c.stats.seconds = sw.seconds();
                         return c;
                     }
@@ -995,6 +1046,8 @@ RaceAnalyzer::classify(const race::RaceReport &race,
             // Legacy seed layout: seed j of path p is p * 16 + j.
             xopts.seed_base =
                 static_cast<std::uint64_t>(path_index) * 16;
+            if (named)
+                xopts.known = known_sigs;
             explore::ScheduleExplorer sched_ex(xopts);
             while (std::optional<explore::PostSpec> spec =
                        sched_ex.next()) {
@@ -1014,6 +1067,9 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                     c.viol = a.viol;
                     c.detail = a.detail;
                     c.evidence_inputs = inputs_p;
+                    if (named)
+                        c.evidence_witness =
+                            witnessOf(p.state.env_log, p.model);
                     c.evidence_seed = spec->seed;
                     c.evidence_schedule.assign(spec->prefix.begin(),
                                                spec->prefix.end());
@@ -1022,6 +1078,7 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                             sched_ex.lastSignature();
                     c.evidence_alternate = true;
                     c.stats.distinct_schedules += sched_ex.distinct();
+                    noteSolver();
                     c.stats.seconds = sw.seconds();
                     return c;
                   case SingleResult::Kind::OutSame: {
@@ -1035,6 +1092,9 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                         c.detail = "outputs diverge on an explored "
                                    "path/schedule";
                         c.evidence_inputs = inputs_p;
+                        if (named)
+                            c.evidence_witness = witnessOf(
+                                p.state.env_log, p.model);
                         c.evidence_seed = spec->seed;
                         c.evidence_schedule.assign(
                             spec->prefix.begin(), spec->prefix.end());
@@ -1043,6 +1103,7 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                         c.evidence_alternate = true;
                         c.stats.distinct_schedules +=
                             sched_ex.distinct();
+                        noteSolver();
                         c.stats.seconds = sw.seconds();
                         return c;
                     }
@@ -1065,7 +1126,10 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                 }
             }
             c.stats.distinct_schedules += sched_ex.distinct();
+            if (named)
+                known_sigs = sched_ex.signatures();
         }
+        noteSolver();
     } else if (opts.multi_schedule) {
         // Multi-schedule without multi-path: rerun Algorithm 1 on
         // the original inputs with explorer-issued post-race

@@ -82,6 +82,17 @@ struct PortendOptions
     bool multi_path = true;        ///< enable stage 2
     bool multi_schedule = true;    ///< enable stage 3
     int max_symbolic_inputs = 2;   ///< inputs made symbolic in stage 2
+
+    /**
+     * Named symbolic-input selection for stage 2 (CLI --sym-input).
+     * When non-empty, only Input instructions whose label matches an
+     * entry become symbolic (max_symbolic_inputs is ignored), stage
+     * 3's distinct-schedule budget is shared across primary paths,
+     * and decisive verdicts record a named witness
+     * (Classification::evidence_witness). Empty = legacy positional
+     * selection.
+     */
+    std::vector<rt::SymInputSpec> sym_inputs;
     std::uint64_t timeout_factor = 5; ///< alternate budget multiplier
     std::uint64_t max_steps = 2000000; ///< absolute step budget
     std::uint64_t detection_seed = 1;  ///< seed for detection run

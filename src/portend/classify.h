@@ -88,8 +88,22 @@ struct AnalysisStats
     int distinct_schedules = 0;
 
     int states_created = 0;            ///< symbolic states forked
+    std::uint64_t solver_queries = 0;  ///< checkSat calls issued
     double seconds = 0.0;              ///< wall-clock analysis time
     double queue_seconds = 0.0;        ///< wait for a free worker
+};
+
+/** One named input binding of an evidence witness. */
+struct WitnessInput
+{
+    std::string name;
+    std::int64_t value = 0;
+
+    bool
+    operator==(const WitnessInput &o) const
+    {
+        return name == o.name && value == o.value;
+    }
 };
 
 /** The verdict for one race, with evidence (paper §3.6). */
@@ -116,6 +130,15 @@ struct Classification
 
     /** Inputs reproducing the harmful/divergent behaviour. */
     std::vector<std::int64_t> evidence_inputs;
+
+    /**
+     * Solver-concretized named input witness: the bindings for the
+     * inputs that were symbolic on the evidence path. Non-empty only
+     * when the verdict came from multi-path analysis with named
+     * symbolic inputs; the same values appear (with all other env
+     * reads) inside evidence_inputs, which replay consumes.
+     */
+    std::vector<WitnessInput> evidence_witness;
 
     /** Post-race schedule seed reproducing the behaviour. */
     std::uint64_t evidence_seed = 0;

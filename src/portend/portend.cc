@@ -129,6 +129,12 @@ formatReport(const ir::Program &prog, const PortendReport &report)
                 os << " " << v;
         }
         os << "\n";
+        if (!c.evidence_witness.empty()) {
+            os << "  witness input:";
+            for (const auto &w : c.evidence_witness)
+                os << " " << w.name << "=" << w.value;
+            os << "\n";
+        }
         os << "  evidence ordering: "
            << (c.evidence_alternate ? "alternate" : "primary");
         if (!c.evidence_schedule.empty()) {

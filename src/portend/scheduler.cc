@@ -141,6 +141,7 @@ ClassificationScheduler::classifyAll(
         stats_.paths_explored += s.paths_explored;
         stats_.schedules_explored += s.schedules_explored;
         stats_.distinct_schedules += s.distinct_schedules;
+        stats_.solver_queries += s.solver_queries;
     }
     stats_.seconds = sw.seconds();
     return reports;

@@ -70,6 +70,7 @@ struct SchedulerStats
      * one to compare across explorers at equal budget.
      */
     int distinct_schedules = 0;
+    std::uint64_t solver_queries = 0; ///< checkSat calls issued
     int clusters = 0;               ///< jobs executed
     int jobs = 1;                   ///< worker threads used
     double seconds = 0.0;           ///< batch wall-clock time

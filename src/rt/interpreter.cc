@@ -736,14 +736,37 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         ThreadState &t = st.thread(tid);
         sym::ExprPtr v;
         VmState::EnvRead read;
-        if (opts.input_mode == InputMode::Symbolic &&
-            st.next_symbol < opts.max_symbolic_inputs) {
+        read.name = inst.text;
+        // Named selection: when sym_inputs is set, only matching
+        // labels become symbolic (positional cap ignored); an entry
+        // with a range overrides the instruction's declared domain.
+        const SymInputSpec *spec = nullptr;
+        bool make_symbolic = false;
+        if (opts.input_mode == InputMode::Symbolic) {
+            if (!opts.sym_inputs.empty()) {
+                for (const auto &s : opts.sym_inputs) {
+                    if (s.name == inst.text) {
+                        spec = &s;
+                        break;
+                    }
+                }
+                make_symbolic = spec != nullptr;
+            } else {
+                make_symbolic =
+                    st.next_symbol < opts.max_symbolic_inputs;
+            }
+        }
+        if (make_symbolic) {
+            std::int64_t lo =
+                spec && spec->has_range ? spec->lo : inst.lo;
+            std::int64_t hi =
+                spec && spec->has_range ? spec->hi : inst.hi;
             int id = st.next_symbol++;
             v = sym::Expr::symbol(inst.text, id, sym::Width::I64,
-                                  inst.lo, inst.hi);
+                                  lo, hi);
             read.symbolic = true;
             read.sym_id = id;
-            read.lo = inst.lo;
+            read.lo = lo;
         } else {
             std::size_t cursor = st.env_log.size();
             std::int64_t cv =

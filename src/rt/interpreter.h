@@ -80,6 +80,19 @@ enum class InputMode : std::uint8_t {
     Symbolic, ///< fresh symbols with the declared domains
 };
 
+/**
+ * One named symbolic-input request (see ExecOptions::sym_inputs).
+ * Matches Input instructions by their declared label; an optional
+ * range overrides the instruction's declared domain.
+ */
+struct SymInputSpec
+{
+    std::string name;
+    bool has_range = false; ///< when set, [lo, hi] replaces the decl
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+};
+
 /** Interpreter configuration. */
 struct ExecOptions
 {
@@ -105,9 +118,20 @@ struct ExecOptions
     /**
      * How many Input instructions become symbolic in Symbolic mode;
      * later inputs take their concrete domain lower bound (the
-     * paper's "number of symbolic inputs" dial, §3.3).
+     * paper's "number of symbolic inputs" dial, §3.3). Ignored when
+     * sym_inputs selects inputs by name.
      */
     int max_symbolic_inputs = INT32_MAX;
+
+    /**
+     * Named symbolic-input selection. When non-empty (and input_mode
+     * is Symbolic), an Input instruction becomes symbolic iff its
+     * label matches an entry here — the positional
+     * max_symbolic_inputs cap does not apply — and an entry with
+     * has_range overrides the instruction's declared domain. When
+     * empty, the legacy positional rule applies unchanged.
+     */
+    std::vector<SymInputSpec> sym_inputs;
 
     /** Make every Output instruction a preemption point. */
     bool preempt_on_output = false;

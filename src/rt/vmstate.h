@@ -264,7 +264,8 @@ struct VmState
         bool symbolic = false;
         int sym_id = -1;
         std::int64_t value = 0;
-        std::int64_t lo = 0; ///< domain lower bound (symbolic reads)
+        std::int64_t lo = 0;  ///< domain lower bound (symbolic reads)
+        std::string name;     ///< input label (evidence witnesses)
     };
 
     /** Environment reads in consumption order. */

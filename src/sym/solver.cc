@@ -413,4 +413,26 @@ Solver::mayBeTrue(const std::vector<ExprPtr> &pc, const ExprPtr &e,
     return checkSat(q, model) == SatResult::Sat;
 }
 
+std::optional<Model>
+Solver::witness(const std::vector<ExprPtr> &constraints)
+{
+    Model m;
+    if (checkSat(constraints, &m) == SatResult::Unsat)
+        return std::nullopt;
+    for (const auto &[id, node] : collectSymbols(constraints)) {
+        if (!m.values.count(id))
+            m.values[id] = node->symbolLo();
+    }
+    return m;
+}
+
+std::map<int, ExprPtr>
+collectSymbols(const std::vector<ExprPtr> &constraints)
+{
+    std::map<int, ExprPtr> symbols;
+    for (const auto &c : constraints)
+        c->collectSymbolNodes(symbols);
+    return symbols;
+}
+
 } // namespace portend::sym

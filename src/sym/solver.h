@@ -114,6 +114,19 @@ class Solver
     bool mayBeTrue(const std::vector<ExprPtr> &pc, const ExprPtr &e,
                    Model *model = nullptr);
 
+    /**
+     * Concretize a complete witness for @p constraints.
+     *
+     * Like checkSat, but the returned model binds *every* symbol
+     * referenced by the constraints: symbols the search left free
+     * are pinned to their domain lower bound, so the witness can be
+     * replayed deterministically. Returns nullopt on Unsat; an
+     * Unknown answer still yields the (possibly partial-search)
+     * model so callers degrade gracefully.
+     */
+    std::optional<Model>
+    witness(const std::vector<ExprPtr> &constraints);
+
     /** Work counters. */
     const SolverStats &stats() const { return stats_; }
 
@@ -138,6 +151,10 @@ class Solver
     SolverOptions opts;
     SolverStats stats_;
 };
+
+/** All distinct symbol nodes referenced by @p constraints. */
+std::map<int, ExprPtr>
+collectSymbols(const std::vector<ExprPtr> &constraints);
 
 /**
  * Evaluate @p e under a partial model.

@@ -12,6 +12,12 @@ workloadNames()
             "rw"};
 }
 
+std::vector<std::string>
+extensionWorkloadNames()
+{
+    return {"ibuf", "iguard"};
+}
+
 Workload
 buildWorkload(const std::string &name)
 {
@@ -39,6 +45,10 @@ buildWorkload(const std::string &name)
         return buildMicroDbm();
     if (name == "rw")
         return buildMicroRw();
+    if (name == "ibuf")
+        return buildSymBuf();
+    if (name == "iguard")
+        return buildSymGuard();
     PORTEND_FATAL("unknown workload '", name, "'");
 }
 

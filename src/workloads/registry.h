@@ -17,6 +17,14 @@ namespace portend::workloads {
 std::vector<std::string> workloadNames();
 
 /**
+ * Input-sensitive extension workloads (outside the paper's Table 1
+ * population, so Table 3 accounting over workloadNames() is
+ * unchanged): accepted by buildWorkload and listed by the CLI, each
+ * upgrading its verdict only under --sym-input.
+ */
+std::vector<std::string> extensionWorkloadNames();
+
+/**
  * Build one workload by short name ("sqlite", "ocean", "fmm",
  * "memcached", "pbzip2", "ctrace", "bbuf", "avv", "dcl", "dbm",
  * "rw"); fatal on unknown names.

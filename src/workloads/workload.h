@@ -89,6 +89,13 @@ Workload buildMicroDbm();
 Workload buildMicroRw();
 /** @} */
 
+/** @name Input-sensitive extension models (see syminput.cc)
+ * @{
+ */
+Workload buildSymBuf();   ///< "ibuf": buffer-size-gated output race
+Workload buildSymGuard(); ///< "iguard": input-guarded overflow crash
+/** @} */
+
 } // namespace portend::workloads
 
 #endif // PORTEND_WORKLOADS_WORKLOAD_H

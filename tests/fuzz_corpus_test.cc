@@ -55,6 +55,7 @@ TEST(FuzzCorpus, SaveLoadRoundTrip)
 {
     std::string dir = scratchDir("roundtrip");
     CorpusEntry e = makeRegressionEntry(0);
+    e.witness = "cell:n=5";
     std::string error;
     ASSERT_TRUE(saveEntry(dir, e, &error)) << error;
 
@@ -65,6 +66,7 @@ TEST(FuzzCorpus, SaveLoadRoundTrip)
     EXPECT_EQ(back->index, e.index);
     EXPECT_EQ(back->detection_seed, e.detection_seed);
     EXPECT_EQ(back->signature, e.signature);
+    EXPECT_EQ(back->witness, e.witness);
     EXPECT_EQ(back->recipe_text, e.recipe_text);
     EXPECT_EQ(back->program_text, e.program_text);
     EXPECT_EQ(back->trace_text, e.trace_text);

@@ -63,6 +63,44 @@ TEST(FuzzOracle, DeepBatteryRunsAllChecks)
     }
 }
 
+// The symbolic battery (sym-monotonicity + witness-replay) runs
+// exactly when the program declares inputs, and on the
+// input-sensitive extension workloads it must be clean and record a
+// solver-concretized witness for the upgraded verdict.
+TEST(FuzzOracle, SymbolicBatteryCleanOnExtensionWorkloads)
+{
+    OracleOptions opts;
+    opts.deep = true;
+    for (const char *name : {"ibuf", "iguard"}) {
+        workloads::Workload w = workloads::buildWorkload(name);
+        ASSERT_FALSE(w.program.inputs.empty());
+        OracleVerdict v = runOracle(w.program, opts);
+        EXPECT_FALSE(v.flagged())
+            << name << ": check '" << v.firstFailure() << "' failed";
+        std::set<std::string> names;
+        for (const CheckResult &c : v.checks)
+            names.insert(c.name);
+        EXPECT_TRUE(names.count("sym-monotonicity")) << name;
+        EXPECT_TRUE(names.count("witness-replay")) << name;
+        EXPECT_NE(v.witness_text.find(":n="), std::string::npos)
+            << name << ": witness_text = '" << v.witness_text << "'";
+    }
+}
+
+TEST(FuzzOracle, SymbolicBatterySkippedWithoutInputDecls)
+{
+    workloads::Workload w = workloads::buildWorkload("avv");
+    ASSERT_TRUE(w.program.inputs.empty());
+    OracleOptions opts;
+    opts.deep = true;
+    OracleVerdict v = runOracle(w.program, opts);
+    for (const CheckResult &c : v.checks) {
+        EXPECT_NE(c.name, "sym-monotonicity");
+        EXPECT_NE(c.name, "witness-replay");
+    }
+    EXPECT_TRUE(v.witness_text.empty());
+}
+
 // The schedule-coverage monotonicity property: across a generated
 // batch, switching random -> dpor and doubling Ma never loses a
 // "spec violated" verdict. Runs under both primary explorers so

@@ -26,6 +26,12 @@ expectSamePrograms(const Program &a, const Program &b)
     EXPECT_EQ(a.cond_names, b.cond_names);
     EXPECT_EQ(a.barrier_names, b.barrier_names);
     EXPECT_EQ(a.barrier_counts, b.barrier_counts);
+    ASSERT_EQ(a.inputs.size(), b.inputs.size());
+    for (std::size_t i = 0; i < a.inputs.size(); ++i) {
+        EXPECT_EQ(a.inputs[i].name, b.inputs[i].name);
+        EXPECT_EQ(a.inputs[i].lo, b.inputs[i].lo);
+        EXPECT_EQ(a.inputs[i].hi, b.inputs[i].hi);
+    }
     EXPECT_EQ(a.entry, b.entry);
     ASSERT_EQ(a.functions.size(), b.functions.size());
     for (std::size_t f = 0; f < a.functions.size(); ++f) {
@@ -109,7 +115,8 @@ TEST_P(SerializeRoundTrip, ParsedProgramExecutesIdentically)
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, SerializeRoundTrip,
     ::testing::Values("sqlite", "ocean", "fmm", "memcached", "pbzip2",
-                      "ctrace", "bbuf", "avv", "dcl", "dbm", "rw"),
+                      "ctrace", "bbuf", "avv", "dcl", "dbm", "rw",
+                      "ibuf", "iguard"),
     [](const ::testing::TestParamInfo<std::string> &info) {
         return info.param;
     });

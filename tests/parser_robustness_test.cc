@@ -75,6 +75,15 @@ TEST(ProgramParserRobustness, RejectsBadDeclarations)
     expectReject(h + "barrier \"b\" 0\nend\n", "zero barrier count");
     expectReject(h + "barrier \"b\" 2\nbarrier \"b\" 2\nend\n",
                  "duplicate barrier");
+    expectReject(h + "input \"n\"\nend\n", "input missing domain");
+    expectReject(h + "input \"n\" 0\nend\n", "input missing hi");
+    expectReject(h + "input \"n\" 0 x\nend\n",
+                 "non-numeric input bound");
+    expectReject(h + "input \"n\" 5 2\nend\n", "empty input domain");
+    expectReject(h + "input \"n\" 0 4\ninput \"n\" 0 4\nend\n",
+                 "duplicate input");
+    expectReject(h + "input \"n\" 0 4 9\nend\n",
+                 "trailing tokens after input");
     expectReject(h + "func \"f\" 2 1\nend\n",
                  "params exceed registers");
     expectReject(h + "func \"f\" -1 4\nend\n", "negative params");
@@ -138,14 +147,17 @@ TEST(ProgramParserRobustness, AcceptsItsOwnOutput)
 
 TEST(ProgramParserRobustness, SurvivesDeterministicMutationFuzz)
 {
-    // 400 mutants of two valid serializations (a paper workload and
-    // a generated fuzz program): every parse must either fail
-    // cleanly or produce a verifier-clean program that round-trips.
+    // 400 mutants of three valid serializations (a paper workload,
+    // a generated fuzz program, and an input-declaring extension
+    // workload): every parse must either fail cleanly or produce a
+    // verifier-clean program that round-trips.
     std::vector<std::string> bases = {
         validProgramText(),
         ir::serializeProgram(
             fuzz::generateProgram(42, 2, fuzz::GeneratorOptions{})
                 .program),
+        ir::serializeProgram(
+            workloads::buildWorkload("ibuf").program),
     };
     Rng rng(6);
     for (int iter = 0; iter < 400; ++iter) {

@@ -47,10 +47,34 @@ TEST_P(WorkloadSuite, MatchesGroundTruth)
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, WorkloadSuite,
     ::testing::Values("sqlite", "ocean", "fmm", "memcached", "pbzip2",
-                      "ctrace", "bbuf", "avv", "dcl", "dbm", "rw"),
+                      "ctrace", "bbuf", "avv", "dcl", "dbm", "rw",
+                      "ibuf", "iguard"),
     [](const ::testing::TestParamInfo<std::string> &info) {
         return info.param;
     });
+
+TEST(WorkloadMetadataTest, ExtensionSuiteStaysOutsidePaperCounts)
+{
+    // The input-sensitive extensions live outside workloadNames(),
+    // so the Table 1/Table 3 pins above never see them; each is a
+    // documented default-pipeline miss (truth above the expected
+    // verdict) that needs multi-path analysis to recover.
+    auto names = extensionWorkloadNames();
+    ASSERT_EQ(names.size(), 2u);
+    for (const auto &n : names) {
+        Workload w = buildWorkload(n);
+        EXPECT_FALSE(w.program.inputs.empty()) << n;
+        ASSERT_EQ(w.expected.size(), 1u) << n;
+        EXPECT_EQ(w.expected[0].portend_expected,
+                  core::RaceClass::KWitnessHarmless)
+            << n;
+        EXPECT_NE(w.expected[0].truth, w.expected[0].portend_expected)
+            << n;
+        EXPECT_EQ(w.expected[0].required_level, 2) << n;
+        for (const auto &p : workloadNames())
+            EXPECT_NE(p, n);
+    }
+}
 
 TEST(WorkloadMetadataTest, SuiteShapeMatchesTable1)
 {

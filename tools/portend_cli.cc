@@ -55,6 +55,7 @@ Usage:
 
 Workloads:
   pbzip2  ctrace  memcached  sqlite  ocean  fmm  bbuf  avv  dcl  dbm  rw
+  input-sensitive extensions (classify with --sym-input): ibuf  iguard
   (run `portend list` for the Table 1 metadata of each)
 
 Options:
@@ -78,6 +79,13 @@ Options:
   --detector <name>    hb | hb-nomutex | lockset (default hb)
   --class <name>       only report races of this class (paper
                        spelling, e.g. "spec violated")
+  --sym-input <name>[=lo..hi]
+                       make the named program input symbolic during
+                       multi-path analysis (repeatable). Only
+                       matching inputs fork paths; a decisive
+                       verdict records a solver-concretized witness
+                       value per symbolic input, and an explicit
+                       lo..hi overrides the input's declared domain
   --no-multi-path      disable multi-path analysis (stage 2)
   --no-multi-schedule  disable multi-schedule analysis (stage 3)
   --no-adhoc           disable ad-hoc synchronization detection
@@ -146,6 +154,36 @@ parseInt(const char *flag, const char *value)
     return v;
 }
 
+/** Parse a --sym-input value: `name` or `name=lo..hi`. */
+rt::SymInputSpec
+parseSymInput(const char *value)
+{
+    if (!value)
+        usageError("--sym-input needs a value");
+    std::string v = value;
+    rt::SymInputSpec s;
+    std::size_t eq = v.find('=');
+    if (eq == std::string::npos) {
+        s.name = v;
+    } else {
+        s.name = v.substr(0, eq);
+        std::string range = v.substr(eq + 1);
+        std::size_t dots = range.find("..");
+        if (dots == std::string::npos)
+            usageError("--sym-input range must be lo..hi: " + v);
+        const std::string lo = range.substr(0, dots);
+        const std::string hi = range.substr(dots + 2);
+        s.has_range = true;
+        s.lo = parseInt("--sym-input", lo.c_str());
+        s.hi = parseInt("--sym-input", hi.c_str());
+        if (s.lo > s.hi)
+            usageError("--sym-input: empty range: " + v);
+    }
+    if (s.name.empty())
+        usageError("--sym-input needs an input name");
+    return s;
+}
+
 /** Parse the shared option tail of `run` / `classify`. */
 CliOptions
 parseOptions(int argc, char **argv, int start)
@@ -179,6 +217,9 @@ parseOptions(int argc, char **argv, int start)
             cli.opts.ma = static_cast<int>(parseInt("--ma", next));
             if (cli.opts.ma < 1)
                 usageError("--ma must be >= 1");
+            ++i;
+        } else if (a == "--sym-input") {
+            cli.opts.sym_inputs.push_back(parseSymInput(next));
             ++i;
         } else if (a == "--explore") {
             cli.opts.explore = parseExploreMode(next);
@@ -233,6 +274,8 @@ workloads::Workload
 loadWorkload(const std::string &name)
 {
     std::vector<std::string> names = workloads::workloadNames();
+    for (const auto &n : workloads::extensionWorkloadNames())
+        names.push_back(n);
     bool known = false;
     for (const auto &n : names)
         known = known || n == name;
@@ -364,6 +407,14 @@ jsonReport(const workloads::Workload &w, const core::PortendResult &res,
         os << "      \"k\": " << c.k << ",\n";
         os << "      \"states_differ\": "
            << (c.states_differ ? "true" : "false") << ",\n";
+        os << "      \"witness\": [";
+        for (std::size_t j = 0; j < c.evidence_witness.size(); ++j) {
+            const core::WitnessInput &wi = c.evidence_witness[j];
+            os << (j ? ", " : "") << "{\"name\": \""
+               << jsonEscape(wi.name) << "\", \"value\": " << wi.value
+               << "}";
+        }
+        os << "],\n";
         os << "      \"distinct_schedules\": "
            << c.stats.distinct_schedules << ",\n";
         os << "      \"signature\": \""
@@ -433,7 +484,10 @@ cmdList()
 {
     std::printf("%-10s %-8s %8s %8s %8s\n", "name", "lang", "loc",
                 "threads", "races");
-    for (const std::string &name : workloads::workloadNames()) {
+    std::vector<std::string> names = workloads::workloadNames();
+    for (const auto &n : workloads::extensionWorkloadNames())
+        names.push_back(n);
+    for (const std::string &name : names) {
         workloads::Workload w = workloads::buildWorkload(name);
         std::printf("%-10s %-8s %8d %8d %8zu\n", name.c_str(),
                     w.language.c_str(), w.paper_loc, w.forked_threads,
