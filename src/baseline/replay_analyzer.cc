@@ -78,13 +78,8 @@ ReplayAnalyzer::analyze(const race::RaceReport &race,
     // instruction executes in an undisturbed run; the alternate
     // replay must match or the replay has diverged.
     primary.run();
-    std::uint64_t primary_second_count = 0;
-    {
-        auto it = primary.state().access_counts->find(
-            {race.second.tid, race.second.pc});
-        if (it != primary.state().access_counts->end())
-            primary_second_count = it->second;
-    }
+    std::uint64_t primary_second_count = primary.state().accessCount(
+        race.second.tid, race.second.pc);
 
     // --- Alternate: enforce the reversed ordering. ---
     rt::Interpreter alt(prog, eo);
@@ -131,10 +126,8 @@ ReplayAnalyzer::analyze(const race::RaceReport &race,
     rt::VmState post_alt_snapshot = alt.state();
     alt.run();
     if (primary_second_count > 0) {
-        auto it = alt.state().access_counts->find(
-            {race.second.tid, race.second.pc});
-        std::uint64_t alt_count =
-            it == alt.state().access_counts->end() ? 0 : it->second;
+        std::uint64_t alt_count = alt.state().accessCount(
+            race.second.tid, race.second.pc);
         if (alt_count > primary_second_count) {
             out.replay_failed = true;
             out.verdict = ReplayVerdict::LikelyHarmful;
@@ -149,7 +142,7 @@ ReplayAnalyzer::analyze(const race::RaceReport &race,
     bool differ = post_primary.mem.size() != post_alt.mem.size();
     if (!differ) {
         for (std::size_t i = 0; i < post_primary.mem.size(); ++i) {
-            if (!post_primary.mem[i]->equals(*post_alt.mem[i])) {
+            if (!post_primary.mem[i].equals(post_alt.mem[i])) {
                 differ = true;
                 break;
             }

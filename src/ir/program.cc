@@ -88,6 +88,7 @@ Program::findInput(const std::string &iname) const
 void
 Program::finalize()
 {
+    runtime_cache.reset(); // pcs may move: drop any stale decode
     pc_index.clear();
     int pc = 0;
     for (std::size_t f = 0; f < functions.size(); ++f) {

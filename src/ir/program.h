@@ -8,6 +8,7 @@
 #define PORTEND_IR_PROGRAM_H
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -125,6 +126,16 @@ class Program
 
     /** Global id owning flat cell @p cell (-1 when out of range). */
     GlobalId cellGlobal(int cell) const;
+
+    /**
+     * Opaque per-instance slot for the runtime's decoded form
+     * (rt::decodeProgram). Populated lazily after finalize() and
+     * cleared by it; copies share the cached decode, which is sound
+     * because it depends only on the (immutable-once-finalized)
+     * program content. All access is synchronized inside decode.cc —
+     * never touch this slot elsewhere.
+     */
+    mutable std::shared_ptr<const void> runtime_cache;
 
   private:
     std::vector<PcLoc> pc_index;

@@ -59,15 +59,12 @@ bool
 PrimarySearchPolicy::racePassed(const rt::VmState &state,
                                 const race::RaceReport &race)
 {
-    auto f = state.cell_access_counts->find({race.first.tid, race.cell});
-    if (f == state.cell_access_counts->end() ||
-        f->second < race.first.cell_occurrence) {
+    if (state.cellAccessCount(race.first.tid, race.cell) <
+        race.first.cell_occurrence) {
         return false;
     }
-    auto s =
-        state.cell_access_counts->find({race.second.tid, race.cell});
-    return s != state.cell_access_counts->end() &&
-           s->second >= race.second.cell_occurrence;
+    return state.cellAccessCount(race.second.tid, race.cell) >=
+           race.second.cell_occurrence;
 }
 
 rt::ThreadId
@@ -284,7 +281,7 @@ RaceAnalyzer::statesEqual(const rt::VmState &a, const rt::VmState &b)
             i = a.mem.pageEnd(i);
             continue;
         }
-        if (!a.mem[i]->equals(*b.mem[i]))
+        if (!a.mem[i].equals(b.mem[i]))
             return false;
         ++i;
     }
@@ -411,8 +408,8 @@ RaceAnalyzer::runAlternateFromState(
                         prog.cellGlobal(static_cast<int>(i)))) {
                     continue;
                 }
-                differ = !post_primary->mem[i]->equals(
-                    *alt.state().mem[i]);
+                differ = !post_primary->mem[i].equals(
+                    alt.state().mem[i]);
             }
             r.states_differ = differ;
         }
@@ -524,11 +521,8 @@ RaceAnalyzer::runAlternateFromState(
         // back through the read waiting for the held writer, so the
         // two accesses admit only one real ordering.
         if (primary_second_count > 0) {
-            auto it = alt.state().access_counts->find(
-                {race.second.tid, race.second.pc});
-            std::uint64_t alt_count =
-                it == alt.state().access_counts->end() ? 0
-                                                      : it->second;
+            std::uint64_t alt_count = alt.state().accessCount(
+                race.second.tid, race.second.pc);
             if (alt_count > primary_second_count) {
                 if (opts.adhoc_detection) {
                     r.kind = SingleResult::Kind::SingleOrd;
@@ -658,13 +652,9 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
         // still probed from the pre-race checkpoint — it can reveal
         // ad-hoc synchronization or an attributable crash — but the
         // primary's truncated output admits no output comparison.
-        std::uint64_t primary_second_count = 0;
-        {
-            auto it = interp.state().access_counts->find(
-                {race.second.tid, race.second.pc});
-            if (it != interp.state().access_counts->end())
-                primary_second_count = it->second;
-        }
+        std::uint64_t primary_second_count =
+            interp.state().accessCount(race.second.tid,
+                                       race.second.pc);
         // The crash truncated the primary, so its step count is a
         // useless yardstick for the alternate's timeout budget (an
         // alternate that avoids the crash legitimately runs much
@@ -692,13 +682,8 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
 
     r.primary_out = interp.state().output;
     r.primary_steps = interp.state().global_step;
-    std::uint64_t primary_second_count = 0;
-    {
-        auto it = interp.state().access_counts->find(
-            {race.second.tid, race.second.pc});
-        if (it != interp.state().access_counts->end())
-            primary_second_count = it->second;
-    }
+    std::uint64_t primary_second_count = interp.state().accessCount(
+        race.second.tid, race.second.pc);
 
     SingleResult a = runAlternateFromState(
         pre_ckpt, race, inputs, post, r.primary_steps,

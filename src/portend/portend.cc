@@ -72,6 +72,9 @@ Portend::detect()
                                                : hb.races();
     result.dynamic_races = found.size();
     result.clusters = race::clusterRaces(found);
+    result.vm = interp.state().stats;
+    result.decoded_sites = interp.decodedSites();
+    result.dispatch = rt::dispatchModeName(interp.dispatchMode());
     result.seconds = sw.seconds();
     return result;
 }

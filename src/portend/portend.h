@@ -40,6 +40,12 @@ struct DetectionResult
     rt::RunOutcome outcome = rt::RunOutcome::Running;
     std::uint64_t steps = 0;                 ///< instructions run
     double seconds = 0.0;
+
+    /** Interpreter hot-path ledger for the detection run (the CLI
+     *  renders it under --stats). */
+    rt::VmStats vm;
+    int decoded_sites = 0;       ///< dense decoded pc space size
+    const char *dispatch = "";   ///< dispatch mode actually used
 };
 
 /** Result of the full pipeline. */

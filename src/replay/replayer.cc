@@ -1,5 +1,6 @@
 #include "replay/replayer.h"
 
+#include "rt/decode.h"
 #include "support/logging.h"
 
 namespace portend::replay {
@@ -15,7 +16,7 @@ nextPc(const ir::Program &prog, const rt::VmState &state,
     if (t.stack->empty())
         return -1;
     const rt::Frame &f = t.stack->back();
-    return prog.function(f.func).blocks[f.block].insts[f.inst].pc;
+    return rt::framePc(prog.function(f.func), f.ip);
 }
 
 } // namespace

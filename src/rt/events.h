@@ -71,6 +71,16 @@ class EventSink
 
     /** Called for every event, in program order. */
     virtual void onEvent(const Event &ev) = 0;
+
+    /**
+     * True when the sink must observe each event at the instruction
+     * that produced it, before the interpreter executes anything
+     * else. The interpreter batches events for ordinary sinks
+     * (delivering at segment boundaries, still in program order);
+     * sinks whose onEvent reads live interpreter state — e.g. a
+     * semantic monitor sampling memory cells — override this.
+     */
+    virtual bool immediate() const { return false; }
 };
 
 } // namespace portend::rt

@@ -1,129 +1,277 @@
 #include "rt/interpreter.h"
 
+#include <atomic>
+#include <map>
+#include <mutex>
+
 #include "support/logging.h"
 #include "sym/simplify.h"
 
+// Threaded dispatch needs the GNU computed-goto extension; builds can
+// force the portable switch loop with -DPORTEND_THREADED_DISPATCH=0
+// (CMake option PORTEND_THREADED_DISPATCH).
+#ifndef PORTEND_THREADED_DISPATCH
+#define PORTEND_THREADED_DISPATCH 1
+#endif
+#if defined(__GNUC__) && PORTEND_THREADED_DISPATCH
+#define PORTEND_HAVE_CGOTO 1
+#else
+#define PORTEND_HAVE_CGOTO 0
+#endif
+
+// Every opcode, in ir::Op declaration order (the computed-goto jump
+// table is indexed by the raw enum value).
+#define PORTEND_OP_LIST(X)                                            \
+    X(Nop) X(ConstOp) X(Mov) X(Bin) X(Un) X(Select) X(Load) X(Store)  \
+    X(Br) X(Jmp) X(Call) X(Ret) X(Halt) X(ThreadCreate)               \
+    X(ThreadJoin) X(MutexLock) X(MutexUnlock) X(CondWait)             \
+    X(CondSignal) X(CondBroadcast) X(BarrierWait) X(AtomicRmW)        \
+    X(Yield) X(Sleep) X(Input) X(GetTime) X(Output) X(OutputStr)      \
+    X(Assert)
+
 namespace portend::rt {
 
-Interpreter::Interpreter(const ir::Program &p, ExecOptions opts)
-    : prog(p), opts(std::move(opts))
+static_assert(static_cast<int>(ir::Op::Assert) == 28,
+              "PORTEND_OP_LIST is out of sync with ir::Op");
+
+namespace {
+
+/** Flush threshold of the event staging buffer. */
+constexpr std::size_t kEventBatchCap = 256;
+
+std::atomic<DispatchMode> g_default_dispatch{DispatchMode::Threaded};
+
+} // namespace
+
+bool
+threadedDispatchAvailable()
 {
-    PORTEND_ASSERT(p.finalized(), "program must be finalized");
-    reset();
+    return PORTEND_HAVE_CGOTO != 0;
 }
 
 void
-Interpreter::reset()
+setDefaultDispatchMode(DispatchMode m)
 {
-    st = VmState();
-    st.rng = Rng(opts.rng_seed);
+    g_default_dispatch.store(m, std::memory_order_relaxed);
+}
 
-    // Memory image.
+DispatchMode
+defaultDispatchMode()
+{
+    DispatchMode m = g_default_dispatch.load(std::memory_order_relaxed);
+    return m == DispatchMode::Auto ? DispatchMode::Threaded : m;
+}
+
+const char *
+dispatchModeName(DispatchMode m)
+{
+    switch (m) {
+      case DispatchMode::Auto: return "auto";
+      case DispatchMode::Switch: return "switch";
+      case DispatchMode::Threaded: return "threaded";
+    }
+    return "?";
+}
+
+Interpreter::Interpreter(const ir::Program &p, ExecOptions o)
+    : prog(p), dec(decodeProgram(p)), opts(std::move(o))
+{
+    PORTEND_ASSERT(p.finalized(), "program must be finalized");
+    const DispatchMode m = opts.dispatch == DispatchMode::Auto
+                               ? defaultDispatchMode()
+                               : opts.dispatch;
+    use_threaded =
+        m == DispatchMode::Threaded && threadedDispatchAvailable();
+    reset();
+}
+
+namespace {
+
+/**
+ * Registry of pristine (pre-first-step) VmStates, one per decoded
+ * program. Analyses build thousands of interpreters for the same
+ * program; resetting by COW-copying a cached state replaces the
+ * per-construction memory/thread/counter build with refcount bumps.
+ * Keyed by the DecodedProgram address and validated with a weak_ptr
+ * so a recycled address can never resurrect a stale state.
+ */
+struct PristineEntry
+{
+    std::weak_ptr<const DecodedProgram> key;
+    std::shared_ptr<const VmState> state;
+};
+
+std::mutex g_pristine_mu;
+std::map<const DecodedProgram *, PristineEntry> g_pristine;
+
+} // namespace
+
+VmState
+Interpreter::buildPristine() const
+{
+    VmState fresh;
+
+    // Memory image: assemble all cells locally, build pages in bulk.
+    std::vector<Value> cells;
+    cells.reserve(static_cast<std::size_t>(dec->num_cells));
     for (const auto &g : prog.globals) {
         for (int i = 0; i < g.size; ++i) {
             std::int64_t init =
                 i < static_cast<int>(g.init.size()) ? g.init[i] : 0;
-            st.mem.append(sym::Expr::constant(init));
+            cells.push_back(Value::ofConst(init));
         }
     }
+    fresh.mem = MemImage(std::move(cells));
 
-    st.mutexes.assign(prog.mutex_names.size(), MutexState{});
-    st.conds.assign(prog.cond_names.size(), CondState{});
+    fresh.mutexes.assign(prog.mutex_names.size(), MutexState{});
+    fresh.conds.assign(prog.cond_names.size(), CondState{});
     BarrierState empty_barrier;
-    st.barriers.assign(prog.barrier_names.size(), empty_barrier);
+    fresh.barriers.assign(prog.barrier_names.size(), empty_barrier);
 
     // Main thread.
     ThreadState main;
     main.tid = 0;
     Frame f;
     f.func = prog.entry;
-    f.regs.assign(prog.function(prog.entry).num_regs,
-                  sym::Expr::constant(0));
-    main.stack.rw().push_back(std::move(f));
-    st.threads.push_back(std::move(main));
+    f.ip = 0;
+    f.reg_base = 0;
+    main.stack.rw().push_back(f);
+    main.regs.rw().resize(
+        static_cast<std::size_t>(prog.function(prog.entry).num_regs));
+    fresh.threads.push_back(std::move(main));
+    fresh.counter_stride = dec->num_insts;
+    fresh.access_counts.rw().emplace_back(
+        static_cast<std::size_t>(dec->num_insts + dec->num_cells), 0);
+    return fresh;
+}
+
+void
+Interpreter::reset()
+{
+    {
+        std::lock_guard<std::mutex> lock(g_pristine_mu);
+        auto it = g_pristine.find(dec.get());
+        if (it != g_pristine.end() && it->second.key.lock() == dec) {
+            st = *it->second.state;
+            st.rng = Rng(opts.rng_seed);
+            return;
+        }
+    }
+    st = buildPristine();
+    st.rng = Rng(opts.rng_seed);
+    {
+        std::lock_guard<std::mutex> lock(g_pristine_mu);
+        // Sweep entries whose program died so the registry stays
+        // bounded under fuzzing's churn of short-lived programs.
+        if (g_pristine.size() >= 64) {
+            for (auto it = g_pristine.begin();
+                 it != g_pristine.end();) {
+                if (it->second.key.expired())
+                    it = g_pristine.erase(it);
+                else
+                    ++it;
+            }
+        }
+        auto pristine = std::make_shared<VmState>(st);
+        pristine->rng = Rng();
+        g_pristine[dec.get()] = {dec, std::move(pristine)};
+    }
+}
+
+void
+Interpreter::addCounterRows()
+{
+    st.access_counts.rw().emplace_back(
+        static_cast<std::size_t>(dec->num_insts + dec->num_cells), 0);
+}
+
+Value
+Interpreter::evalValue(const ThreadState &t, const ir::Operand &o) const
+{
+    if (o.isImm())
+        return Value::ofConst(o.imm);
+    PORTEND_ASSERT(o.isReg(), "evaluating absent operand");
+    const Frame &f = t.stack->back();
+    const int idx = f.reg_base + o.reg;
+    PORTEND_ASSERT(o.reg >= 0 &&
+                       idx < static_cast<int>(t.regs->size()),
+                   "register out of range");
+    return (*t.regs)[static_cast<std::size_t>(idx)];
 }
 
 sym::ExprPtr
 Interpreter::evalOperand(const ThreadState &t, const ir::Operand &o) const
 {
-    if (o.isImm())
-        return sym::Expr::constant(o.imm);
-    PORTEND_ASSERT(o.isReg(), "evaluating absent operand");
-    const Frame &f = t.stack->back();
-    PORTEND_ASSERT(o.reg >= 0 &&
-                       o.reg < static_cast<int>(f.regs.size()),
-                   "register out of range");
-    return f.regs[o.reg];
-}
-
-const ir::Inst &
-Interpreter::fetch(const ThreadState &t) const
-{
-    const Frame &f = t.stack->back();
-    return prog.function(f.func).blocks[f.block].insts[f.inst];
+    return evalValue(t, o).toExpr();
 }
 
 bool
 Interpreter::isPreemptionPoint(const ThreadState &t,
-                               const ir::Inst &inst) const
+                               const DecodedInst &di) const
 {
-    switch (inst.op) {
-      case ir::Op::MutexLock:
-      case ir::Op::MutexUnlock:
-      case ir::Op::CondWait:
-      case ir::Op::CondSignal:
-      case ir::Op::CondBroadcast:
-      case ir::Op::BarrierWait:
-      case ir::Op::ThreadCreate:
-      case ir::Op::ThreadJoin:
-      case ir::Op::Yield:
-      case ir::Op::Sleep:
+    switch (di.preempt) {
+      case PreemptClass::Never:
+        return false;
+      case PreemptClass::Always:
         return true;
-      case ir::Op::Output:
-      case ir::Op::OutputStr:
+      case PreemptClass::Output:
         return opts.preempt_on_output;
-      case ir::Op::Load:
-      case ir::Op::Store:
-      case ir::Op::AtomicRmW: {
+      case PreemptClass::Memory: {
         if (opts.preempt_on_memory)
             return true;
         if (opts.watched_cells.empty())
             return false;
-        sym::ExprPtr idx = evalOperand(t, inst.a);
-        if (!idx->isConcrete()) {
+        Value idx = readOperand(t, t.stack->back().reg_base, di.a,
+                                di.a_imm);
+        if (!idx.isConcrete()) {
             // Symbolic index: conservatively a preemption point when
             // any cell of this global is watched.
-            for (int i = 0; i < prog.global(inst.gid).size; ++i) {
-                if (opts.watched_cells.count(
-                        prog.cellId(inst.gid, i))) {
+            for (int i = 0; i < di.gsize; ++i) {
+                if (opts.watched_cells.count(di.cell_base + i))
                     return true;
-                }
             }
             return false;
         }
-        std::int64_t v = idx->constValue();
-        if (v < 0 || v >= prog.global(inst.gid).size)
+        std::int64_t v = idx.constValue();
+        if (v < 0 || v >= di.gsize)
             return false; // the crash is reported at execution
         return opts.watched_cells.count(
-                   prog.cellId(inst.gid, static_cast<int>(v))) > 0;
+                   di.cell_base + static_cast<int>(v)) > 0;
       }
-      default:
-        return false;
     }
+    return false;
 }
 
 void
 Interpreter::publish(Event ev)
 {
     ev.step = st.global_step;
-    for (EventSink *s : sinks)
+    for (EventSink *s : immediate_sinks)
         s->onEvent(ev);
-    if (policy)
-        policy->onEvent(ev);
     if (active_stop && active_stop->after_event &&
         active_stop->after_event(ev)) {
         stop_event_fired = true;
     }
+    if (!batched_sinks.empty() || policy) {
+        st.stats.events_batched += 1;
+        event_buf.push_back(std::move(ev));
+        if (event_buf.size() >= kEventBatchCap)
+            flushEvents();
+    }
+}
+
+void
+Interpreter::flushEvents()
+{
+    if (event_buf.empty())
+        return;
+    for (const Event &ev : event_buf) {
+        for (EventSink *s : batched_sinks)
+            s->onEvent(ev);
+        if (policy)
+            policy->onEvent(ev);
+    }
+    event_buf.clear();
 }
 
 void
@@ -141,9 +289,8 @@ Interpreter::decideCondition(const sym::ExprPtr &cond, DecisionKind kind)
 {
     st.stats.symbolic_branches += 1;
     bool take;
-    if (!st.forced_decisions.empty()) {
-        take = st.forced_decisions.front();
-        st.forced_decisions.pop_front();
+    if (st.hasForcedDecision()) {
+        take = st.takeForcedDecision();
     } else if (hook) {
         take = hook->decide(*this, cond, kind);
     } else {
@@ -156,39 +303,39 @@ Interpreter::decideCondition(const sym::ExprPtr &cond, DecisionKind kind)
 }
 
 bool
-Interpreter::resolveIndex(ThreadId tid, const ir::Inst &inst,
-                          const sym::ExprPtr &idx, int size,
-                          std::int64_t &out)
+Interpreter::resolveIndex(ThreadId tid, const DecodedInst &di,
+                          const Value &idx, int size, std::int64_t &out)
 {
-    if (idx->isConcrete()) {
-        std::int64_t v = idx->constValue();
+    if (idx.isConcrete()) {
+        std::int64_t v = idx.constValue();
         if (v < 0 || v >= size) {
-            finish(RunOutcome::CrashOob, tid, inst.pc,
+            finish(RunOutcome::CrashOob, tid, di.pc,
                    "index " + std::to_string(v) + " out of bounds of " +
-                       prog.global(inst.gid).name + "[" +
+                       prog.global(di.gid).name + "[" +
                        std::to_string(size) + "] at " +
-                       inst.loc.toString());
+                       di.loc.toString());
             return false;
         }
         out = v;
         return true;
     }
 
+    const sym::ExprPtr &idxE = idx.expr();
     sym::ExprPtr in_bounds = sym::Expr::binary(
         sym::ExprKind::LAnd,
-        sym::mkSle(sym::mkConst(0), idx),
-        sym::mkSlt(idx, sym::mkConst(size)));
+        sym::mkSle(sym::mkConst(0), idxE),
+        sym::mkSlt(idxE, sym::mkConst(size)));
     if (!decideCondition(in_bounds, DecisionKind::Bounds)) {
-        finish(RunOutcome::CrashOob, tid, inst.pc,
+        finish(RunOutcome::CrashOob, tid, di.pc,
                "symbolic index out of bounds of " +
-                   prog.global(inst.gid).name + " at " +
-                   inst.loc.toString());
+                   prog.global(di.gid).name + " at " +
+                   di.loc.toString());
         return false;
     }
     PORTEND_ASSERT(hook, "bounds decision without hook");
-    std::int64_t v = hook->concretize(*this, idx);
+    std::int64_t v = hook->concretize(*this, idxE);
     PORTEND_ASSERT(v >= 0 && v < size, "concretized index escaped");
-    st.path.add(sym::mkEq(idx, sym::mkConst(v)));
+    st.path.add(sym::mkEq(idxE, sym::mkConst(v)));
     out = v;
     return true;
 }
@@ -196,19 +343,19 @@ Interpreter::resolveIndex(ThreadId tid, const ir::Inst &inst,
 void
 Interpreter::advance(ThreadState &t)
 {
-    t.stack.rw().back().inst += 1;
+    t.stack.rw().back().ip += 1;
 }
 
 bool
 Interpreter::tryLock(ThreadId tid, ir::SyncId m)
 {
-    MutexState &mu = st.mutexes.at(m);
+    MutexState &mu = st.mutexes.at(static_cast<std::size_t>(m));
     if (mu.owner == -1) {
         mu.owner = tid;
         return true;
     }
     if (mu.owner == tid) {
-        finish(RunOutcome::Deadlock, tid, fetch(st.thread(tid)).pc,
+        finish(RunOutcome::Deadlock, tid, fetchD(st.thread(tid)).pc,
                "recursive acquisition of mutex " + prog.mutex_names[m]);
         return false;
     }
@@ -227,7 +374,7 @@ void
 Interpreter::unlockMutex(ThreadId tid, ir::SyncId m, int pc,
                          const ir::SourceLoc &loc)
 {
-    MutexState &mu = st.mutexes.at(m);
+    MutexState &mu = st.mutexes.at(static_cast<std::size_t>(m));
     if (mu.owner != tid) {
         finish(RunOutcome::AssertFail, tid, pc,
                "unlock of mutex " + prog.mutex_names[m] +
@@ -244,13 +391,15 @@ Interpreter::unlockMutex(ThreadId tid, ir::SyncId m, int pc,
         wt.status = ThreadStatus::Runnable;
         wt.wait_sync = -1;
     }
-    Event ev;
-    ev.kind = EventKind::MutexUnlock;
-    ev.tid = tid;
-    ev.pc = pc;
-    ev.sid = m;
-    ev.loc = loc;
-    publish(ev);
+    if (record_events) {
+        Event ev;
+        ev.kind = EventKind::MutexUnlock;
+        ev.tid = tid;
+        ev.pc = pc;
+        ev.sid = m;
+        ev.loc = loc;
+        publish(std::move(ev));
+    }
 }
 
 void
@@ -259,10 +408,12 @@ Interpreter::exitThread(ThreadId tid)
     ThreadState &t = st.thread(tid);
     t.status = ThreadStatus::Exited;
 
-    Event ev;
-    ev.kind = EventKind::ThreadExit;
-    ev.tid = tid;
-    publish(ev);
+    if (record_events) {
+        Event ev;
+        ev.kind = EventKind::ThreadExit;
+        ev.tid = tid;
+        publish(std::move(ev));
+    }
 
     // Wake joiners; their pending ThreadJoin completes now.
     for (auto &joiner : st.threads) {
@@ -270,15 +421,17 @@ Interpreter::exitThread(ThreadId tid)
             joiner.wait_tid == tid) {
             joiner.status = ThreadStatus::Runnable;
             joiner.wait_tid = -1;
-            const ir::Inst &ji = fetch(joiner);
+            const DecodedInst &ji = fetchD(joiner);
             advance(joiner);
-            Event je;
-            je.kind = EventKind::ThreadJoin;
-            je.tid = joiner.tid;
-            je.other = tid;
-            je.pc = ji.pc;
-            je.loc = ji.loc;
-            publish(je);
+            if (record_events) {
+                Event je;
+                je.kind = EventKind::ThreadJoin;
+                je.tid = joiner.tid;
+                je.other = tid;
+                je.pc = ji.pc;
+                je.loc = ji.loc;
+                publish(std::move(je));
+            }
         }
     }
 
@@ -287,285 +440,106 @@ Interpreter::exitThread(ThreadId tid)
         finish(RunOutcome::Exited, tid, -1, "main returned");
 }
 
-void
-Interpreter::execute(ThreadId tid, const ir::Inst &inst)
+bool
+Interpreter::checkStops(ThreadId tid, const DecodedInst &di)
 {
-    st.global_step += 1;
-    st.stats.steps += 1;
-    st.thread(tid).steps += 1;
-    st.thread(tid).last_step = st.global_step;
-
-    switch (inst.op) {
-      case ir::Op::Nop:
-        advance(st.thread(tid));
-        break;
-
-      case ir::Op::ConstOp: {
-        ThreadState &t = st.thread(tid);
-        t.stack.rw().back().regs[inst.dst] =
-            sym::Expr::constant(inst.a.imm);
-        advance(t);
-        break;
-      }
-
-      case ir::Op::Mov: {
-        ThreadState &t = st.thread(tid);
-        t.stack.rw().back().regs[inst.dst] = evalOperand(t, inst.a);
-        advance(t);
-        break;
-      }
-
-      case ir::Op::Bin: {
-        ThreadState &t = st.thread(tid);
-        sym::ExprPtr a = evalOperand(t, inst.a);
-        sym::ExprPtr b = evalOperand(t, inst.b);
-        if (inst.kind == sym::ExprKind::SDiv ||
-            inst.kind == sym::ExprKind::SRem) {
-            if (b->isConcrete()) {
-                if (b->constValue() == 0) {
-                    finish(RunOutcome::CrashDivZero, tid, inst.pc,
-                           "division by zero at " +
-                               inst.loc.toString());
-                    return;
-                }
-            } else {
-                sym::ExprPtr nz =
-                    sym::mkNe(b, sym::mkConst(0, b->width()));
-                if (!decideCondition(nz, DecisionKind::DivZero)) {
-                    finish(RunOutcome::CrashDivZero, tid, inst.pc,
-                           "symbolic division by zero at " +
-                               inst.loc.toString());
-                    return;
+    // Every matching point is recorded (not just the first): the
+    // checkpoint ladder stops one shared replay at many clusters'
+    // pre-race points and must learn which of them this stop
+    // satisfies.
+    bool hit = false;
+    for (const auto &p : active_stop->before) {
+        if (p.tid == tid && p.pc == di.pc &&
+            st.accessCount(tid, di.pc) + 1 == p.occurrence)
+            hit = true;
+    }
+    if (!active_stop->before_cell.empty() &&
+        (di.op == ir::Op::Load || di.op == ir::Op::Store ||
+         di.op == ir::Op::AtomicRmW)) {
+        const ThreadState &t = st.thread(tid);
+        Value idx = readOperand(t, t.stack->back().reg_base, di.a,
+                                di.a_imm);
+        if (idx.isConcrete()) {
+            std::int64_t iv = idx.constValue();
+            if (iv >= 0 && iv < di.gsize) {
+                int cell = di.cell_base + static_cast<int>(iv);
+                for (std::size_t pi = 0;
+                     pi < active_stop->before_cell.size(); ++pi) {
+                    const auto &p = active_stop->before_cell[pi];
+                    if (p.tid != tid || p.cell != cell)
+                        continue;
+                    if (st.cellAccessCount(tid, cell) + 1 ==
+                        p.occurrence) {
+                        hit = true;
+                        fired_before_cell.push_back(pi);
+                    }
                 }
             }
         }
-        ThreadState &t2 = st.thread(tid);
-        t2.stack.rw().back().regs[inst.dst] =
-            sym::Expr::binary(inst.kind, a, b);
-        advance(t2);
-        break;
-      }
+    }
+    return hit;
+}
 
-      case ir::Op::Un: {
-        ThreadState &t = st.thread(tid);
-        t.stack.rw().back().regs[inst.dst] =
-            sym::Expr::unary(inst.kind, evalOperand(t, inst.a));
-        advance(t);
-        break;
-      }
-
-      case ir::Op::Select: {
-        ThreadState &t = st.thread(tid);
-        sym::ExprPtr c = evalOperand(t, inst.a);
-        sym::ExprPtr cond =
-            sym::mkNe(c, sym::mkConst(0, c->width()));
-        t.stack.rw().back().regs[inst.dst] =
-            sym::Expr::ite(cond, evalOperand(t, inst.b),
-                           evalOperand(t, inst.c));
-        advance(t);
-        break;
-      }
-
-      case ir::Op::Load: {
-        ThreadState &t = st.thread(tid);
-        sym::ExprPtr idx = evalOperand(t, inst.a);
-        std::int64_t i = 0;
-        if (!resolveIndex(tid, inst, idx,
-                          prog.global(inst.gid).size, i)) {
-            return;
-        }
-        int cell = prog.cellId(inst.gid, static_cast<int>(i));
-        ThreadState &t2 = st.thread(tid);
-        t2.stack.rw().back().regs[inst.dst] = st.mem[cell];
-        st.access_counts.rw()[{tid, inst.pc}] += 1;
-        st.cell_access_counts.rw()[{tid, cell}] += 1;
-        t2.recent_reads.push_back(cell);
-        if (static_cast<int>(t2.recent_reads.size()) >
-            opts.spin_window) {
-            t2.recent_reads.erase(t2.recent_reads.begin());
-        }
-        advance(t2);
-        Event ev;
-        ev.kind = EventKind::MemRead;
-        ev.tid = tid;
-        ev.pc = inst.pc;
-        ev.cell = cell;
-        ev.occurrence = st.access_counts.ro().at({tid, inst.pc});
-        ev.cell_occurrence = st.cell_access_counts.ro().at({tid, cell});
-        ev.loc = inst.loc;
-        publish(ev);
-        break;
-      }
-
-      case ir::Op::Store: {
-        ThreadState &t = st.thread(tid);
-        sym::ExprPtr idx = evalOperand(t, inst.a);
-        std::int64_t i = 0;
-        if (!resolveIndex(tid, inst, idx,
-                          prog.global(inst.gid).size, i)) {
-            return;
-        }
-        int cell = prog.cellId(inst.gid, static_cast<int>(i));
-        sym::ExprPtr val = evalOperand(st.thread(tid), inst.b);
-        st.mem.write(cell, val);
-        st.access_counts.rw()[{tid, inst.pc}] += 1;
-        st.cell_access_counts.rw()[{tid, cell}] += 1;
-        advance(st.thread(tid));
-        Event ev;
-        ev.kind = EventKind::MemWrite;
-        ev.tid = tid;
-        ev.pc = inst.pc;
-        ev.cell = cell;
-        ev.occurrence = st.access_counts.ro().at({tid, inst.pc});
-        ev.cell_occurrence = st.cell_access_counts.ro().at({tid, cell});
-        ev.loc = inst.loc;
-        publish(ev);
-        break;
-      }
-
-      case ir::Op::AtomicRmW: {
-        ThreadState &t = st.thread(tid);
-        sym::ExprPtr idx = evalOperand(t, inst.a);
-        std::int64_t i = 0;
-        if (!resolveIndex(tid, inst, idx,
-                          prog.global(inst.gid).size, i)) {
-            return;
-        }
-        int cell = prog.cellId(inst.gid, static_cast<int>(i));
-        sym::ExprPtr delta = evalOperand(st.thread(tid), inst.b);
-        sym::ExprPtr old = st.mem[cell];
-        st.mem.write(cell, sym::mkAdd(old, delta));
-        ThreadState &t2 = st.thread(tid);
-        if (inst.dst >= 0)
-            t2.stack.rw().back().regs[inst.dst] = old;
-        st.access_counts.rw()[{tid, inst.pc}] += 1;
-        st.cell_access_counts.rw()[{tid, cell}] += 1;
-        advance(t2);
-        Event r;
-        r.kind = EventKind::MemRead;
-        r.tid = tid;
-        r.pc = inst.pc;
-        r.cell = cell;
-        r.atomic = true;
-        r.occurrence = st.access_counts.ro().at({tid, inst.pc});
-        r.cell_occurrence = st.cell_access_counts.ro().at({tid, cell});
-        r.loc = inst.loc;
-        publish(r);
-        Event w = r;
-        w.kind = EventKind::MemWrite;
-        publish(w);
-        break;
-      }
-
-      case ir::Op::Br: {
-        ThreadState &t = st.thread(tid);
-        sym::ExprPtr c = evalOperand(t, inst.a);
-        bool take;
-        if (c->isConcrete()) {
-            take = c->constValue() != 0;
-        } else {
-            sym::ExprPtr cond =
-                sym::mkNe(c, sym::mkConst(0, c->width()));
-            take = decideCondition(cond, DecisionKind::Branch);
-            if (st.finished())
-                return;
-        }
-        ThreadState &t2 = st.thread(tid);
-        Frame &f = t2.stack.rw().back();
-        f.block = take ? inst.then_block : inst.else_block;
-        f.inst = 0;
-        break;
-      }
-
-      case ir::Op::Jmp: {
-        Frame &f = st.thread(tid).stack.rw().back();
-        f.block = inst.then_block;
-        f.inst = 0;
-        break;
-      }
-
-      case ir::Op::Call: {
-        ThreadState &t = st.thread(tid);
-        const ir::Function &callee = prog.function(inst.fid);
-        Frame nf;
-        nf.func = inst.fid;
-        nf.regs.assign(callee.num_regs, sym::Expr::constant(0));
-        nf.ret_dst = inst.dst;
-        const ir::Operand *args[3] = {&inst.a, &inst.b, &inst.c};
-        for (int i = 0; i < callee.num_params && i < 3; ++i) {
-            if (args[i]->present())
-                nf.regs[i] = evalOperand(t, *args[i]);
-        }
-        advance(t); // return resumes after the call
-        t.stack.rw().push_back(std::move(nf));
-        break;
-      }
-
-      case ir::Op::Ret: {
-        ThreadState &t = st.thread(tid);
-        sym::ExprPtr rv =
-            inst.a.present() ? evalOperand(t, inst.a) : nullptr;
-        ir::Reg dst = t.stack->back().ret_dst;
-        t.stack.rw().pop_back();
-        if (t.stack->empty()) {
-            exitThread(tid);
-        } else if (rv && dst >= 0) {
-            t.stack.rw().back().regs[dst] = rv;
-        }
-        break;
-      }
-
-      case ir::Op::Halt:
-        finish(RunOutcome::Exited, tid, inst.pc, "halt");
-        break;
-
+void
+Interpreter::executeSlow(ThreadId tid, const DecodedInst &di)
+{
+    switch (di.op) {
       case ir::Op::ThreadCreate: {
         ThreadState &t = st.thread(tid);
-        sym::ExprPtr arg = evalOperand(t, inst.a);
+        Value arg = readOperand(t, t.stack->back().reg_base, di.a,
+                                di.a_imm);
         advance(t);
 
         ThreadState child;
         child.tid = static_cast<ThreadId>(st.threads.size());
         Frame cf;
-        cf.func = inst.fid;
-        cf.regs.assign(prog.function(inst.fid).num_regs,
-                       sym::Expr::constant(0));
-        if (prog.function(inst.fid).num_params > 0)
-            cf.regs[0] = arg;
-        child.stack.rw().push_back(std::move(cf));
+        cf.func = di.fid;
+        cf.ip = 0;
+        cf.reg_base = 0;
+        child.stack.rw().push_back(cf);
+        child.regs.rw().resize(
+            static_cast<std::size_t>(di.callee_regs));
+        if (di.callee_params > 0)
+            child.regs.rw()[0] = std::move(arg);
         ThreadId child_tid = child.tid;
         st.threads.push_back(std::move(child));
+        addCounterRows();
 
         // Reacquire after the push_back (vector may reallocate).
         ThreadState &t2 = st.thread(tid);
-        if (inst.dst >= 0) {
-            t2.stack.rw().back().regs[inst.dst] =
-                sym::Expr::constant(child_tid);
+        if (di.dst >= 0) {
+            t2.regs.rw()[static_cast<std::size_t>(
+                t2.stack->back().reg_base + di.dst)] =
+                Value::ofConst(child_tid);
         }
-        Event ev;
-        ev.kind = EventKind::ThreadCreate;
-        ev.tid = tid;
-        ev.pc = inst.pc;
-        ev.other = child_tid;
-        ev.loc = inst.loc;
-        publish(ev);
+        if (record_events) {
+            Event ev;
+            ev.kind = EventKind::ThreadCreate;
+            ev.tid = tid;
+            ev.pc = di.pc;
+            ev.other = child_tid;
+            ev.loc = di.loc;
+            publish(std::move(ev));
+        }
         break;
       }
 
       case ir::Op::ThreadJoin: {
         ThreadState &t = st.thread(tid);
-        sym::ExprPtr targ = evalOperand(t, inst.a);
+        Value targ = readOperand(t, t.stack->back().reg_base, di.a,
+                                 di.a_imm);
         std::int64_t target;
-        if (targ->isConcrete()) {
-            target = targ->constValue();
+        if (targ.isConcrete()) {
+            target = targ.constValue();
         } else {
             PORTEND_ASSERT(hook, "symbolic join target without hook");
-            target = hook->concretize(*this, targ);
-            st.path.add(sym::mkEq(targ, sym::mkConst(target)));
+            const sym::ExprPtr &te = targ.expr();
+            target = hook->concretize(*this, te);
+            st.path.add(sym::mkEq(te, sym::mkConst(target)));
         }
         if (target < 0 ||
             target >= static_cast<std::int64_t>(st.threads.size())) {
-            finish(RunOutcome::AssertFail, tid, inst.pc,
+            finish(RunOutcome::AssertFail, tid, di.pc,
                    "join of invalid thread id " +
                        std::to_string(target));
             return;
@@ -574,13 +548,15 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         if (st.thread(static_cast<ThreadId>(target)).status ==
             ThreadStatus::Exited) {
             advance(t2);
-            Event ev;
-            ev.kind = EventKind::ThreadJoin;
-            ev.tid = tid;
-            ev.pc = inst.pc;
-            ev.other = static_cast<ThreadId>(target);
-            ev.loc = inst.loc;
-            publish(ev);
+            if (record_events) {
+                Event ev;
+                ev.kind = EventKind::ThreadJoin;
+                ev.tid = tid;
+                ev.pc = di.pc;
+                ev.other = static_cast<ThreadId>(target);
+                ev.loc = di.loc;
+                publish(std::move(ev));
+            }
         } else {
             t2.status = ThreadStatus::BlockedJoin;
             t2.wait_tid = static_cast<ThreadId>(target);
@@ -589,22 +565,24 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
       }
 
       case ir::Op::MutexLock: {
-        if (tryLock(tid, inst.sid)) {
+        if (tryLock(tid, di.sid)) {
             ThreadState &t = st.thread(tid);
             advance(t);
-            Event ev;
-            ev.kind = EventKind::MutexLock;
-            ev.tid = tid;
-            ev.pc = inst.pc;
-            ev.sid = inst.sid;
-            ev.loc = inst.loc;
-            publish(ev);
+            if (record_events) {
+                Event ev;
+                ev.kind = EventKind::MutexLock;
+                ev.tid = tid;
+                ev.pc = di.pc;
+                ev.sid = di.sid;
+                ev.loc = di.loc;
+                publish(std::move(ev));
+            }
         }
         break;
       }
 
       case ir::Op::MutexUnlock:
-        unlockMutex(tid, inst.sid, inst.pc, inst.loc);
+        unlockMutex(tid, di.sid, di.pc, di.loc);
         if (!st.finished())
             advance(st.thread(tid));
         break;
@@ -612,41 +590,45 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
       case ir::Op::CondWait: {
         ThreadState &t = st.thread(tid);
         if (!t.cond_relock) {
-            if (st.mutexes.at(inst.sid2).owner != tid) {
-                finish(RunOutcome::AssertFail, tid, inst.pc,
+            if (st.mutexes.at(static_cast<std::size_t>(di.sid2))
+                    .owner != tid) {
+                finish(RunOutcome::AssertFail, tid, di.pc,
                        "cond_wait without holding mutex " +
-                           prog.mutex_names[inst.sid2]);
+                           prog.mutex_names[di.sid2]);
                 return;
             }
-            unlockMutex(tid, inst.sid2, inst.pc, inst.loc);
+            unlockMutex(tid, di.sid2, di.pc, di.loc);
             if (st.finished())
                 return;
             ThreadState &t2 = st.thread(tid);
             t2.status = ThreadStatus::BlockedCond;
-            t2.wait_sync = inst.sid;
-            st.conds.at(inst.sid).waiters.push_back(tid);
+            t2.wait_sync = di.sid;
+            st.conds.at(static_cast<std::size_t>(di.sid))
+                .waiters.push_back(tid);
         } else {
             // Woken by signal/broadcast; re-acquire the mutex.
-            if (tryLock(tid, inst.sid2)) {
+            if (tryLock(tid, di.sid2)) {
                 ThreadState &t2 = st.thread(tid);
                 t2.cond_relock = false;
                 advance(t2);
                 // The re-acquisition is a real lock operation: emit
                 // it so happens-before edges through the mutex hold.
-                Event lk;
-                lk.kind = EventKind::MutexLock;
-                lk.tid = tid;
-                lk.pc = inst.pc;
-                lk.sid = inst.sid2;
-                lk.loc = inst.loc;
-                publish(lk);
-                Event ev;
-                ev.kind = EventKind::CondWait;
-                ev.tid = tid;
-                ev.pc = inst.pc;
-                ev.sid = inst.sid;
-                ev.loc = inst.loc;
-                publish(ev);
+                if (record_events) {
+                    Event lk;
+                    lk.kind = EventKind::MutexLock;
+                    lk.tid = tid;
+                    lk.pc = di.pc;
+                    lk.sid = di.sid2;
+                    lk.loc = di.loc;
+                    publish(std::move(lk));
+                    Event ev;
+                    ev.kind = EventKind::CondWait;
+                    ev.tid = tid;
+                    ev.pc = di.pc;
+                    ev.sid = di.sid;
+                    ev.loc = di.loc;
+                    publish(std::move(ev));
+                }
             }
         }
         break;
@@ -654,9 +636,9 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
 
       case ir::Op::CondSignal:
       case ir::Op::CondBroadcast: {
-        CondState &cv = st.conds.at(inst.sid);
+        CondState &cv = st.conds.at(static_cast<std::size_t>(di.sid));
         std::size_t wake =
-            inst.op == ir::Op::CondSignal
+            di.op == ir::Op::CondSignal
                 ? (cv.waiters.empty() ? 0 : 1)
                 : cv.waiters.size();
         for (std::size_t i = 0; i < wake; ++i) {
@@ -668,24 +650,26 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
             wt.cond_relock = true;
         }
         advance(st.thread(tid));
-        Event ev;
-        ev.kind = EventKind::CondSignal;
-        ev.tid = tid;
-        ev.pc = inst.pc;
-        ev.sid = inst.sid;
-        ev.loc = inst.loc;
-        publish(ev);
+        if (record_events) {
+            Event ev;
+            ev.kind = EventKind::CondSignal;
+            ev.tid = tid;
+            ev.pc = di.pc;
+            ev.sid = di.sid;
+            ev.loc = di.loc;
+            publish(std::move(ev));
+        }
         break;
       }
 
       case ir::Op::BarrierWait: {
-        BarrierState &bar = st.barriers.at(inst.sid);
+        BarrierState &bar =
+            st.barriers.at(static_cast<std::size_t>(di.sid));
         bar.arrived += 1;
-        if (bar.arrived <
-            prog.barrier_counts[inst.sid]) {
+        if (bar.arrived < prog.barrier_counts[di.sid]) {
             ThreadState &t = st.thread(tid);
             t.status = ThreadStatus::BlockedBarrier;
-            t.wait_sync = inst.sid;
+            t.wait_sync = di.sid;
             bar.waiting.push_back(tid);
         } else {
             // Release everyone, including the arriving thread.
@@ -696,47 +680,49 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
                 ThreadState &wt = st.thread(w);
                 wt.status = ThreadStatus::Runnable;
                 wt.wait_sync = -1;
-                const ir::Inst &wi = fetch(wt);
+                const DecodedInst &wi = fetchD(wt);
                 advance(wt);
-                Event ev;
-                ev.kind = EventKind::BarrierWait;
-                ev.tid = w;
-                ev.pc = wi.pc;
-                ev.sid = inst.sid;
-                ev.loc = wi.loc;
-                publish(ev);
+                if (record_events) {
+                    Event ev;
+                    ev.kind = EventKind::BarrierWait;
+                    ev.tid = w;
+                    ev.pc = wi.pc;
+                    ev.sid = di.sid;
+                    ev.loc = wi.loc;
+                    publish(std::move(ev));
+                }
             }
             ThreadState &t = st.thread(tid);
             advance(t);
-            Event ev;
-            ev.kind = EventKind::BarrierWait;
-            ev.tid = tid;
-            ev.pc = inst.pc;
-            ev.sid = inst.sid;
-            ev.loc = inst.loc;
-            publish(ev);
+            if (record_events) {
+                Event ev;
+                ev.kind = EventKind::BarrierWait;
+                ev.tid = tid;
+                ev.pc = di.pc;
+                ev.sid = di.sid;
+                ev.loc = di.loc;
+                publish(std::move(ev));
+            }
         }
         break;
       }
 
-      case ir::Op::Yield:
-        advance(st.thread(tid));
-        break;
-
       case ir::Op::Sleep: {
         ThreadState &t = st.thread(tid);
-        sym::ExprPtr ticks = evalOperand(t, inst.a);
+        Value ticks = readOperand(t, t.stack->back().reg_base, di.a,
+                                  di.a_imm);
         st.virtual_time +=
-            ticks->isConcrete() ? ticks->constValue() : 1;
+            ticks.isConcrete() ? ticks.constValue() : 1;
         advance(t);
         break;
       }
 
       case ir::Op::Input: {
         ThreadState &t = st.thread(tid);
-        sym::ExprPtr v;
+        const int rb = t.stack->back().reg_base;
+        Value v;
         VmState::EnvRead read;
-        read.name = inst.text;
+        read.name = di.text;
         // Named selection: when sym_inputs is set, only matching
         // labels become symbolic (positional cap ignored); an entry
         // with a range overrides the instruction's declared domain.
@@ -745,7 +731,7 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         if (opts.input_mode == InputMode::Symbolic) {
             if (!opts.sym_inputs.empty()) {
                 for (const auto &s : opts.sym_inputs) {
-                    if (s.name == inst.text) {
+                    if (s.name == di.text) {
                         spec = &s;
                         break;
                     }
@@ -758,12 +744,12 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         }
         if (make_symbolic) {
             std::int64_t lo =
-                spec && spec->has_range ? spec->lo : inst.lo;
+                spec && spec->has_range ? spec->lo : di.lo;
             std::int64_t hi =
-                spec && spec->has_range ? spec->hi : inst.hi;
+                spec && spec->has_range ? spec->hi : di.hi;
             int id = st.next_symbol++;
-            v = sym::Expr::symbol(inst.text, id, sym::Width::I64,
-                                  lo, hi);
+            v = Value(sym::Expr::symbol(di.text, id, sym::Width::I64,
+                                        lo, hi));
             read.symbolic = true;
             read.sym_id = id;
             read.lo = lo;
@@ -772,18 +758,20 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
             std::int64_t cv =
                 cursor < opts.concrete_inputs.size()
                     ? opts.concrete_inputs[cursor]
-                    : inst.lo;
-            v = sym::Expr::constant(cv);
+                    : di.lo;
+            v = Value::ofConst(cv);
             read.value = cv;
         }
         st.env_log.push_back(read);
-        t.stack.rw().back().regs[inst.dst] = v;
+        t.regs.rw()[static_cast<std::size_t>(rb + di.dst)] =
+            std::move(v);
         advance(t);
         break;
       }
 
       case ir::Op::GetTime: {
         ThreadState &t = st.thread(tid);
+        const int rb = t.stack->back().reg_base;
         std::size_t cursor = st.env_log.size();
         std::int64_t cv;
         if (opts.input_mode != InputMode::Symbolic &&
@@ -796,7 +784,8 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
         VmState::EnvRead read;
         read.value = cv;
         st.env_log.push_back(read);
-        t.stack.rw().back().regs[inst.dst] = sym::Expr::constant(cv);
+        t.regs.rw()[static_cast<std::size_t>(rb + di.dst)] =
+            Value::ofConst(cv);
         advance(t);
         break;
       }
@@ -805,45 +794,55 @@ Interpreter::execute(ThreadId tid, const ir::Inst &inst)
       case ir::Op::OutputStr: {
         ThreadState &t = st.thread(tid);
         OutputRecord rec;
-        rec.label = inst.text;
-        if (inst.op == ir::Op::Output)
-            rec.value = evalOperand(t, inst.a);
+        rec.label = di.text;
+        if (di.op == ir::Op::Output) {
+            rec.value = readOperand(t, t.stack->back().reg_base,
+                                    di.a, di.a_imm)
+                            .toExpr();
+        }
         rec.tid = tid;
-        rec.pc = inst.pc;
-        rec.loc = inst.loc;
+        rec.pc = di.pc;
+        rec.loc = di.loc;
         st.output.append(std::move(rec));
         advance(t);
-        Event ev;
-        ev.kind = EventKind::Output;
-        ev.tid = tid;
-        ev.pc = inst.pc;
-        ev.loc = inst.loc;
-        publish(ev);
+        if (record_events) {
+            Event ev;
+            ev.kind = EventKind::Output;
+            ev.tid = tid;
+            ev.pc = di.pc;
+            ev.loc = di.loc;
+            publish(std::move(ev));
+        }
         break;
       }
 
       case ir::Op::Assert: {
         ThreadState &t = st.thread(tid);
-        sym::ExprPtr c = evalOperand(t, inst.a);
+        Value c = readOperand(t, t.stack->back().reg_base, di.a,
+                              di.a_imm);
         bool holds;
-        if (c->isConcrete()) {
-            holds = c->constValue() != 0;
+        if (c.isConcrete()) {
+            holds = c.constValue() != 0;
         } else {
             sym::ExprPtr cond =
-                sym::mkNe(c, sym::mkConst(0, c->width()));
+                sym::mkNe(c.expr(), sym::mkConst(0, c.width()));
             holds = decideCondition(cond, DecisionKind::Assert);
             if (st.finished())
                 return;
         }
         if (!holds) {
-            finish(RunOutcome::AssertFail, tid, inst.pc,
-                   "assertion '" + inst.text + "' failed at " +
-                       inst.loc.toString());
+            finish(RunOutcome::AssertFail, tid, di.pc,
+                   "assertion '" + di.text + "' failed at " +
+                       di.loc.toString());
             return;
         }
         advance(st.thread(tid));
         break;
       }
+
+      default:
+        PORTEND_FATAL("hot opcode ", static_cast<int>(di.op),
+                      " routed to executeSlow");
     }
 }
 
@@ -862,14 +861,26 @@ Interpreter::run(const StopSpec &stop)
     fired_before_cell.clear();
     SchedulePolicy *pol = policy ? policy : &default_policy;
 
+    // Partition sinks once per run; when nothing consumes events the
+    // hot loop skips Event construction entirely.
+    immediate_sinks.clear();
+    batched_sinks.clear();
+    for (EventSink *s : sinks)
+        (s->immediate() ? immediate_sinks : batched_sinks).push_back(s);
+    record_events = !sinks.empty() || policy != nullptr ||
+                    (active_stop && active_stop->after_event != nullptr);
+    event_buf.clear();
+
+    const std::uint64_t boxed0 = valuesBoxed();
+
     while (!st.finished()) {
         if (st.global_step >= opts.max_steps) {
             finish(RunOutcome::TimedOut, st.current, -1,
                    "step budget exhausted");
             break;
         }
-        std::vector<ThreadId> runnable = st.runnableThreads();
-        if (runnable.empty()) {
+        st.runnableInto(runnable_scratch);
+        if (runnable_scratch.empty()) {
             if (st.allExited()) {
                 finish(RunOutcome::Exited, -1, -1, "all threads done");
             } else {
@@ -891,7 +902,11 @@ Interpreter::run(const StopSpec &stop)
             st.resume_in_segment = false;
         } else {
             st.resume_in_segment = false;
-            tid = pol->pick(st, runnable);
+            // Batched consumers catch up before every scheduling
+            // decision, so policies observe the same prefix they saw
+            // under per-event delivery.
+            flushEvents();
+            tid = pol->pick(st, runnable_scratch);
             if (tid < 0) {
                 finish(RunOutcome::Aborted, -1, -1,
                        "schedule policy aborted");
@@ -903,90 +918,49 @@ Interpreter::run(const StopSpec &stop)
             st.stats.preemption_points += 1;
             first = true;
         }
-        while (!st.finished() && st.thread(tid).runnable()) {
-            if (st.global_step >= opts.max_steps) {
-                finish(RunOutcome::TimedOut, tid, -1,
-                       "step budget exhausted");
-                break;
-            }
-            const ir::Inst &inst = fetch(st.thread(tid));
 
-            if (active_stop) {
-                // Every matching point is recorded (not just the
-                // first): the checkpoint ladder stops one shared
-                // replay at many clusters' pre-race points and must
-                // learn which of them this stop satisfies.
-                bool hit = false;
-                for (const auto &p : active_stop->before) {
-                    if (p.tid == tid && p.pc == inst.pc) {
-                        auto it = st.access_counts->find({tid, inst.pc});
-                        std::uint64_t seen =
-                            it == st.access_counts->end() ? 0
-                                                         : it->second;
-                        if (seen + 1 == p.occurrence)
-                            hit = true;
-                    }
-                }
-                if (!active_stop->before_cell.empty() &&
-                    (inst.op == ir::Op::Load ||
-                     inst.op == ir::Op::Store ||
-                     inst.op == ir::Op::AtomicRmW)) {
-                    sym::ExprPtr idx =
-                        evalOperand(st.thread(tid), inst.a);
-                    if (idx->isConcrete()) {
-                        std::int64_t iv = idx->constValue();
-                        if (iv >= 0 &&
-                            iv < prog.global(inst.gid).size) {
-                            int cell = prog.cellId(
-                                inst.gid, static_cast<int>(iv));
-                            for (std::size_t pi = 0;
-                                 pi < active_stop->before_cell.size();
-                                 ++pi) {
-                                const auto &p =
-                                    active_stop->before_cell[pi];
-                                if (p.tid != tid || p.cell != cell)
-                                    continue;
-                                auto it = st.cell_access_counts->find(
-                                    {tid, cell});
-                                std::uint64_t seen =
-                                    it == st.cell_access_counts->end()
-                                        ? 0
-                                        : it->second;
-                                if (seen + 1 == p.occurrence) {
-                                    hit = true;
-                                    fired_before_cell.push_back(pi);
-                                }
-                            }
-                        }
-                    }
-                }
-                if (hit) {
-                    st.resume_in_segment = true;
-                    st.resume_first = first;
-                    stopped_at_spec = true;
-                    active_stop = nullptr;
-                    return RunOutcome::Running;
-                }
-            }
-
-            if (!first && isPreemptionPoint(st.thread(tid), inst))
-                break;
-
-            execute(tid, inst);
-            first = false;
-
-            if (stop_event_fired) {
-                st.resume_in_segment = true;
-                st.resume_first = false;
-                stopped_at_spec = true;
-                active_stop = nullptr;
-                return RunOutcome::Running;
-            }
+        const SegExit ex = use_threaded ? segmentThreaded(tid, first)
+                                        : segmentSwitch(tid, first);
+        if (ex == SegExit::StopBefore || ex == SegExit::StopEvent) {
+            stopped_at_spec = true;
+            active_stop = nullptr;
+            flushEvents();
+            st.stats.values_boxed += valuesBoxed() - boxed0;
+            st.stats.pages_unshared = st.mem.unsharedCount();
+            return RunOutcome::Running;
         }
     }
 
     active_stop = nullptr;
+    flushEvents();
+    st.stats.values_boxed += valuesBoxed() - boxed0;
+    st.stats.pages_unshared = st.mem.unsharedCount();
     return st.outcome;
 }
+
+// The segment loop body is written once (rt/interp_loop.inc) and
+// compiled twice: with a jump-table switch dispatcher, and — when the
+// compiler has computed goto — with direct-threaded dispatch.
+#define PORTEND_SEGMENT_FN segmentSwitch
+#define PORTEND_SEGMENT_CGOTO 0
+#include "rt/interp_loop.inc"
+#undef PORTEND_SEGMENT_FN
+#undef PORTEND_SEGMENT_CGOTO
+
+#if PORTEND_HAVE_CGOTO
+#define PORTEND_SEGMENT_FN segmentThreaded
+#define PORTEND_SEGMENT_CGOTO 1
+#include "rt/interp_loop.inc"
+#undef PORTEND_SEGMENT_FN
+#undef PORTEND_SEGMENT_CGOTO
+#else
+Interpreter::SegExit
+Interpreter::segmentThreaded(ThreadId tid, bool first)
+{
+    // Unreachable in practice: use_threaded is false without
+    // computed goto. Fall back to the portable loop anyway.
+    return segmentSwitch(tid, first);
+}
+#endif
 
 } // namespace portend::rt

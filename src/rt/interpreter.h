@@ -22,10 +22,12 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "ir/program.h"
+#include "rt/decode.h"
 #include "rt/events.h"
 #include "rt/policy.h"
 #include "rt/vmstate.h"
@@ -33,6 +35,27 @@
 namespace portend::rt {
 
 class Interpreter;
+
+/**
+ * Instruction dispatch strategy of the step loop. Threaded dispatch
+ * (computed goto, a GNU extension) is the fast path; Switch is the
+ * portable fallback; Auto resolves to the process-wide default (see
+ * setDefaultDispatchMode), which is Threaded when available.
+ */
+enum class DispatchMode : std::uint8_t { Auto, Switch, Threaded };
+
+/** True when this build can execute with threaded dispatch. */
+bool threadedDispatchAvailable();
+
+/** Set the process-wide dispatch default that Auto resolves to
+ *  (CLI --dispatch; differential tests flip it per run). */
+void setDefaultDispatchMode(DispatchMode m);
+
+/** The current process-wide dispatch default. */
+DispatchMode defaultDispatchMode();
+
+/** Printable mode name ("threaded" / "switch" / "auto"). */
+const char *dispatchModeName(DispatchMode m);
 
 /** Where a symbolic decision arose. */
 enum class DecisionKind : std::uint8_t {
@@ -141,6 +164,9 @@ struct ExecOptions
 
     /** Ring size of per-thread recent reads (spin diagnosis). */
     int spin_window = 64;
+
+    /** Step-loop dispatch strategy (Auto = process default). */
+    DispatchMode dispatch = DispatchMode::Auto;
 };
 
 /**
@@ -249,40 +275,93 @@ class Interpreter
     /** The program being executed. */
     const ir::Program &program() const { return prog; }
 
+    /** The decoded form of the program (shared across interpreters). */
+    const DecodedProgram &decoded() const { return *dec; }
+
+    /** Number of decoded instruction sites (stats ledger). */
+    int decodedSites() const { return dec->num_insts; }
+
+    /** The dispatch mode this interpreter executes with. */
+    DispatchMode dispatchMode() const
+    { return use_threaded ? DispatchMode::Threaded
+                          : DispatchMode::Switch; }
+
     /** The execution options. */
     const ExecOptions &options() const { return opts; }
     ExecOptions &options() { return opts; }
 
     /**
-     * Evaluate an operand in a thread's top frame (pure).
+     * Evaluate an operand in a thread's top frame (pure; boxes
+     * concrete values — analysis-side convenience, not the hot path).
      */
     sym::ExprPtr evalOperand(const ThreadState &t,
                              const ir::Operand &o) const;
 
+    /** Evaluate an operand in a thread's top frame as a Value. */
+    Value evalValue(const ThreadState &t, const ir::Operand &o) const;
+
   private:
-    /** Next instruction of thread @p t (checked). */
-    const ir::Inst &fetch(const ThreadState &t) const;
+    /** How one scheduling segment ended. */
+    enum class SegExit : std::uint8_t {
+        Blocked,    ///< thread blocked/exited/finished/budget
+        Preempt,    ///< hit a preemption point (scheduler's turn)
+        StopBefore, ///< a before/before_cell stop point matched
+        StopEvent,  ///< the after_event predicate fired
+    };
 
-    /** True when @p inst is a preemption point for @p t. */
+    /** Run thread @p tid until its segment ends (switch dispatch). */
+    SegExit segmentSwitch(ThreadId tid, bool first);
+
+    /** Run thread @p tid until its segment ends (threaded dispatch;
+     *  compiled only when the GNU computed-goto extension exists). */
+    SegExit segmentThreaded(ThreadId tid, bool first);
+
+    /** Decoded next instruction of thread @p t. */
+    const DecodedInst &
+    fetchD(const ThreadState &t) const
+    {
+        const Frame &f = t.stack->back();
+        return dec->funcs[static_cast<std::size_t>(f.func)]
+            .insts[static_cast<std::size_t>(f.ip)];
+    }
+
+    /** Evaluate decoded operand (@p slot, @p imm) in @p t's frame. */
+    Value
+    readOperand(const ThreadState &t, int reg_base, std::int32_t slot,
+                std::int64_t imm) const
+    {
+        if (slot >= 0)
+            return (*t.regs)[static_cast<std::size_t>(reg_base + slot)];
+        return Value::ofConst(imm);
+    }
+
+    /** True when @p di is a preemption point for @p t. */
     bool isPreemptionPoint(const ThreadState &t,
-                           const ir::Inst &inst) const;
+                           const DecodedInst &di) const;
 
-    /** Execute one instruction of thread @p tid. */
-    void execute(ThreadId tid, const ir::Inst &inst);
+    /** Stop-spec check before executing @p di; true when a point
+     *  matched (resume state must then be saved). */
+    bool checkStops(ThreadId tid, const DecodedInst &di);
+
+    /** Execute one cold (sync/thread/env) instruction. */
+    void executeSlow(ThreadId tid, const DecodedInst &di);
 
     /** Advance past the current instruction of @p t. */
     void advance(ThreadState &t);
 
-    /** Emit @p ev to all sinks and the policy. */
+    /** Stage @p ev: deliver to immediate sinks and the after_event
+     *  stop predicate now, buffer for batched sinks and the policy. */
     void publish(Event ev);
+
+    /** Drain the event buffer to batched sinks and the policy. */
+    void flushEvents();
 
     /** Resolve a symbolic I1 decision (hook / forced queue). */
     bool decideCondition(const sym::ExprPtr &cond, DecisionKind kind);
 
     /** Resolve a possibly-symbolic index to a concrete value. */
-    bool resolveIndex(ThreadId tid, const ir::Inst &inst,
-                      const sym::ExprPtr &idx, int size,
-                      std::int64_t &out);
+    bool resolveIndex(ThreadId tid, const DecodedInst &di,
+                      const Value &idx, int size, std::int64_t &out);
 
     /** Set a final outcome. */
     void finish(RunOutcome o, ThreadId tid, int pc,
@@ -298,9 +377,15 @@ class Interpreter
     /** Thread exit bookkeeping: wake joiners, maybe end program. */
     void exitThread(ThreadId tid);
 
+    /** Add zeroed counter rows for a newly created thread. */
+    void addCounterRows();
+    VmState buildPristine() const;
+
     const ir::Program &prog;
+    std::shared_ptr<const DecodedProgram> dec;
     ExecOptions opts;
     VmState st;
+    bool use_threaded = false;
 
     SchedulePolicy *policy = nullptr;
     FifoPolicy default_policy;
@@ -311,6 +396,17 @@ class Interpreter
     bool stopped_at_spec = false;
     bool stop_event_fired = false;
     std::vector<std::size_t> fired_before_cell;
+
+    /** True while any consumer wants events this run (sinks, an
+     *  installed policy, or an after_event stop); when false the hot
+     *  loop skips Event construction entirely. */
+    bool record_events = false;
+    std::vector<EventSink *> immediate_sinks;
+    std::vector<EventSink *> batched_sinks;
+    /** Reusable staging buffer for batched event delivery. */
+    std::vector<Event> event_buf;
+    /** Reusable runnable-thread scratch for the scheduler loop. */
+    std::vector<ThreadId> runnable_scratch;
 };
 
 } // namespace portend::rt

@@ -1,0 +1,25 @@
+#include "rt/value.h"
+
+namespace portend::rt {
+
+namespace {
+thread_local std::uint64_t g_values_boxed = 0;
+} // namespace
+
+std::uint64_t
+valuesBoxed()
+{
+    return g_values_boxed;
+}
+
+namespace detail {
+
+void
+noteBoxed()
+{
+    g_values_boxed += 1;
+}
+
+} // namespace detail
+
+} // namespace portend::rt

@@ -4,6 +4,20 @@
 
 namespace portend::rt {
 
+MemImage::MemImage(std::vector<Value> cells)
+{
+    n = cells.size();
+    pages.reserve((n + kPageCells - 1) / kPageCells);
+    for (std::size_t at = 0; at < n; at += kPageCells) {
+        const std::size_t end = std::min(n, at + kPageCells);
+        std::vector<Value> page;
+        page.reserve(end - at);
+        for (std::size_t i = at; i < end; ++i)
+            page.push_back(std::move(cells[i]));
+        pages.emplace_back(Cow<std::vector<Value>>(std::move(page)));
+    }
+}
+
 const char *
 eventKindName(EventKind k)
 {
@@ -99,11 +113,18 @@ std::vector<ThreadId>
 VmState::runnableThreads() const
 {
     std::vector<ThreadId> out;
+    runnableInto(out);
+    return out;
+}
+
+void
+VmState::runnableInto(std::vector<ThreadId> &out) const
+{
+    out.clear();
     for (const auto &t : threads) {
         if (t.runnable())
             out.push_back(t.tid);
     }
-    return out;
 }
 
 bool
@@ -120,10 +141,11 @@ void
 VmState::unshareAll()
 {
     mem.unshareAll();
-    for (auto &t : threads)
+    for (auto &t : threads) {
         t.stack.rw();
+        t.regs.rw();
+    }
     access_counts.rw();
-    cell_access_counts.rw();
 }
 
 } // namespace portend::rt

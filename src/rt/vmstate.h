@@ -18,7 +18,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <string>
 #include <utility>
@@ -26,6 +25,7 @@
 
 #include "ir/program.h"
 #include "rt/events.h"
+#include "rt/value.h"
 #include "support/cow.h"
 #include "support/hash.h"
 #include "support/rng.h"
@@ -45,11 +45,21 @@ class MemImage
      *  large enough that the page vector stays short. */
     static constexpr std::size_t kPageCells = 64;
 
+    MemImage() = default;
+
+    /**
+     * Bulk-build the image from initial cell values. Pages are
+     * assembled locally and moved in whole, so construction is
+     * O(cells) with no per-cell write barriers (appending cell by
+     * cell paid an rw() share check per cell).
+     */
+    explicit MemImage(std::vector<Value> cells);
+
     /** Number of cells. */
     std::size_t size() const { return n; }
 
     /** Read cell @p i (never unshares). */
-    const sym::ExprPtr &
+    const Value &
     operator[](std::size_t i) const
     {
         return pages[i / kPageCells].ro()[i % kPageCells];
@@ -57,20 +67,27 @@ class MemImage
 
     /** Write cell @p i, cloning its page first when shared. */
     void
-    write(std::size_t i, sym::ExprPtr v)
+    write(std::size_t i, Value v)
     {
-        pages[i / kPageCells].rw()[i % kPageCells] = std::move(v);
+        auto &pg = pages[i / kPageCells];
+        if (!pg.unique())
+            unshared_ += 1;
+        pg.rw()[i % kPageCells] = std::move(v);
     }
 
-    /** Append a cell during image construction. */
+    /** Append a cell during incremental construction (tests). */
     void
-    append(sym::ExprPtr v)
+    append(Value v)
     {
         if (n % kPageCells == 0)
             pages.emplace_back();
         pages.back().rw().push_back(std::move(v));
         n += 1;
     }
+
+    /** Pages cloned by the write barrier over this image's lifetime
+     *  (stats ledger; copies inherit the parent's count). */
+    std::uint64_t unsharedCount() const { return unshared_; }
 
     /**
      * True when the page holding cell @p i is structurally shared
@@ -102,7 +119,8 @@ class MemImage
 
   private:
     std::size_t n = 0;
-    std::vector<Cow<std::vector<sym::ExprPtr>>> pages;
+    std::uint64_t unshared_ = 0;
+    std::vector<Cow<std::vector<Value>>> pages;
 };
 
 /** Scheduling status of one thread. */
@@ -118,14 +136,23 @@ enum class ThreadStatus : std::uint8_t {
 /** Printable status name. */
 const char *threadStatusName(ThreadStatus s);
 
-/** One stack frame of a thread. */
+/**
+ * One stack frame of a thread.
+ *
+ * Frames no longer own their registers: a thread's frames share one
+ * register arena (ThreadState::regs), each frame claiming the slice
+ * [reg_base, reg_base + num_regs) of it. Call grows the arena, Ret
+ * shrinks it — no per-frame vector allocation. The instruction
+ * pointer is flat within the function (see rt/decode.h); block
+ * boundaries are recovered through DecodedFunction::block_start when
+ * needed.
+ */
 struct Frame
 {
     ir::FuncId func = -1;
-    ir::BlockId block = 0;
-    int inst = 0;              ///< next instruction index in block
-    std::vector<sym::ExprPtr> regs;
+    int ip = 0;                ///< flat next-instruction pointer
     ir::Reg ret_dst = -1;      ///< caller register receiving the result
+    int reg_base = 0;          ///< first register slot in the arena
 };
 
 /** One thread of execution. */
@@ -141,6 +168,13 @@ struct ThreadState
      * stack-> / *stack, mutate via stack.rw().
      */
     Cow<std::vector<Frame>> stack;
+
+    /**
+     * Register arena shared by all frames of this thread's stack
+     * (copy-on-write like the stack). Frame f's register r lives at
+     * regs[f.reg_base + r].
+     */
+    Cow<std::vector<Value>> regs;
 
     ir::SyncId wait_sync = -1;   ///< sync object blocked on
     ThreadId wait_tid = -1;      ///< thread blocked on (join)
@@ -227,6 +261,9 @@ struct VmStats
     std::uint64_t steps = 0;             ///< instructions executed
     std::uint64_t preemption_points = 0; ///< scheduling decisions taken
     std::uint64_t symbolic_branches = 0; ///< forks offered to the hook
+    std::uint64_t values_boxed = 0;      ///< Value→ExprPtr conversions
+    std::uint64_t events_batched = 0;    ///< events staged in the buffer
+    std::uint64_t pages_unshared = 0;    ///< COW page clones in mem
 };
 
 /**
@@ -272,22 +309,74 @@ struct VmState
     std::vector<EnvRead> env_log;
 
     /**
-     * Dynamic execution counts of memory-access instructions.
+     * Dynamic access counters, one dense row per thread. The first
+     * `counter_stride` entries count instruction executions by pc
+     * (pcs are dense decoded-site ids); the rest count accesses by
+     * flat cell id at `counter_stride + cell`. Race identity is
+     * cell-based because a divergent path may perform the racing
+     * access at a different program counter (paper §3.3, Fig. 4),
+     * while replay stop conditions index by pc; one row serves both.
      * Copy-on-write like the memory image: checkpoints share the
-     * map; the first post-fork access clones it once.
+     * table; the first post-fork access clones it once.
      */
-    Cow<std::map<std::pair<ThreadId, int>, std::uint64_t>> access_counts;
+    Cow<std::vector<std::vector<std::uint64_t>>> access_counts;
+
+    /** Row width of the pc-indexed prefix of access_counts rows. */
+    std::int32_t counter_stride = 0;
+
+    /** Dynamic count of (thread @p t, pc @p pc) executions (0 when
+     *  out of range). */
+    std::uint64_t
+    accessCount(ThreadId t, int pc) const
+    {
+        const auto &rows = access_counts.ro();
+        if (t < 0 || static_cast<std::size_t>(t) >= rows.size())
+            return 0;
+        if (pc < 0 || pc >= counter_stride)
+            return 0;
+        return rows[static_cast<std::size_t>(t)]
+                   [static_cast<std::size_t>(pc)];
+    }
+
+    /** Dynamic count of (thread @p t, cell @p cell) accesses (0 when
+     *  out of range). */
+    std::uint64_t
+    cellAccessCount(ThreadId t, int cell) const
+    {
+        const auto &rows = access_counts.ro();
+        if (t < 0 || static_cast<std::size_t>(t) >= rows.size())
+            return 0;
+        const auto &row = rows[static_cast<std::size_t>(t)];
+        const std::size_t i =
+            static_cast<std::size_t>(counter_stride) +
+            static_cast<std::size_t>(cell);
+        if (cell < 0 || i >= row.size())
+            return 0;
+        return row[i];
+    }
 
     /**
-     * Per (thread, cell) access counts. Race identity is cell-based
-     * because a divergent path may perform the racing access at a
-     * different program counter (paper §3.3, Fig. 4).
+     * Forced outcomes of pending symbolic decisions (set on fork),
+     * consumed front-to-back via `forced_cursor` (a deque would
+     * allocate on every state copy even when empty — the common
+     * case).
      */
-    Cow<std::map<std::pair<ThreadId, int>, std::uint64_t>>
-        cell_access_counts;
+    std::vector<char> forced_decisions;
+    std::size_t forced_cursor = 0;
 
-    /** Forced outcomes of pending symbolic decisions (set on fork). */
-    std::deque<bool> forced_decisions;
+    /** True when a forced decision is pending. */
+    bool
+    hasForcedDecision() const
+    {
+        return forced_cursor < forced_decisions.size();
+    }
+
+    /** Consume the next forced decision (requires one pending). */
+    bool
+    takeForcedDecision()
+    {
+        return forced_decisions[forced_cursor++] != 0;
+    }
 
     /**
      * True when the state was captured mid-scheduling-segment (a
@@ -322,6 +411,10 @@ struct VmState
 
     /** Ids of currently runnable threads, ascending. */
     std::vector<ThreadId> runnableThreads() const;
+
+    /** Fill @p out with runnable thread ids, ascending (reuses the
+     *  caller's buffer; the scheduler loop's allocation-free path). */
+    void runnableInto(std::vector<ThreadId> &out) const;
 
     /** True when every thread has exited. */
     bool allExited() const;

@@ -70,6 +70,10 @@ class Cow
     /** True when both boxes alias the same payload (tests/bench). */
     bool sharedWith(const Cow &o) const { return p == o.p; }
 
+    /** True when this box is the payload's only owner (an rw() call
+     *  would mutate in place rather than clone). */
+    bool unique() const { return p.use_count() == 1; }
+
   private:
     std::shared_ptr<T> p;
 };

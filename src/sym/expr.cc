@@ -155,14 +155,34 @@ Expr::make(ExprKind k, Width w, std::vector<ExprPtr> children)
 ExprPtr
 Expr::constant(std::int64_t v, Width w)
 {
-    auto node = std::shared_ptr<Expr>(new Expr(ExprKind::Const, w));
-    node->cval = truncate(v, w);
-    node->concrete_ = true;
-    node->hash_ = hashCombine(
-        hashCombine(static_cast<std::uint64_t>(ExprKind::Const),
-                    static_cast<std::uint64_t>(w)),
-        static_cast<std::uint64_t>(node->cval));
-    return node;
+    const auto make = [](std::int64_t val, Width width) {
+        auto node =
+            std::shared_ptr<Expr>(new Expr(ExprKind::Const, width));
+        node->cval = truncate(val, width);
+        node->concrete_ = true;
+        node->hash_ = hashCombine(
+            hashCombine(static_cast<std::uint64_t>(ExprKind::Const),
+                        static_cast<std::uint64_t>(width)),
+            static_cast<std::uint64_t>(node->cval));
+        return node;
+    };
+
+    // Small I64 constants are interned: nodes are immutable and
+    // compared structurally, so sharing one canonical node per value
+    // turns the hottest boxing sites (concrete values crossing into
+    // expression-typed interfaces) into a refcount bump.
+    constexpr std::int64_t kLo = -256, kHi = 1025;
+    if (w == Width::I64 && v >= kLo && v < kHi) {
+        static const std::vector<ExprPtr> interned = [&make] {
+            std::vector<ExprPtr> t;
+            t.reserve(static_cast<std::size_t>(kHi - kLo));
+            for (std::int64_t i = kLo; i < kHi; ++i)
+                t.push_back(make(i, Width::I64));
+            return t;
+        }();
+        return interned[static_cast<std::size_t>(v - kLo)];
+    }
+    return make(v, w);
 }
 
 ExprPtr

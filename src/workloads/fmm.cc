@@ -108,10 +108,10 @@ buildFmm()
                 ev.cell != ts_cell) {
                 return "";
             }
-            const sym::ExprPtr &v = interp.state().mem[ts_cell];
-            if (!v->isConcrete())
+            const rt::Value &v = interp.state().mem[ts_cell];
+            if (!v.isConcrete())
                 return "";
-            std::int64_t now = v->constValue();
+            std::int64_t now = v.constValue();
             auto it = scratch.find("fmm_ts_last");
             if (it != scratch.end() && now < it->second) {
                 return "fmm timestamp went backwards: " +

@@ -69,7 +69,7 @@ TEST(MemImageTest, ForkThenWriteIsolation)
     MemImage a;
     const std::size_t n = MemImage::kPageCells * 2 + 5; // 3 pages
     for (std::size_t i = 0; i < n; ++i)
-        a.append(sym::Expr::constant(static_cast<std::int64_t>(i)));
+        a.append(rt::Value::ofConst(static_cast<std::int64_t>(i)));
 
     MemImage b = a;
     for (std::size_t i = 0; i < n; ++i)
@@ -77,15 +77,15 @@ TEST(MemImageTest, ForkThenWriteIsolation)
 
     // Writing one cell of b unshares exactly that page.
     const std::size_t hit = MemImage::kPageCells + 3; // page 1
-    b.write(hit, sym::Expr::constant(-1));
+    b.write(hit, rt::Value::ofConst(-1));
     EXPECT_TRUE(a.sharesPage(0, b));
     EXPECT_FALSE(a.sharesPage(hit, b));
     EXPECT_TRUE(a.sharesPage(MemImage::kPageCells * 2, b));
 
-    EXPECT_EQ(a[hit]->constValue(), static_cast<std::int64_t>(hit));
-    EXPECT_EQ(b[hit]->constValue(), -1);
+    EXPECT_EQ(a[hit].constValue(), static_cast<std::int64_t>(hit));
+    EXPECT_EQ(b[hit].constValue(), -1);
     // Unwritten cells of the unshared page kept their values.
-    EXPECT_EQ(b[hit + 1]->constValue(),
+    EXPECT_EQ(b[hit + 1].constValue(),
               static_cast<std::int64_t>(hit + 1));
 }
 
@@ -161,7 +161,7 @@ TEST(VmStateForkTest, ForkThenMutateDoesNotBleedIntoParent)
     // ...but the parent checkpoint is bit-for-bit what it was.
     ASSERT_EQ(parent.mem.size(), deep.mem.size());
     for (std::size_t i = 0; i < parent.mem.size(); ++i)
-        EXPECT_TRUE(parent.mem[i]->equals(*deep.mem[i])) << "cell " << i;
+        EXPECT_TRUE(parent.mem[i].equals(deep.mem[i])) << "cell " << i;
     ASSERT_EQ(parent.threads.size(), deep.threads.size());
     for (std::size_t t = 0; t < parent.threads.size(); ++t) {
         const auto &pt = parent.threads[t];
@@ -169,13 +169,11 @@ TEST(VmStateForkTest, ForkThenMutateDoesNotBleedIntoParent)
         EXPECT_EQ(pt.status, dt.status) << "thread " << t;
         ASSERT_EQ(pt.stack->size(), dt.stack->size()) << "thread " << t;
         for (std::size_t f = 0; f < pt.stack->size(); ++f) {
-            EXPECT_EQ((*pt.stack)[f].block, (*dt.stack)[f].block);
-            EXPECT_EQ((*pt.stack)[f].inst, (*dt.stack)[f].inst);
+            EXPECT_EQ((*pt.stack)[f].func, (*dt.stack)[f].func);
+            EXPECT_EQ((*pt.stack)[f].ip, (*dt.stack)[f].ip);
         }
     }
     EXPECT_EQ(parent.access_counts.ro(), deep.access_counts.ro());
-    EXPECT_EQ(parent.cell_access_counts.ro(),
-              deep.cell_access_counts.ro());
     EXPECT_EQ(parent.global_step, deep.global_step);
 
     // And the siblings are isolated from each other: both finish
@@ -242,7 +240,7 @@ TEST(CheckpointLadderTest, RungEqualsFromZeroReplay)
                   ref.stats.preemption_points);
         ASSERT_EQ(rung->state.mem.size(), ref.mem.size());
         for (std::size_t i = 0; i < ref.mem.size(); ++i) {
-            EXPECT_TRUE(rung->state.mem[i]->equals(*ref.mem[i]))
+            EXPECT_TRUE(rung->state.mem[i].equals(ref.mem[i]))
                 << "cell " << i;
         }
         EXPECT_EQ(rung->state.access_counts.ro(),

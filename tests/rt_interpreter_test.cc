@@ -228,7 +228,7 @@ TEST(InterpreterTest, CheckpointRestoreResumesExactly)
     EXPECT_EQ(interp.run(stop), RunOutcome::Running);
     ASSERT_TRUE(interp.stopped());
     VmState ckpt = interp.state();
-    EXPECT_EQ(ckpt.mem[0]->constValue(), 1);
+    EXPECT_EQ(ckpt.mem[0].constValue(), 1);
 
     // Finish from the checkpoint twice; identical results.
     for (int i = 0; i < 2; ++i) {

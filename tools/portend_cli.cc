@@ -25,6 +25,7 @@
 #include "ir/serialize.h"
 #include "portend/classify.h"
 #include "portend/portend.h"
+#include "rt/interpreter.h"
 #include "rt/vmstate.h"
 #include "support/str.h"
 #include "support/threadpool.h"
@@ -90,6 +91,14 @@ Options:
   --no-multi-schedule  disable multi-schedule analysis (stage 3)
   --no-adhoc           disable ad-hoc synchronization detection
   --json               emit a JSON report instead of the Fig. 6 text
+  --stats              append the interpreter ledger of the detection
+                       run: dispatch mode, decoded sites, events
+                       batched, COW pages unshared, values boxed
+  --dispatch <mode>    interpreter dispatch loop for every execution
+                       in the process: "threaded" (computed-goto,
+                       error where unsupported), "switch" (portable),
+                       or "auto" (threaded when available; default).
+                       Accepted before any command
 
 Fuzzing options (portend fuzz):
   --budget <N>         programs to generate (default 200); with a
@@ -115,6 +124,7 @@ struct CliOptions
 {
     core::PortendOptions opts;
     bool json = false;
+    bool stats = false; ///< append the interpreter ledger
     int k = 0; ///< 0 = not given
     std::optional<core::RaceClass> only_class; ///< --class filter
 };
@@ -197,6 +207,8 @@ parseOptions(int argc, char **argv, int start)
         const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
         if (a == "--json") {
             cli.json = true;
+        } else if (a == "--stats") {
+            cli.stats = true;
         } else if (a == "--no-multi-path") {
             cli.opts.multi_path = false;
         } else if (a == "--no-multi-schedule") {
@@ -378,7 +390,8 @@ runPipeline(const std::string &name, CliOptions &cli)
  */
 std::string
 jsonReport(const workloads::Workload &w, const core::PortendResult &res,
-           const std::vector<const core::PortendReport *> &reports)
+           const std::vector<const core::PortendReport *> &reports,
+           bool stats)
 {
     std::ostringstream os;
     os << "{\n  \"workload\": \"" << jsonEscape(w.name) << "\",\n";
@@ -389,8 +402,17 @@ jsonReport(const workloads::Workload &w, const core::PortendResult &res,
        << ",\n";
     os << "    \"distinct_races\": " << res.detection.clusters.size()
        << ",\n";
-    os << "    \"steps\": " << res.detection.steps << "\n";
-    os << "  },\n  \"reports\": [\n";
+    os << "    \"steps\": " << res.detection.steps;
+    // Opt-in so the golden classify --json bytes stay stable.
+    if (stats) {
+        const core::DetectionResult &d = res.detection;
+        os << ",\n    \"interp\": {\"dispatch\": \"" << d.dispatch
+           << "\", \"decoded_sites\": " << d.decoded_sites
+           << ", \"events_batched\": " << d.vm.events_batched
+           << ", \"pages_unshared\": " << d.vm.pages_unshared
+           << ", \"values_boxed\": " << d.vm.values_boxed << "}";
+    }
+    os << "\n  },\n  \"reports\": [\n";
     for (std::size_t i = 0; i < reports.size(); ++i) {
         const core::PortendReport &r = *reports[i];
         const core::Classification &c = r.classification;
@@ -424,6 +446,19 @@ jsonReport(const workloads::Workload &w, const core::PortendResult &res,
         os << "    }" << (i + 1 < reports.size() ? "," : "") << "\n";
     }
     os << "  ]\n}";
+    return os.str();
+}
+
+/** The --stats interpreter ledger of the detection run. */
+std::string
+statsText(const core::DetectionResult &d)
+{
+    std::ostringstream os;
+    os << "interpreter: dispatch=" << d.dispatch
+       << " decoded_sites=" << d.decoded_sites
+       << " events_batched=" << d.vm.events_batched
+       << " pages_unshared=" << d.vm.pages_unshared
+       << " values_boxed=" << d.vm.values_boxed << "\n";
     return os.str();
 }
 
@@ -504,8 +539,14 @@ renderPipeline(const std::string &name, bool classify_mode,
     CliOptions mine = cli; // workload predicates are per-task state
     PipelineRun p = runPipeline(name, mine);
     if (mine.json)
-        return jsonReport(p.workload, p.result, p.selected) + "\n";
-    return classify_mode ? classifyText(p, mine) : runText(p);
+        return jsonReport(p.workload, p.result, p.selected,
+                          mine.stats) +
+               "\n";
+    std::string out = classify_mode ? classifyText(p, mine)
+                                    : runText(p);
+    if (mine.stats)
+        out += statsText(p.result.detection);
+    return out;
 }
 
 int
@@ -524,10 +565,12 @@ cmdRunFile(const std::string &path, bool classify_mode,
     PipelineRun p = runPipelineOn(loadProgramFile(path), cli);
     std::string out = cli.json
                           ? jsonReport(p.workload, p.result,
-                                       p.selected) +
+                                       p.selected, cli.stats) +
                                 "\n"
                           : (classify_mode ? classifyText(p, cli)
                                            : runText(p));
+    if (!cli.json && cli.stats)
+        out += statsText(p.result.detection);
     std::fputs(out.c_str(), stdout);
     return 0;
 }
@@ -657,11 +700,44 @@ cmdCorpusRun(const std::string &dir, fuzz::OracleOptions opts)
     return res.allGreen() ? 0 : 1;
 }
 
+/**
+ * Strip a leading `--dispatch <mode>` pair (valid before any
+ * command) and install the mode process-wide, so every interpreter
+ * the pipeline spawns — detection, replay, alternate schedules,
+ * symbolic exploration — uses the same loop.
+ */
+void
+applyDispatchFlag(int &argc, char **argv)
+{
+    if (argc < 3 || std::strcmp(argv[1], "--dispatch") != 0)
+        return;
+    const std::string mode = argv[2];
+    if (mode == "auto") {
+        rt::setDefaultDispatchMode(rt::DispatchMode::Auto);
+    } else if (mode == "switch") {
+        rt::setDefaultDispatchMode(rt::DispatchMode::Switch);
+    } else if (mode == "threaded") {
+        // Fail loudly: a CI lane asking for the threaded loop must
+        // not silently measure the switch fallback.
+        if (!rt::threadedDispatchAvailable())
+            usageError("--dispatch threaded: computed-goto dispatch "
+                       "not compiled in on this toolchain");
+        rt::setDefaultDispatchMode(rt::DispatchMode::Threaded);
+    } else {
+        usageError("unknown dispatch mode: " + mode +
+                   " (expected switch, threaded, or auto)");
+    }
+    for (int i = 3; i <= argc; ++i)
+        argv[i - 2] = argv[i]; // includes the trailing nullptr
+    argc -= 2;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    applyDispatchFlag(argc, argv);
     if (argc < 2) {
         std::fputs(kUsage, stderr);
         return 2;
