@@ -31,7 +31,6 @@
  *   min_speedup  gate floor vs the pre-rebuild baseline (default 3.0)
  */
 
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +40,7 @@
 
 #include "ir/builder.h"
 #include "rt/interpreter.h"
+#include "support/clock.h"
 #include "workloads/registry.h"
 
 // --- Allocation accounting (bench-local operator new interposition).
@@ -134,7 +134,7 @@ measureTrial(const ir::Program &p, bool preempt, int reps,
              std::uint64_t *steps_out)
 {
     std::uint64_t total_steps = 0;
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t t0 = steadyNanos();
     for (int i = 0; i < reps; ++i) {
         rt::ExecOptions eo;
         eo.preempt_on_memory = preempt;
@@ -142,8 +142,7 @@ measureTrial(const ir::Program &p, bool preempt, int reps,
         interp.run();
         total_steps += interp.state().stats.steps;
     }
-    const auto t1 = std::chrono::steady_clock::now();
-    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    const double sec = steadySeconds(t0, steadyNanos());
     *steps_out = total_steps;
     return sec > 0.0 ? static_cast<double>(total_steps) / sec : 0.0;
 }

@@ -1,6 +1,8 @@
 #include "exec/executor.h"
 
 #include "support/logging.h"
+#include "support/observe.h"
+#include "support/trace.h"
 #include "sym/simplify.h"
 
 namespace portend::exec {
@@ -53,6 +55,9 @@ Executor::decide(rt::Interpreter &interp, const sym::ExprPtr &cond,
         // on the worklist until adopted.
         if (states_created < opts.max_states &&
             static_cast<int>(pc.size()) < opts.max_fork_depth) {
+            OBS_SPAN("sym", "path-fork");
+            if (obs::Collector *c = obs::collector())
+                c->add(obs::Counter::SymPathForks, 1);
             rt::VmState clone = interp.state();
             clone.forced_decisions.push_back(false);
             // The clone re-executes the deciding instruction inside

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "support/hash.h"
+#include "support/observe.h"
+#include "support/trace.h"
 
 namespace portend::explore {
 
@@ -143,13 +145,28 @@ ScheduleExplorer::next()
 bool
 ScheduleExplorer::record(const rt::ScheduleObservation &obs)
 {
+    // The span covers expand(): DPOR backtrack-candidate generation
+    // is the quadratic part worth seeing in a trace. (Fully
+    // qualified: the observation parameter shadows the obs
+    // namespace here.)
+    ::portend::obs::Span span("explore", "record");
     last_sig_ = signatureHash(obs);
     const bool fresh = seen_.insert(last_sig_).second;
     if (fresh)
         distinct_ += 1;
+    const std::size_t frontier0 = frontier.size();
     if (opts.mode == ExploreMode::Dpor &&
         last_preemptions_ < opts.preemption_bound) {
         expand(obs, last_preemptions_);
+    }
+    span.arg("fresh", fresh ? 1 : 0);
+    span.arg("candidates",
+             static_cast<std::int64_t>(frontier.size() - frontier0));
+    if (auto *c = ::portend::obs::collector()) {
+        using ::portend::obs::Counter;
+        c->add(Counter::ExploreRecorded, 1);
+        c->add(Counter::ExploreDistinct, fresh ? 1 : 0);
+        c->add(Counter::ExploreCandidates, frontier.size() - frontier0);
     }
     return fresh;
 }

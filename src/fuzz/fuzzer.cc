@@ -1,6 +1,7 @@
 #include "fuzz/fuzzer.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 #include <sstream>
 
@@ -8,8 +9,10 @@
 #include "fuzz/minimize.h"
 #include "ir/serialize.h"
 #include "support/hash.h"
+#include "support/observe.h"
 #include "support/stats.h"
 #include "support/threadpool.h"
+#include "support/trace.h"
 
 namespace portend::fuzz {
 
@@ -164,6 +167,7 @@ FuzzResult::summaryText() const
 FuzzResult
 runFuzz(const FuzzOptions &opts)
 {
+    obs::Span span("fuzz", "campaign");
     Stopwatch sw;
     FuzzResult res;
     res.fuzz_seed = opts.fuzz_seed;
@@ -203,7 +207,27 @@ runFuzz(const FuzzOptions &opts)
     }
 
     // -- Deterministic fold in index order ---------------------------
+    std::size_t fold_index = 0;
     for (const IndexResult &r : results) {
+        // `--progress jsonl`: one line per fuzz iteration, emitted
+        // here (sequentially, in index order) rather than from the
+        // workers, so the stream order is deterministic too.
+        if (obs::progress()) {
+            char buf[192];
+            std::snprintf(buf, sizeof buf,
+                          "{\"event\": \"fuzz_iteration\", "
+                          "\"index\": %zu, \"outcome\": \"%s\", "
+                          "\"flagged\": %s}",
+                          fold_index, r.verdict.outcome.c_str(),
+                          r.verdict.flagged() ? "true" : "false");
+            obs::progressLine(buf);
+        }
+        fold_index += 1;
+        if (obs::Collector *c = obs::collector()) {
+            c->add(obs::Counter::FuzzPrograms, 1);
+            c->add(obs::Counter::FuzzFlagged,
+                   r.verdict.flagged() ? 1 : 0);
+        }
         res.programs += 1;
         if (r.gen.verify_errors.empty())
             res.verifier_clean += 1;
@@ -297,6 +321,13 @@ runFuzz(const FuzzOptions &opts)
         res.flagged += 1;
     }
 
+    if (obs::Collector *c = obs::collector()) {
+        c->level(obs::Gauge::FuzzCorpusSize,
+                 static_cast<std::uint64_t>(res.regression_entries +
+                                            res.disagreement_entries));
+    }
+    span.arg("programs", res.programs);
+    span.arg("flagged", res.flagged);
     res.seconds = sw.seconds();
     return res;
 }

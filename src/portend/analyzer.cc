@@ -1,8 +1,12 @@
 #include "portend/analyzer.h"
 
+#include <cstdio>
+
 #include "portend/outputcmp.h"
 #include "support/logging.h"
+#include "support/observe.h"
 #include "support/stats.h"
+#include "support/trace.h"
 
 namespace portend::core {
 
@@ -577,6 +581,9 @@ RaceAnalyzer::singleClassify(const race::RaceReport &race,
         // replaying the prefix; the rung state carries the prefix's
         // step counters (so the ledger stays identical) and the
         // monitor adopts the prefix's predicate state.
+        OBS_SPAN("ladder", "fork");
+        if (obs::Collector *col = obs::collector())
+            col->add(obs::Counter::LadderForks, 1);
         interp.setState(rung->state);
         sem.restore(rung->semantics);
     } else {
@@ -726,6 +733,9 @@ RaceAnalyzer::runAlternate(const race::RaceReport &race,
     // decision exactly like the ladder's strict TracePolicy did.
     if (const replay::CheckpointLadder::Rung *rung =
             usableRung(ladder, race, inputs)) {
+        OBS_SPAN("ladder", "fork");
+        if (obs::Collector *col = obs::collector())
+            col->add(obs::Counter::LadderForks, 1);
         absorbStats(stats, rung->state);
         return runAlternateFromState(rung->state, race, inputs, post,
                                      budget_steps, nullptr, &trace, 0,
@@ -826,19 +836,59 @@ RaceAnalyzer::replayEvidence(const race::RaceReport &race,
     return out;
 }
 
+namespace {
+
+const char *
+postSpecKind(const explore::PostSpec &s)
+{
+    switch (s.kind) {
+      case explore::PostSpec::Kind::Trace:
+        return "trace";
+      case explore::PostSpec::Kind::Random:
+        return "random";
+      case explore::PostSpec::Kind::Guided:
+        return "guided";
+    }
+    return "?";
+}
+
+/** `--progress jsonl`: one line per explored post-race schedule. */
+void
+emitScheduleEvent(const explore::PostSpec &spec, int path, bool fresh,
+                  int distinct, int schedules)
+{
+    if (!obs::progress())
+        return;
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "{\"event\": \"schedule\", \"kind\": \"%s\", "
+                  "\"path\": %d, \"fresh\": %s, \"distinct\": %d, "
+                  "\"schedules_explored\": %d}",
+                  postSpecKind(spec), path, fresh ? "true" : "false",
+                  distinct, schedules);
+    obs::progressLine(buf);
+}
+
+} // namespace
+
 Classification
 RaceAnalyzer::classify(const race::RaceReport &race,
                        const replay::ScheduleTrace &trace,
                        const replay::CheckpointLadder *ladder) const
 {
+    obs::Span cls_span("classify", "classify-race");
+    cls_span.arg("cell", race.cell);
     Stopwatch sw;
     Classification c;
     const std::vector<std::int64_t> inputs0 = trace.concreteInputs();
 
     // ---- Stage 1: single-pre/single-post (Algorithm 1). ----
-    SingleResult s1 =
-        singleClassify(race, trace, inputs0,
-                       explore::PostSpec::trace(), ladder, c.stats);
+    SingleResult s1;
+    {
+        OBS_SPAN("classify", "stage1");
+        s1 = singleClassify(race, trace, inputs0,
+                            explore::PostSpec::trace(), ladder, c.stats);
+    }
     c.states_differ = s1.states_differ;
 
     bool done = true;
@@ -897,15 +947,19 @@ RaceAnalyzer::classify(const race::RaceReport &race,
         SemanticMonitor sem(sym_interp, opts.semantic_predicates);
         sym_interp.addSink(&sem);
 
-        std::vector<exec::PathResult> paths = ex.explore(
-            sym_interp,
-            [&] {
-                return std::make_unique<PrimarySearchPolicy>(trace,
-                                                             race);
-            },
-            [&](const rt::VmState &s) {
-                return PrimarySearchPolicy::racePassed(s, race);
-            });
+        std::vector<exec::PathResult> paths;
+        {
+            OBS_SPAN("sym", "explore-paths");
+            paths = ex.explore(
+                sym_interp,
+                [&] {
+                    return std::make_unique<PrimarySearchPolicy>(trace,
+                                                                 race);
+                },
+                [&](const rt::VmState &s) {
+                    return PrimarySearchPolicy::racePassed(s, race);
+                });
+        }
         c.stats.paths_explored = static_cast<int>(paths.size());
         c.stats.states_created = ex.statesCreated();
         absorbStats(c.stats, sym_interp.state());
@@ -1036,6 +1090,8 @@ RaceAnalyzer::classify(const race::RaceReport &race,
             explore::ScheduleExplorer sched_ex(xopts);
             while (std::optional<explore::PostSpec> spec =
                        sched_ex.next()) {
+                obs::Span cand_span("explore", "dpor-candidate");
+                cand_span.arg("path", path_index);
                 c.stats.schedules_explored += 1;
                 SingleResult a =
                     runAlternate(race, trace, inputs_p, *spec, budget,
@@ -1046,6 +1102,9 @@ RaceAnalyzer::classify(const race::RaceReport &race,
                 const bool fresh =
                     a.alternate_enforced &&
                     sched_ex.record(a.observation);
+                emitScheduleEvent(*spec, path_index, fresh,
+                                  sched_ex.distinct(),
+                                  c.stats.schedules_explored);
                 switch (a.kind) {
                   case SingleResult::Kind::SpecViol:
                     c.cls = RaceClass::SpecViolated;
@@ -1127,11 +1186,14 @@ RaceAnalyzer::classify(const race::RaceReport &race,
         explore::ScheduleExplorer sched_ex(xopts);
         while (std::optional<explore::PostSpec> spec =
                    sched_ex.next()) {
+            obs::Span cand_span("explore", "dpor-candidate");
             c.stats.schedules_explored += 1;
             SingleResult s = singleClassify(race, trace, inputs0,
                                             *spec, ladder, c.stats);
             const bool fresh = s.alternate_enforced &&
                                sched_ex.record(s.observation);
+            emitScheduleEvent(*spec, 0, fresh, sched_ex.distinct(),
+                              c.stats.schedules_explored);
             if (s.kind == SingleResult::Kind::SpecViol) {
                 c.cls = RaceClass::SpecViolated;
                 c.viol = s.viol;

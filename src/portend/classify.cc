@@ -24,6 +24,55 @@ raceClassFromName(const std::string &name)
     return std::nullopt;
 }
 
+void
+AnalysisStats::foldInto(obs::MetricsShard &shard) const
+{
+    using obs::Counter;
+    using obs::Hist;
+    shard.add(Counter::ClassifySteps, steps);
+    shard.add(Counter::ClassifyPreemptions, preemptions);
+    shard.add(Counter::ClassifySymBranches, sym_branches);
+    shard.add(Counter::ClassifyPaths,
+              static_cast<std::uint64_t>(paths_explored));
+    shard.add(Counter::ClassifySchedules,
+              static_cast<std::uint64_t>(schedules_explored));
+    shard.add(Counter::ClassifyDistinctSchedules,
+              static_cast<std::uint64_t>(distinct_schedules));
+    shard.add(Counter::ClassifyStatesCreated,
+              static_cast<std::uint64_t>(states_created));
+    shard.add(Counter::ClassifySolverQueries, solver_queries);
+    shard.observe(Hist::ClusterSteps, steps);
+    shard.observe(Hist::ClusterDistinct,
+                  static_cast<std::uint64_t>(distinct_schedules));
+}
+
+void
+foldVerdict(const Classification &c, obs::MetricsShard &shard)
+{
+    using obs::Counter;
+    c.stats.foldInto(shard);
+    shard.add(Counter::ClassifyClusters, 1);
+    shard.add(Counter::ClassifyKWitnesses,
+              static_cast<std::uint64_t>(c.k));
+    switch (c.cls) {
+      case RaceClass::SpecViolated:
+        shard.add(Counter::VerdictSpecViolated, 1);
+        break;
+      case RaceClass::OutputDiffers:
+        shard.add(Counter::VerdictOutputDiffers, 1);
+        break;
+      case RaceClass::KWitnessHarmless:
+        shard.add(Counter::VerdictKWitnessHarmless, 1);
+        break;
+      case RaceClass::SingleOrdering:
+        shard.add(Counter::VerdictSingleOrdering, 1);
+        break;
+      case RaceClass::Unclassified:
+        shard.add(Counter::VerdictUnclassified, 1);
+        break;
+    }
+}
+
 const char *
 violationKindName(ViolationKind v)
 {

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "support/observe.h"
+
 namespace portend::core {
 
 /** Top-level classification category. */
@@ -89,8 +91,16 @@ struct AnalysisStats
 
     int states_created = 0;            ///< symbolic states forked
     std::uint64_t solver_queries = 0;  ///< checkSat calls issued
-    double seconds = 0.0;              ///< wall-clock analysis time
+    double seconds = 0.0;              ///< monotonic analysis time
     double queue_seconds = 0.0;        ///< wait for a free worker
+
+    /**
+     * Fold the deterministic counters into a metrics shard (the
+     * registry view of this ledger). The two duration fields stay
+     * out on purpose: shards feed `--metrics-out`, which must be
+     * byte-identical across --jobs values and runs.
+     */
+    void foldInto(obs::MetricsShard &shard) const;
 };
 
 /** One named input binding of an evidence witness. */
@@ -172,6 +182,13 @@ struct Classification
         return cls == RaceClass::SpecViolated;
     }
 };
+
+/**
+ * Registry view of one finished verdict: the AnalysisStats ledger
+ * plus the verdict-class tally and k-witness count, folded into a
+ * per-cluster shard (merged in cluster order by the scheduler).
+ */
+void foldVerdict(const Classification &c, obs::MetricsShard &shard);
 
 } // namespace portend::core
 

@@ -7,6 +7,7 @@
 #include "replay/replayer.h"
 #include "rt/interpreter.h"
 #include "support/stats.h"
+#include "support/trace.h"
 
 namespace portend::core {
 
@@ -36,6 +37,7 @@ Portend::staticInfo()
 DetectionResult
 Portend::detect()
 {
+    obs::Span span("pipeline", "detect");
     Stopwatch sw;
     DetectionResult result;
 
@@ -75,6 +77,26 @@ Portend::detect()
     result.vm = interp.state().stats;
     result.decoded_sites = interp.decodedSites();
     result.dispatch = rt::dispatchModeName(interp.dispatchMode());
+
+    // The detection run's registry view (the --stats block reads
+    // these instead of the raw VmStats fields). Pure function of the
+    // deterministic detection run, so shard-safe.
+    using obs::Counter;
+    result.metrics.add(Counter::DetectRuns, 1);
+    result.metrics.add(Counter::DetectSteps, result.steps);
+    result.metrics.add(Counter::DetectDynamicRaces,
+                       result.dynamic_races);
+    result.metrics.add(Counter::DetectClusters, result.clusters.size());
+    result.metrics.add(Counter::DetectEventsBatched,
+                       result.vm.events_batched);
+    result.metrics.add(Counter::DetectPagesUnshared,
+                       result.vm.pages_unshared);
+    result.metrics.add(Counter::DetectValuesBoxed,
+                       result.vm.values_boxed);
+    result.metrics.level(obs::Gauge::DecodedSites,
+                         static_cast<std::uint64_t>(result.decoded_sites));
+
+    span.arg("clusters", static_cast<std::int64_t>(result.clusters.size()));
     result.seconds = sw.seconds();
     return result;
 }
@@ -93,6 +115,7 @@ Portend::classifyRace(const race::RaceReport &race,
 PortendResult
 Portend::run()
 {
+    obs::Span span("pipeline", "run");
     PortendResult result;
     result.detection = detect();
 
@@ -100,6 +123,12 @@ Portend::run()
     result.reports = scheduler.classifyAll(result.detection.clusters,
                                            result.detection.trace);
     result.scheduling = scheduler.stats();
+
+    // Pipeline shard: detection first, then the batch — a fixed
+    // merge order, like everything else feeding --metrics-out.
+    result.metrics.add(obs::Counter::PipelineWorkloads, 1);
+    result.metrics.merge(result.detection.metrics);
+    result.metrics.merge(scheduler.metrics());
     return result;
 }
 

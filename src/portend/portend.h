@@ -42,10 +42,14 @@ struct DetectionResult
     double seconds = 0.0;
 
     /** Interpreter hot-path ledger for the detection run (the CLI
-     *  renders it under --stats). */
+     *  renders it under --stats, reading the registry view below). */
     rt::VmStats vm;
     int decoded_sites = 0;       ///< dense decoded pc space size
     const char *dispatch = "";   ///< dispatch mode actually used
+
+    /** Registry view of this detection run: the counters above plus
+     *  cluster/race tallies, as one deterministic shard. */
+    obs::MetricsShard metrics;
 };
 
 /** Result of the full pipeline. */
@@ -56,6 +60,14 @@ struct PortendResult
 
     /** Classification-batch accounting (worker count, totals). */
     SchedulerStats scheduling;
+
+    /**
+     * The whole pipeline's metrics: detection shard merged with the
+     * classification batch shard (in that fixed order). This is what
+     * the CLI's `--metrics-out` renders — byte-identical across
+     * --jobs values and runs by construction.
+     */
+    obs::MetricsShard metrics;
 
     /** Reports of a given class. */
     std::vector<const PortendReport *> byClass(RaceClass c) const;

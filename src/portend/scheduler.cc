@@ -4,11 +4,61 @@
 #include <future>
 #include <utility>
 
+#include <cstdio>
+
 #include "replay/checkpoint.h"
 #include "support/stats.h"
 #include "support/threadpool.h"
+#include "support/trace.h"
 
 namespace portend::core {
+
+namespace {
+
+/** `--progress jsonl`: one line per classified cluster. */
+void
+emitClusterEvent(std::size_t index, const PortendReport &r)
+{
+    if (!obs::progress())
+        return;
+    const AnalysisStats &s = r.classification.stats;
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"event\": \"cluster\", \"index\": %zu, \"cell\": %d, "
+        "\"class\": \"%s\", \"k\": %d, \"distinct_schedules\": %d, "
+        "\"schedules_explored\": %d, \"steps\": %llu}",
+        index, r.cluster.representative.cell,
+        raceClassName(r.classification.cls), r.classification.k,
+        s.distinct_schedules, s.schedules_explored,
+        static_cast<unsigned long long>(s.steps));
+    obs::progressLine(buf);
+}
+
+/** The ledger is a view: read every counter back from the shard. */
+void
+statsFromShard(SchedulerStats &st, const obs::MetricsShard &m)
+{
+    using obs::Counter;
+    st.steps = m.counter(Counter::ClassifySteps);
+    st.preemptions = m.counter(Counter::ClassifyPreemptions);
+    st.sym_branches = m.counter(Counter::ClassifySymBranches);
+    st.states_created =
+        static_cast<int>(m.counter(Counter::ClassifyStatesCreated));
+    st.paths_explored =
+        static_cast<int>(m.counter(Counter::ClassifyPaths));
+    st.schedules_explored =
+        static_cast<int>(m.counter(Counter::ClassifySchedules));
+    st.distinct_schedules =
+        static_cast<int>(m.counter(Counter::ClassifyDistinctSchedules));
+    st.solver_queries = m.counter(Counter::ClassifySolverQueries);
+    st.clusters = static_cast<int>(m.counter(Counter::ClassifyClusters));
+    st.ladder_rungs = static_cast<int>(m.counter(Counter::LadderRungs));
+    st.ladder_steps = m.counter(Counter::LadderBuildSteps);
+    st.ladder_covered_steps = m.counter(Counter::LadderCoveredSteps);
+}
+
+} // namespace
 
 ClassificationScheduler::ClassificationScheduler(
     const ir::Program &prog, PortendOptions opts,
@@ -61,9 +111,11 @@ ClassificationScheduler::classifyAll(
     const std::vector<race::RaceCluster> &clusters,
     const replay::ScheduleTrace &trace)
 {
+    obs::Span batch_span("scheduler", "classify-batch");
+    batch_span.arg("clusters", static_cast<std::int64_t>(clusters.size()));
     Stopwatch sw;
     stats_ = SchedulerStats{};
-    stats_.clusters = static_cast<int>(clusters.size());
+    shard_ = obs::MetricsShard{};
 
     std::vector<PortendReport> reports(clusters.size());
     if (clusters.empty()) {
@@ -86,9 +138,6 @@ ClassificationScheduler::classifyAll(
             replay::CheckpointLadder::targetsFor(clusters),
             RaceAnalyzer::replayOptions(opts),
             opts.semantic_predicates);
-    stats_.ladder_rungs = static_cast<int>(ladder.size());
-    stats_.ladder_steps = ladder.buildSteps();
-    stats_.ladder_covered_steps = ladder.prefixStepsCovered();
 
     // Every cluster is one pool job with its own budget slice and a
     // job-local analyzer (construction is cheap: the expensive
@@ -98,7 +147,10 @@ ClassificationScheduler::classifyAll(
     // charge ladder construction and a worker's earlier cluster
     // compute time as queue wait.
     std::vector<double> enqueued_at(clusters.size(), 0.0);
+    std::vector<obs::MetricsShard> shards(clusters.size());
     const auto job = [&](std::size_t i) {
+        obs::Span cluster_span("scheduler", "cluster");
+        cluster_span.arg("index", static_cast<std::int64_t>(i));
         const double started = sw.seconds();
         RaceAnalyzer analyzer(prog, taskOptions(clusters.size(), i),
                               static_info);
@@ -108,6 +160,10 @@ ClassificationScheduler::classifyAll(
             clusters[i].representative, trace, &ladder);
         out.classification.stats.queue_seconds =
             std::max(0.0, started - enqueued_at[i]);
+        // Worker-local shard: folded into the batch shard in cluster
+        // index order after the join, never by completion order.
+        foldVerdict(out.classification, shards[i]);
+        emitClusterEvent(i, out);
     };
     if (n_workers == 1) {
         // Inline on the calling thread, same queue semantics: every
@@ -130,19 +186,19 @@ ClassificationScheduler::classifyAll(
             f.get();
     }
 
-    // Workers have joined: the verdict slots are plain memory now,
-    // so batch accounting is a simple sum.
-    for (const PortendReport &r : reports) {
-        const AnalysisStats &s = r.classification.stats;
-        stats_.steps += s.steps;
-        stats_.preemptions += s.preemptions;
-        stats_.sym_branches += s.sym_branches;
-        stats_.states_created += s.states_created;
-        stats_.paths_explored += s.paths_explored;
-        stats_.schedules_explored += s.schedules_explored;
-        stats_.distinct_schedules += s.distinct_schedules;
-        stats_.solver_queries += s.solver_queries;
-    }
+    // Workers have joined: the shard slots are plain memory now.
+    // Merge in cluster index order (counters commute, but the fixed
+    // order is the documented determinism rule and keeps any future
+    // non-commutative metric honest), then read the legacy ledger
+    // back from the shard — SchedulerStats is a view since PR 8.
+    shard_.add(obs::Counter::LadderRungs,
+               static_cast<std::uint64_t>(ladder.size()));
+    shard_.add(obs::Counter::LadderBuildSteps, ladder.buildSteps());
+    shard_.add(obs::Counter::LadderCoveredSteps,
+               ladder.prefixStepsCovered());
+    for (std::size_t i = 0; i < shards.size(); ++i)
+        shard_.merge(shards[i]);
+    statsFromShard(stats_, shard_);
     stats_.seconds = sw.seconds();
     return reports;
 }

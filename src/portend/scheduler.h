@@ -39,6 +39,7 @@
 #include "race/report.h"
 #include "replay/trace.h"
 #include "rt/staticinfo.h"
+#include "support/observe.h"
 
 namespace portend::core {
 
@@ -50,8 +51,11 @@ struct PortendReport
 };
 
 /**
- * Aggregate accounting for one classification batch: the sum of
- * every job's AnalysisStats, taken after all workers joined.
+ * Aggregate accounting for one classification batch — since PR 8 a
+ * *view* over the metrics registry: every counter below is read back
+ * from the batch's merged MetricsShard after the workers joined
+ * (only `jobs` and `seconds`, which must stay out of the registry
+ * for determinism, are filled directly).
  */
 struct SchedulerStats
 {
@@ -116,6 +120,13 @@ class ClassificationScheduler
     const SchedulerStats &stats() const { return stats_; }
 
     /**
+     * The most recent batch's merged metrics shard: per-cluster
+     * worker shards folded in cluster index order, plus the ladder
+     * accounting. Deterministic across --jobs values and runs.
+     */
+    const obs::MetricsShard &metrics() const { return shard_; }
+
+    /**
      * The option set classifyAll() hands the job for cluster
      * @p index of @p n_clusters: the global step/state budgets
      * sliced into fixed per-cluster shares. Division remainders are
@@ -132,6 +143,7 @@ class ClassificationScheduler
     PortendOptions opts;
     const rt::StaticInfo &static_info;
     SchedulerStats stats_;
+    obs::MetricsShard shard_;
 };
 
 } // namespace portend::core

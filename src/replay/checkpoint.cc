@@ -5,6 +5,7 @@
 #include "replay/replayer.h"
 #include "rt/policy.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace portend::replay {
 
@@ -15,6 +16,9 @@ CheckpointLadder::build(const ir::Program &prog,
                         const rt::ExecOptions &eo,
                         const std::vector<rt::SemanticPredicate> &preds)
 {
+    obs::Span span("ladder", "build");
+    span.arg("targets", static_cast<std::int64_t>(targets.size()));
+
     CheckpointLadder ladder;
     ladder.inputs_ = trace.concreteInputs();
 

@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "support/logging.h"
+#include "support/observe.h"
+#include "support/trace.h"
 #include "sym/simplify.h"
 
 // Threaded dispatch needs the GNU computed-goto extension; builds can
@@ -873,6 +875,33 @@ Interpreter::run(const StopSpec &stop)
 
     const std::uint64_t boxed0 = valuesBoxed();
 
+    // Observability: one span per run plus a delta flush of the
+    // VmStats ledger into the process collector at run exit. The hot
+    // segment loop is untouched — it keeps bumping plain VmStats
+    // counters — so with no sinks installed this is two relaxed
+    // pointer loads per run() call.
+    obs::Span run_span("interp", "run");
+    const VmStats entry_stats = st.stats;
+    const auto flush_observability = [&] {
+        const std::uint64_t dsteps = st.stats.steps - entry_stats.steps;
+        run_span.arg("steps", static_cast<std::int64_t>(dsteps));
+        if (obs::Collector *c = obs::collector()) {
+            c->add(obs::Counter::InterpRuns, 1);
+            c->add(obs::Counter::InterpSteps, dsteps);
+            c->add(obs::Counter::InterpPreemptions,
+                   st.stats.preemption_points -
+                       entry_stats.preemption_points);
+            c->add(obs::Counter::InterpSymBranches,
+                   st.stats.symbolic_branches -
+                       entry_stats.symbolic_branches);
+            c->add(obs::Counter::InterpEventsBatched,
+                   st.stats.events_batched - entry_stats.events_batched);
+            c->add(obs::Counter::InterpValuesBoxed,
+                   st.stats.values_boxed - entry_stats.values_boxed);
+            c->observe(obs::Hist::InterpRunSteps, dsteps);
+        }
+    };
+
     while (!st.finished()) {
         if (st.global_step >= opts.max_steps) {
             finish(RunOutcome::TimedOut, st.current, -1,
@@ -927,6 +956,7 @@ Interpreter::run(const StopSpec &stop)
             flushEvents();
             st.stats.values_boxed += valuesBoxed() - boxed0;
             st.stats.pages_unshared = st.mem.unsharedCount();
+            flush_observability();
             return RunOutcome::Running;
         }
     }
@@ -935,6 +965,7 @@ Interpreter::run(const StopSpec &stop)
     flushEvents();
     st.stats.values_boxed += valuesBoxed() - boxed0;
     st.stats.pages_unshared = st.mem.unsharedCount();
+    flush_observability();
     return st.outcome;
 }
 

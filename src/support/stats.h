@@ -1,6 +1,6 @@
 /**
  * @file
- * Simple statistics accumulators and wall-clock timers.
+ * Simple statistics accumulators and monotonic timers.
  *
  * Used by the benchmark harnesses to report avg/min/max rows in the
  * style of the paper's Table 4.
@@ -10,9 +10,10 @@
 #define PORTEND_SUPPORT_STATS_H
 
 #include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <limits>
+
+#include "support/clock.h"
 
 namespace portend {
 
@@ -52,25 +53,20 @@ class Accumulator
     double hi = -std::numeric_limits<double>::infinity();
 };
 
-/** Wall-clock stopwatch reporting elapsed seconds. */
+/** Monotonic stopwatch reporting elapsed seconds (steadyNanos). */
 class Stopwatch
 {
   public:
-    Stopwatch() : start(Clock::now()) {}
+    Stopwatch() : start_ns(steadyNanos()) {}
 
     /** Restart the stopwatch. */
-    void reset() { start = Clock::now(); }
+    void reset() { start_ns = steadyNanos(); }
 
     /** Seconds elapsed since construction or the last reset(). */
-    double
-    seconds() const
-    {
-        return std::chrono::duration<double>(Clock::now() - start).count();
-    }
+    double seconds() const { return steadySeconds(start_ns, steadyNanos()); }
 
   private:
-    using Clock = std::chrono::steady_clock;
-    Clock::time_point start;
+    std::uint64_t start_ns;
 };
 
 } // namespace portend

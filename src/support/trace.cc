@@ -1,0 +1,175 @@
+#include "support/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace portend::obs {
+
+namespace {
+
+std::atomic<Tracer *> g_tracer{nullptr};
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+/** Nanoseconds rendered as fractional microseconds ("12.345"), the
+ *  unit Chrome trace events use for ts/dur. */
+void
+appendMicros(std::string &out, std::uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    out += buf;
+}
+
+} // namespace
+
+Tracer *
+tracer()
+{
+    return g_tracer.load(std::memory_order_relaxed);
+}
+
+void
+setTracer(Tracer *t)
+{
+    g_tracer.store(t, std::memory_order_release);
+}
+
+Tracer::Tracer() : t0_ns_(steadyNanos()), wall_us_(wallUnixMicros())
+{
+    events_.reserve(4096);
+}
+
+int
+Tracer::tidOf(std::thread::id id)
+{
+    auto it = tids_.find(id);
+    if (it != tids_.end())
+        return it->second;
+    const int tid = next_tid_++;
+    tids_.emplace(id, tid);
+    return tid;
+}
+
+void
+Tracer::complete(const char *cat, const char *name, std::uint64_t start_ns,
+                 std::uint64_t end_ns, const Arg *args, std::size_t nargs)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= kMaxEvents)
+    {
+        dropped_ += 1;
+        return;
+    }
+    Event ev;
+    ev.cat = cat;
+    ev.name = name;
+    ev.ts_ns = start_ns >= t0_ns_ ? start_ns - t0_ns_ : 0;
+    ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+    ev.tid = tidOf(std::this_thread::get_id());
+    ev.args.assign(args, args + nargs);
+    events_.push_back(std::move(ev));
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+std::string
+Tracer::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    // Spans complete (and are appended) in end-time order; sort by
+    // start time so viewers and schema checks see each thread's
+    // timeline in chronological order. stable_sort keeps equal-ts
+    // events (parent/child starting together) in child-last order.
+    std::vector<const Event *> ordered;
+    ordered.reserve(events_.size());
+    for (const Event &ev : events_)
+        ordered.push_back(&ev);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Event *a, const Event *b)
+                     { return a->ts_ns < b->ts_ns; });
+
+    std::string out;
+    out.reserve(128 + ordered.size() * 120);
+    out += "{\"traceEvents\": [\n";
+    out += "{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+           "\"args\": {\"name\": \"portend\"}}";
+    for (const Event *ev : ordered)
+    {
+        out += ",\n{\"ph\": \"X\", \"pid\": 1, \"tid\": ";
+        appendU64(out, static_cast<std::uint64_t>(ev->tid));
+        out += ", \"ts\": ";
+        appendMicros(out, ev->ts_ns);
+        out += ", \"dur\": ";
+        appendMicros(out, ev->dur_ns);
+        out += ", \"cat\": \"";
+        out += ev->cat;
+        out += "\", \"name\": \"";
+        out += ev->name;
+        out += "\"";
+        if (!ev->args.empty())
+        {
+            out += ", \"args\": {";
+            for (std::size_t i = 0; i < ev->args.size(); ++i)
+            {
+                if (i)
+                    out += ", ";
+                out += "\"";
+                out += ev->args[i].key;
+                out += "\": ";
+                char buf[24];
+                std::snprintf(buf, sizeof buf, "%lld",
+                              static_cast<long long>(ev->args[i].value));
+                out += buf;
+            }
+            out += "}";
+        }
+        out += "}";
+    }
+    out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+           "{\"trace_start_unix_us\": ";
+    appendU64(out, wall_us_);
+    out += ", \"dropped_events\": ";
+    appendU64(out, dropped_);
+    out += "}}\n";
+    return out;
+}
+
+bool
+Tracer::writeFile(const std::string &path, std::string *err) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+    {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    f << toJson();
+    f.flush();
+    if (!f)
+    {
+        if (err)
+            *err = "short write to " + path;
+        return false;
+    }
+    return true;
+}
+
+} // namespace portend::obs

@@ -4,6 +4,8 @@
 #include <functional>
 
 #include "support/logging.h"
+#include "support/observe.h"
+#include "support/trace.h"
 #include "sym/simplify.h"
 
 namespace portend::sym {
@@ -291,6 +293,10 @@ Solver::buildDomains(const std::vector<ExprPtr> &cs,
 SatResult
 Solver::checkSat(const std::vector<ExprPtr> &constraints, Model *model)
 {
+    obs::Span span("sym", "solver-query");
+    span.arg("constraints", static_cast<std::int64_t>(constraints.size()));
+    if (obs::Collector *c = obs::collector())
+        c->add(obs::Counter::SolverQueries, 1);
     stats_.queries += 1;
 
     // Normalize: fold literals, bail on literal falsity.

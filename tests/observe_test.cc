@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests for the unified observability layer (PR 8): metrics-shard
+ * merge algebra, collector drains, export determinism across worker
+ * counts and runs, trace-event JSON schema invariants, JSON-lines
+ * telemetry, and the monotonic clock contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "portend/portend.h"
+#include "support/clock.h"
+#include "support/observe.h"
+#include "support/trace.h"
+#include "workloads/registry.h"
+
+namespace portend {
+namespace {
+
+/** Reset every process-wide sink on scope exit, so tests cannot
+ *  leak an installed collector/tracer/progress into each other. */
+struct SinkGuard
+{
+    ~SinkGuard()
+    {
+        obs::setCollector(nullptr);
+        obs::setTracer(nullptr);
+        obs::setProgress(nullptr);
+    }
+};
+
+core::PortendResult
+runWorkload(const std::string &name, int jobs)
+{
+    workloads::Workload w = workloads::buildWorkload(name);
+    core::PortendOptions opts;
+    opts.jobs = jobs;
+    opts.semantic_predicates = w.semantic_predicates;
+    core::Portend tool(w.program, opts);
+    return tool.run();
+}
+
+// ---------------------------------------------------------------------------
+// Shard algebra
+// ---------------------------------------------------------------------------
+
+TEST(MetricsShardTest, MergeIsCommutative)
+{
+    obs::MetricsShard a;
+    a.add(obs::Counter::InterpSteps, 10);
+    a.level(obs::Gauge::DecodedSites, 7);
+    a.observe(obs::Hist::InterpRunSteps, 5);
+
+    obs::MetricsShard b;
+    b.add(obs::Counter::InterpSteps, 32);
+    b.add(obs::Counter::SolverQueries, 4);
+    b.level(obs::Gauge::DecodedSites, 3);
+    b.observe(obs::Hist::InterpRunSteps, 900);
+
+    obs::MetricsShard ab = a;
+    ab.merge(b);
+    obs::MetricsShard ba = b;
+    ba.merge(a);
+    EXPECT_EQ(obs::metricsJson(ab), obs::metricsJson(ba));
+    EXPECT_EQ(ab.counter(obs::Counter::InterpSteps), 42u);
+    EXPECT_EQ(ab.gauge(obs::Gauge::DecodedSites), 7u); // max, not sum
+    EXPECT_EQ(ab.histCount(obs::Hist::InterpRunSteps), 2u);
+    EXPECT_EQ(ab.histSum(obs::Hist::InterpRunSteps), 905u);
+}
+
+TEST(MetricsShardTest, HistogramBucketsAreLog2)
+{
+    obs::MetricsShard s;
+    s.observe(obs::Hist::InterpRunSteps, 0); // bucket 0: {0}
+    s.observe(obs::Hist::InterpRunSteps, 1); // bucket 1: [1, 2)
+    s.observe(obs::Hist::InterpRunSteps, 2); // bucket 2: [2, 4)
+    s.observe(obs::Hist::InterpRunSteps, 3);
+    s.observe(obs::Hist::InterpRunSteps, 1024); // bucket 11
+    EXPECT_EQ(s.histBucket(obs::Hist::InterpRunSteps, 0), 1u);
+    EXPECT_EQ(s.histBucket(obs::Hist::InterpRunSteps, 1), 1u);
+    EXPECT_EQ(s.histBucket(obs::Hist::InterpRunSteps, 2), 2u);
+    EXPECT_EQ(s.histBucket(obs::Hist::InterpRunSteps, 11), 1u);
+    EXPECT_EQ(s.histCount(obs::Hist::InterpRunSteps), 5u);
+    EXPECT_EQ(s.histSum(obs::Hist::InterpRunSteps), 1030u);
+}
+
+TEST(MetricsShardTest, ExportCoversEveryRegisteredMetric)
+{
+    obs::MetricsShard s;
+    const std::string json = obs::metricsJson(s);
+    EXPECT_NE(json.find("\"schema\": \"portend-metrics-v1\""),
+              std::string::npos);
+    for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+        const char *name =
+            obs::counterName(static_cast<obs::Counter>(i));
+        EXPECT_NE(json.find('"' + std::string(name) + '"'),
+                  std::string::npos)
+            << "counter missing from export: " << name;
+    }
+    for (std::size_t i = 0; i < obs::kNumGauges; ++i) {
+        const char *name = obs::gaugeName(static_cast<obs::Gauge>(i));
+        EXPECT_NE(json.find('"' + std::string(name) + '"'),
+                  std::string::npos)
+            << "gauge missing from export: " << name;
+    }
+    for (std::size_t i = 0; i < obs::kNumHists; ++i) {
+        const char *name = obs::histName(static_cast<obs::Hist>(i));
+        EXPECT_NE(json.find('"' + std::string(name) + '"'),
+                  std::string::npos)
+            << "histogram missing from export: " << name;
+    }
+    // No timing and no worker counts: the determinism contract.
+    EXPECT_EQ(json.find("seconds"), std::string::npos);
+    EXPECT_EQ(json.find("jobs"), std::string::npos);
+}
+
+TEST(CollectorTest, DrainMatchesShardAndIsNonDestructive)
+{
+    obs::Collector c;
+    c.add(obs::Counter::SolverQueries, 3);
+    c.level(obs::Gauge::FuzzCorpusSize, 9);
+    c.level(obs::Gauge::FuzzCorpusSize, 4); // max keeps 9
+    c.observe(obs::Hist::InterpRunSteps, 17);
+
+    obs::MetricsShard expect;
+    expect.add(obs::Counter::SolverQueries, 3);
+    expect.level(obs::Gauge::FuzzCorpusSize, 9);
+    expect.observe(obs::Hist::InterpRunSteps, 17);
+
+    obs::MetricsShard once;
+    c.drainInto(once);
+    EXPECT_EQ(obs::metricsJson(once), obs::metricsJson(expect));
+
+    obs::MetricsShard twice;
+    c.drainInto(twice);
+    EXPECT_EQ(obs::metricsJson(twice), obs::metricsJson(once));
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline export determinism
+// ---------------------------------------------------------------------------
+
+TEST(MetricsDeterminismTest, JobsDoNotChangeExportedBytes)
+{
+    // rw reaches stage 3 (k-witness harmless via DPOR), so every
+    // subsystem contributes to the shard.
+    const std::string one =
+        obs::metricsJson(runWorkload("rw", 1).metrics);
+    const std::string four =
+        obs::metricsJson(runWorkload("rw", 4).metrics);
+    EXPECT_EQ(one, four);
+}
+
+TEST(MetricsDeterminismTest, RunToRunBytesAreIdentical)
+{
+    const std::string first =
+        obs::metricsJson(runWorkload("dbm", 2).metrics);
+    const std::string second =
+        obs::metricsJson(runWorkload("dbm", 2).metrics);
+    EXPECT_EQ(first, second);
+}
+
+TEST(MetricsDeterminismTest, PipelineShardCountsClustersAndVerdicts)
+{
+    core::PortendResult res = runWorkload("rw", 2);
+    const obs::MetricsShard &m = res.metrics;
+    EXPECT_EQ(m.counter(obs::Counter::PipelineWorkloads), 1u);
+    EXPECT_EQ(m.counter(obs::Counter::ClassifyClusters),
+              res.reports.size());
+    std::uint64_t verdicts =
+        m.counter(obs::Counter::VerdictSpecViolated) +
+        m.counter(obs::Counter::VerdictOutputDiffers) +
+        m.counter(obs::Counter::VerdictKWitnessHarmless) +
+        m.counter(obs::Counter::VerdictSingleOrdering) +
+        m.counter(obs::Counter::VerdictUnclassified);
+    EXPECT_EQ(verdicts, res.reports.size());
+    EXPECT_EQ(m.counter(obs::Counter::DetectClusters),
+              res.detection.clusters.size());
+    EXPECT_GT(m.counter(obs::Counter::ClassifySteps), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Ledger views stay consistent with the registry
+// ---------------------------------------------------------------------------
+
+TEST(LedgerViewTest, SchedulerStatsMatchTheMergedShard)
+{
+    workloads::Workload w = workloads::buildWorkload("rw");
+    core::PortendOptions opts;
+    opts.jobs = 2;
+    opts.semantic_predicates = w.semantic_predicates;
+    core::Portend tool(w.program, opts);
+    core::PortendResult res = tool.run();
+    const core::SchedulerStats &st = res.scheduling;
+    const obs::MetricsShard &m = res.metrics;
+    EXPECT_EQ(static_cast<std::uint64_t>(st.clusters),
+              m.counter(obs::Counter::ClassifyClusters));
+    EXPECT_EQ(st.steps, m.counter(obs::Counter::ClassifySteps));
+    EXPECT_EQ(static_cast<std::uint64_t>(st.schedules_explored),
+              m.counter(obs::Counter::ClassifySchedules));
+    EXPECT_EQ(static_cast<std::uint64_t>(st.solver_queries),
+              m.counter(obs::Counter::ClassifySolverQueries));
+}
+
+TEST(LedgerViewTest, DetectionShardMirrorsVmStats)
+{
+    workloads::Workload w = workloads::buildWorkload("pbzip2");
+    core::Portend tool(w.program, core::PortendOptions{});
+    core::DetectionResult d = tool.detect();
+    const obs::MetricsShard &m = d.metrics;
+    EXPECT_EQ(m.counter(obs::Counter::DetectRuns), 1u);
+    EXPECT_EQ(m.counter(obs::Counter::DetectSteps), d.steps);
+    EXPECT_EQ(m.counter(obs::Counter::DetectEventsBatched),
+              d.vm.events_batched);
+    EXPECT_EQ(m.counter(obs::Counter::DetectPagesUnshared),
+              d.vm.pages_unshared);
+    EXPECT_EQ(m.counter(obs::Counter::DetectValuesBoxed),
+              d.vm.values_boxed);
+    EXPECT_EQ(m.gauge(obs::Gauge::DecodedSites),
+              static_cast<std::uint64_t>(d.decoded_sites));
+}
+
+// ---------------------------------------------------------------------------
+// Trace-event JSON schema
+// ---------------------------------------------------------------------------
+
+/** One parsed ph:"X" event (fields pulled straight off the line the
+ *  writer emits — the writer's one-event-per-line layout is part of
+ *  what this parser checks). */
+struct ParsedEvent
+{
+    double ts = 0;
+    double dur = 0;
+    long tid = -1;
+    std::string cat;
+};
+
+std::vector<ParsedEvent>
+parseCompleteEvents(const std::string &json)
+{
+    std::vector<ParsedEvent> out;
+    std::istringstream is(json);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.find("\"ph\": \"X\"") == std::string::npos)
+            continue;
+        ParsedEvent e;
+        auto number = [&](const char *key) -> double {
+            std::size_t at = line.find(key);
+            EXPECT_NE(at, std::string::npos) << key << " in " << line;
+            return std::stod(line.substr(at + std::strlen(key)));
+        };
+        e.ts = number("\"ts\": ");
+        e.dur = number("\"dur\": ");
+        e.tid = static_cast<long>(number("\"tid\": "));
+        std::size_t c = line.find("\"cat\": \"");
+        EXPECT_NE(c, std::string::npos);
+        c += 8;
+        e.cat = line.substr(c, line.find('"', c) - c);
+        out.push_back(e);
+    }
+    return out;
+}
+
+TEST(TraceSchemaTest, PipelineTraceIsWellFormedAndNested)
+{
+    SinkGuard guard;
+    obs::Tracer tracer;
+    obs::setTracer(&tracer);
+    core::PortendResult res = runWorkload("rw", 2);
+    obs::setTracer(nullptr);
+    ASSERT_FALSE(res.reports.empty());
+
+    const std::string json = tracer.toJson();
+    EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    EXPECT_EQ(tracer.dropped(), 0u);
+
+    std::vector<ParsedEvent> events = parseCompleteEvents(json);
+    ASSERT_GE(events.size(), 5u);
+
+    // Spans from at least five subsystems (the acceptance bar).
+    std::map<std::string, int> cats;
+    for (const ParsedEvent &e : events)
+        cats[e.cat] += 1;
+    EXPECT_GE(cats.size(), 5u) << "categories seen: " << cats.size();
+    for (const char *want :
+         {"interp", "ladder", "explore", "sym", "scheduler"})
+        EXPECT_TRUE(cats.count(want)) << "no spans from " << want;
+
+    // Per thread: timestamps monotone (the writer sorts) and spans
+    // properly nested — a child must end before its parent does.
+    std::map<long, std::vector<ParsedEvent>> per_tid;
+    for (const ParsedEvent &e : events)
+        per_tid[e.tid].push_back(e);
+    for (auto &[tid, evs] : per_tid) {
+        double prev_ts = -1;
+        std::vector<double> open_ends;
+        for (const ParsedEvent &e : evs) {
+            EXPECT_GE(e.ts, prev_ts) << "ts not monotone, tid " << tid;
+            prev_ts = e.ts;
+            const double end = e.ts + e.dur;
+            while (!open_ends.empty() && open_ends.back() <= e.ts)
+                open_ends.pop_back();
+            if (!open_ends.empty()) {
+                EXPECT_LE(end, open_ends.back())
+                    << "span overlaps its parent, tid " << tid;
+            }
+            open_ends.push_back(end);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON-lines telemetry
+// ---------------------------------------------------------------------------
+
+TEST(ProgressTest, OneClusterEventPerClassifiedCluster)
+{
+    SinkGuard guard;
+    std::ostringstream sink;
+    obs::Progress progress(sink);
+    obs::setProgress(&progress);
+    core::PortendResult res = runWorkload("rw", 2);
+    obs::setProgress(nullptr);
+
+    std::size_t cluster_lines = 0;
+    std::size_t schedule_lines = 0;
+    std::istringstream is(sink.str());
+    std::string line;
+    while (std::getline(is, line)) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        if (line.find("\"event\": \"cluster\"") != std::string::npos)
+            cluster_lines += 1;
+        if (line.find("\"event\": \"schedule\"") != std::string::npos)
+            schedule_lines += 1;
+    }
+    EXPECT_EQ(cluster_lines, res.reports.size());
+    // rw reaches multi-schedule exploration, so schedule events flow.
+    EXPECT_GT(schedule_lines, 0u);
+}
+
+TEST(ProgressTest, VerdictsUnchangedWithEverySinkInstalled)
+{
+    core::PortendResult plain = runWorkload("dcl", 2);
+
+    SinkGuard guard;
+    obs::Collector collector;
+    obs::Tracer tracer;
+    std::ostringstream sink;
+    obs::Progress progress(sink);
+    obs::setCollector(&collector);
+    obs::setTracer(&tracer);
+    obs::setProgress(&progress);
+    core::PortendResult observed = runWorkload("dcl", 2);
+    obs::setCollector(nullptr);
+    obs::setTracer(nullptr);
+    obs::setProgress(nullptr);
+
+    ASSERT_EQ(plain.reports.size(), observed.reports.size());
+    for (std::size_t i = 0; i < plain.reports.size(); ++i) {
+        EXPECT_EQ(plain.reports[i].classification.cls,
+                  observed.reports[i].classification.cls);
+        EXPECT_EQ(plain.reports[i].classification.k,
+                  observed.reports[i].classification.k);
+    }
+    EXPECT_EQ(obs::metricsJson(plain.metrics),
+              obs::metricsJson(observed.metrics));
+}
+
+// ---------------------------------------------------------------------------
+// Clock
+// ---------------------------------------------------------------------------
+
+TEST(ClockTest, SteadyNanosIsMonotone)
+{
+    std::uint64_t prev = steadyNanos();
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t now = steadyNanos();
+        ASSERT_GE(now, prev);
+        prev = now;
+    }
+}
+
+TEST(ClockTest, SteadySecondsConverts)
+{
+    EXPECT_DOUBLE_EQ(steadySeconds(0, 2'500'000'000ull), 2.5);
+    EXPECT_DOUBLE_EQ(steadySeconds(1'000'000'000ull,
+                                   1'000'000'000ull),
+                     0.0);
+}
+
+} // namespace
+} // namespace portend

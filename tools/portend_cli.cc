@@ -14,6 +14,7 @@
 #include <cstring>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -27,8 +28,10 @@
 #include "portend/portend.h"
 #include "rt/interpreter.h"
 #include "rt/vmstate.h"
+#include "support/observe.h"
 #include "support/str.h"
 #include "support/threadpool.h"
+#include "support/trace.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -51,7 +54,8 @@ Usage:
   portend fuzz [options]                generate racy PIL programs, cross-
                                         check detectors and classifier,
                                         minimize and store reproducers
-  portend corpus run <dir> [--explore <name>]  replay a reproducer corpus
+  portend corpus run <dir> [--explore <name>] [--quiet]
+                                        replay a reproducer corpus
   portend --help                        print this help
 
 Workloads:
@@ -100,6 +104,24 @@ Options:
                        or "auto" (threaded when available; default).
                        Accepted before any command
 
+Observability options (run, classify, fuzz):
+  --trace-out <file>   write a Chrome trace-event JSON timeline of
+                       the run: replay, ladder-fork, DPOR-candidate,
+                       sym-path-fork, and solver spans with nested
+                       parents per thread (open in chrome://tracing
+                       or Perfetto)
+  --metrics-out <file> write the merged metrics-registry JSON
+                       (portend-metrics-v1). Counters, gauges, and
+                       histograms only — no timing, no worker
+                       counts — so the bytes are identical across
+                       --jobs values and across runs
+  --progress <mode>    stream JSON-lines telemetry to stderr while
+                       the pipeline runs; the only mode is "jsonl"
+                       (one event per classified cluster, explored
+                       schedule, and fuzz iteration)
+  --quiet              suppress the end-of-run metrics summary line
+                       of `fuzz` and `corpus run`
+
 Fuzzing options (portend fuzz):
   --budget <N>         programs to generate (default 200); with a
                        fixed --fuzz-seed the campaign is
@@ -127,7 +149,72 @@ struct CliOptions
     bool stats = false; ///< append the interpreter ledger
     int k = 0; ///< 0 = not given
     std::optional<core::RaceClass> only_class; ///< --class filter
+    std::string trace_out;   ///< --trace-out file ("" = off)
+    std::string metrics_out; ///< --metrics-out file ("" = off)
+    bool progress_jsonl = false; ///< --progress jsonl
 };
+
+// ---------------------------------------------------------------------------
+// Observability sinks. One set per process: installed from the CLI
+// flags before the pipeline runs, drained into files afterwards.
+// ---------------------------------------------------------------------------
+
+obs::Collector g_collector;
+std::optional<obs::Tracer> g_tracer;
+std::optional<obs::Progress> g_progress;
+
+/** Install the process-wide sinks requested by the flags. */
+void
+installObsSinks(const std::string &trace_out,
+                const std::string &metrics_out, bool progress_jsonl,
+                bool force_collector)
+{
+    if (!trace_out.empty()) {
+        g_tracer.emplace();
+        obs::setTracer(&*g_tracer);
+    }
+    if (force_collector || !metrics_out.empty())
+        obs::setCollector(&g_collector);
+    if (progress_jsonl) {
+        g_progress.emplace(std::cerr);
+        obs::setProgress(&*g_progress);
+    }
+}
+
+/**
+ * Write the observability outputs. `pipeline` carries the shards the
+ * pipelines threaded through their result structs (merged in registry
+ * order by the caller); the collector contributes everything bumped
+ * globally (interpreter runs, solver queries, path forks, ...).
+ * Returns 0, or 1 if a file could not be written.
+ */
+int
+writeObsOutputs(const std::string &trace_out,
+                const std::string &metrics_out,
+                const obs::MetricsShard &pipeline)
+{
+    int rc = 0;
+    if (!metrics_out.empty()) {
+        obs::MetricsShard total = pipeline;
+        g_collector.drainInto(total);
+        std::ofstream f(metrics_out, std::ios::binary);
+        if (f)
+            f << obs::metricsJson(total);
+        if (!f) {
+            std::fprintf(stderr, "portend: cannot write %s\n",
+                         metrics_out.c_str());
+            rc = 1;
+        }
+    }
+    if (!trace_out.empty()) {
+        std::string err;
+        if (!g_tracer->writeFile(trace_out, &err)) {
+            std::fprintf(stderr, "portend: %s\n", err.c_str());
+            rc = 1;
+        }
+    }
+    return rc;
+}
 
 [[noreturn]] void
 usageError(const std::string &msg)
@@ -253,6 +340,24 @@ parseOptions(int argc, char **argv, int start)
         } else if (a == "--seed") {
             cli.opts.detection_seed =
                 static_cast<std::uint64_t>(parseInt("--seed", next));
+            ++i;
+        } else if (a == "--trace-out") {
+            if (!next)
+                usageError("--trace-out needs a file path");
+            cli.trace_out = next;
+            ++i;
+        } else if (a == "--metrics-out") {
+            if (!next)
+                usageError("--metrics-out needs a file path");
+            cli.metrics_out = next;
+            ++i;
+        } else if (a == "--progress") {
+            if (!next)
+                usageError("--progress needs a mode (jsonl)");
+            if (std::string(next) != "jsonl")
+                usageError("unknown progress mode: " +
+                           std::string(next) + " (expected jsonl)");
+            cli.progress_jsonl = true;
             ++i;
         } else if (a == "--detector") {
             if (!next)
@@ -403,14 +508,21 @@ jsonReport(const workloads::Workload &w, const core::PortendResult &res,
     os << "    \"distinct_races\": " << res.detection.clusters.size()
        << ",\n";
     os << "    \"steps\": " << res.detection.steps;
-    // Opt-in so the golden classify --json bytes stay stable.
+    // Opt-in so the golden classify --json bytes stay stable. Since
+    // PR 8 the numbers are the detection run's registry view, not the
+    // raw VmStats fields — same values, one source of truth.
     if (stats) {
         const core::DetectionResult &d = res.detection;
+        const obs::MetricsShard &m = d.metrics;
         os << ",\n    \"interp\": {\"dispatch\": \"" << d.dispatch
-           << "\", \"decoded_sites\": " << d.decoded_sites
-           << ", \"events_batched\": " << d.vm.events_batched
-           << ", \"pages_unshared\": " << d.vm.pages_unshared
-           << ", \"values_boxed\": " << d.vm.values_boxed << "}";
+           << "\", \"decoded_sites\": "
+           << m.gauge(obs::Gauge::DecodedSites)
+           << ", \"events_batched\": "
+           << m.counter(obs::Counter::DetectEventsBatched)
+           << ", \"pages_unshared\": "
+           << m.counter(obs::Counter::DetectPagesUnshared)
+           << ", \"values_boxed\": "
+           << m.counter(obs::Counter::DetectValuesBoxed) << "}";
     }
     os << "\n  },\n  \"reports\": [\n";
     for (std::size_t i = 0; i < reports.size(); ++i) {
@@ -449,16 +561,21 @@ jsonReport(const workloads::Workload &w, const core::PortendResult &res,
     return os.str();
 }
 
-/** The --stats interpreter ledger of the detection run. */
+/** The --stats interpreter ledger of the detection run (a view over
+ *  the registry shard; dispatch mode is the one non-metric field). */
 std::string
 statsText(const core::DetectionResult &d)
 {
+    const obs::MetricsShard &m = d.metrics;
     std::ostringstream os;
     os << "interpreter: dispatch=" << d.dispatch
-       << " decoded_sites=" << d.decoded_sites
-       << " events_batched=" << d.vm.events_batched
-       << " pages_unshared=" << d.vm.pages_unshared
-       << " values_boxed=" << d.vm.values_boxed << "\n";
+       << " decoded_sites=" << m.gauge(obs::Gauge::DecodedSites)
+       << " events_batched="
+       << m.counter(obs::Counter::DetectEventsBatched)
+       << " pages_unshared="
+       << m.counter(obs::Counter::DetectPagesUnshared)
+       << " values_boxed="
+       << m.counter(obs::Counter::DetectValuesBoxed) << "\n";
     return os.str();
 }
 
@@ -531,13 +648,19 @@ cmdList()
     return 0;
 }
 
-/** Render one workload's pipeline under the chosen mode. */
+/** Render one workload's pipeline under the chosen mode. The
+ *  pipeline's metrics shard is handed back through `metrics` so the
+ *  caller can merge shards in a deterministic order for
+ *  --metrics-out (rendering order and merge order must both be
+ *  registry order, never completion order). */
 std::string
 renderPipeline(const std::string &name, bool classify_mode,
-               const CliOptions &cli)
+               const CliOptions &cli, obs::MetricsShard *metrics)
 {
     CliOptions mine = cli; // workload predicates are per-task state
     PipelineRun p = runPipeline(name, mine);
+    if (metrics)
+        *metrics = p.result.metrics;
     if (mine.json)
         return jsonReport(p.workload, p.result, p.selected,
                           mine.stats) +
@@ -552,9 +675,13 @@ renderPipeline(const std::string &name, bool classify_mode,
 int
 cmdRun(const std::string &name, bool classify_mode, CliOptions cli)
 {
-    std::fputs(renderPipeline(name, classify_mode, cli).c_str(),
-               stdout);
-    return 0;
+    installObsSinks(cli.trace_out, cli.metrics_out,
+                    cli.progress_jsonl, false);
+    obs::MetricsShard metrics;
+    std::fputs(
+        renderPipeline(name, classify_mode, cli, &metrics).c_str(),
+        stdout);
+    return writeObsOutputs(cli.trace_out, cli.metrics_out, metrics);
 }
 
 /** `run --file` / `classify --file`: the pipeline over a PIL file. */
@@ -562,6 +689,8 @@ int
 cmdRunFile(const std::string &path, bool classify_mode,
            CliOptions cli)
 {
+    installObsSinks(cli.trace_out, cli.metrics_out,
+                    cli.progress_jsonl, false);
     PipelineRun p = runPipelineOn(loadProgramFile(path), cli);
     std::string out = cli.json
                           ? jsonReport(p.workload, p.result,
@@ -572,7 +701,8 @@ cmdRunFile(const std::string &path, bool classify_mode,
     if (!cli.json && cli.stats)
         out += statsText(p.result.detection);
     std::fputs(out.c_str(), stdout);
-    return 0;
+    return writeObsOutputs(cli.trace_out, cli.metrics_out,
+                           p.result.metrics);
 }
 
 /**
@@ -585,18 +715,28 @@ cmdRunFile(const std::string &path, bool classify_mode,
 int
 cmdBatch(bool classify_mode, CliOptions cli)
 {
+    installObsSinks(cli.trace_out, cli.metrics_out,
+                    cli.progress_jsonl, false);
     const std::vector<std::string> names = workloads::workloadNames();
     const int jobs = ThreadPool::resolveJobs(cli.opts.jobs);
     CliOptions inner = cli;
     inner.opts.jobs = 1;
 
     std::vector<std::string> rendered(names.size());
+    std::vector<obs::MetricsShard> shards(names.size());
     ThreadPool::parallelFor(jobs, names.size(), [&] {
         return [&](std::size_t i) {
-            rendered[i] =
-                renderPipeline(names[i], classify_mode, inner);
+            rendered[i] = renderPipeline(names[i], classify_mode,
+                                         inner, &shards[i]);
         };
     });
+    // Merge in registry order after the join, so --metrics-out bytes
+    // never depend on which worker finished first.
+    obs::MetricsShard metrics;
+    for (const obs::MetricsShard &s : shards)
+        metrics.merge(s);
+    const int obs_rc =
+        writeObsOutputs(cli.trace_out, cli.metrics_out, metrics);
 
     if (cli.json) {
         std::fputs("[\n", stdout);
@@ -610,14 +750,14 @@ cmdBatch(bool classify_mode, CliOptions cli)
                        stdout);
         }
         std::fputs("]\n", stdout);
-        return 0;
+        return obs_rc;
     }
     for (std::size_t i = 0; i < rendered.size(); ++i) {
         if (i)
             std::fputs("\n", stdout);
         std::fputs(rendered[i].c_str(), stdout);
     }
-    return 0;
+    return obs_rc;
 }
 
 /**
@@ -631,10 +771,31 @@ cmdFuzz(int argc, char **argv)
     fuzz::FuzzOptions fo;
     fo.jobs = 0; // CLI default: one worker per hardware thread
     bool budget_given = false;
+    std::string trace_out;
+    std::string metrics_out;
+    bool progress_jsonl = false;
+    bool quiet = false;
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
         const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
-        if (a == "--budget") {
+        if (a == "--trace-out") {
+            if (!next)
+                usageError("--trace-out needs a file path");
+            trace_out = next;
+            ++i;
+        } else if (a == "--metrics-out") {
+            if (!next)
+                usageError("--metrics-out needs a file path");
+            metrics_out = next;
+            ++i;
+        } else if (a == "--progress") {
+            if (!next || std::string(next) != "jsonl")
+                usageError("--progress needs the mode jsonl");
+            progress_jsonl = true;
+            ++i;
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--budget") {
             fo.budget = static_cast<int>(parseInt("--budget", next));
             if (fo.budget < 1)
                 usageError("--budget must be >= 1");
@@ -671,17 +832,50 @@ cmdFuzz(int argc, char **argv)
     if (budget_given && fo.seconds > 0)
         usageError("--budget and --seconds are mutually exclusive");
 
+    // The collector is always on for fuzz (the end-of-run summary
+    // reads it); the campaign summary on stdout stays byte-stable, so
+    // the metrics line joins the wall-clock line on stderr.
+    installObsSinks(trace_out, metrics_out, progress_jsonl, true);
     fuzz::FuzzResult res = fuzz::runFuzz(fo);
     std::fputs(res.summaryText().c_str(), stdout);
+
+    obs::MetricsShard m;
+    g_collector.drainInto(m);
+    if (!quiet) {
+        std::fprintf(
+            stderr,
+            "metrics: fuzz.programs=%llu fuzz.flagged=%llu "
+            "interp.runs=%llu interp.steps=%llu "
+            "sym.solver_queries=%llu\n",
+            static_cast<unsigned long long>(
+                m.counter(obs::Counter::FuzzPrograms)),
+            static_cast<unsigned long long>(
+                m.counter(obs::Counter::FuzzFlagged)),
+            static_cast<unsigned long long>(
+                m.counter(obs::Counter::InterpRuns)),
+            static_cast<unsigned long long>(
+                m.counter(obs::Counter::InterpSteps)),
+            static_cast<unsigned long long>(
+                m.counter(obs::Counter::SolverQueries)));
+    }
+    const int obs_rc =
+        writeObsOutputs(trace_out, metrics_out, obs::MetricsShard{});
     std::fprintf(stderr, "wall-clock: %.2fs (%d jobs)\n", res.seconds,
                  ThreadPool::resolveJobs(fo.jobs));
+    if (obs_rc != 0)
+        return obs_rc;
     return res.clean() ? 0 : 1;
 }
 
 /** `portend corpus run <dir>`: replay a reproducer corpus. */
 int
-cmdCorpusRun(const std::string &dir, fuzz::OracleOptions opts)
+cmdCorpusRun(const std::string &dir, fuzz::OracleOptions opts,
+             bool quiet)
 {
+    // Collector on by default: the one-line summary below is the
+    // corpus counterpart of the fuzz metrics line (stderr, so the
+    // PASS/FAIL stdout stays byte-stable).
+    obs::setCollector(&g_collector);
     fuzz::CorpusRunResult res = fuzz::runCorpus(dir, opts);
     if (res.total == 0) {
         std::fprintf(stderr,
@@ -697,6 +891,30 @@ cmdCorpusRun(const std::string &dir, fuzz::OracleOptions opts)
                         o.detail.c_str());
     }
     std::printf("corpus: %d/%d green\n", res.passed, res.total);
+    if (!quiet) {
+        obs::MetricsShard m;
+        m.add(obs::Counter::CorpusEntries,
+              static_cast<std::uint64_t>(res.total));
+        m.add(obs::Counter::CorpusPassed,
+              static_cast<std::uint64_t>(res.passed));
+        m.add(obs::Counter::CorpusFailed,
+              static_cast<std::uint64_t>(res.total - res.passed));
+        g_collector.drainInto(m);
+        std::fprintf(
+            stderr,
+            "metrics: corpus.entries=%llu corpus.passed=%llu "
+            "corpus.failed=%llu interp.runs=%llu interp.steps=%llu\n",
+            static_cast<unsigned long long>(
+                m.counter(obs::Counter::CorpusEntries)),
+            static_cast<unsigned long long>(
+                m.counter(obs::Counter::CorpusPassed)),
+            static_cast<unsigned long long>(
+                m.counter(obs::Counter::CorpusFailed)),
+            static_cast<unsigned long long>(
+                m.counter(obs::Counter::InterpRuns)),
+            static_cast<unsigned long long>(
+                m.counter(obs::Counter::InterpSteps)));
+    }
     return res.allGreen() ? 0 : 1;
 }
 
@@ -776,17 +994,20 @@ main(int argc, char **argv)
         if (argc < 4 || std::strcmp(argv[2], "run") != 0)
             usageError("usage: portend corpus run <dir>");
         fuzz::OracleOptions opts;
+        bool quiet = false;
         for (int i = 4; i < argc; ++i) {
             std::string a = argv[i];
             if (a == "--explore") {
                 opts.explore = parseExploreMode(
                     i + 1 < argc ? argv[i + 1] : nullptr);
                 ++i;
+            } else if (a == "--quiet") {
+                quiet = true;
             } else {
                 usageError("unknown corpus option: " + a);
             }
         }
-        return cmdCorpusRun(argv[3], opts);
+        return cmdCorpusRun(argv[3], opts, quiet);
     }
     usageError("unknown command: " + cmd);
 }
