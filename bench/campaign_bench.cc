@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Campaign warm-rerun benchmark.
+ *
+ * Measures the verdict cache's headline effect: a persistent
+ * campaign over the full 11-workload registry suite, run cold
+ * (empty state directory, every unit executes the detect+classify
+ * pipeline) and then warm (same directory, every unit resumes from
+ * the journal + cache with zero execution), with a byte-equality
+ * check over the merged verdict output — the cache must change
+ * time, never bytes.
+ *
+ * Emits one JSON object. Exit status: 0 when the warm and cold
+ * outputs are byte-identical, the warm run executed nothing, and
+ * the warm rerun is >= 5x faster than the cold run; 1 otherwise
+ * (CI gates on it).
+ *
+ * Usage: bench_campaign [repeats] [state_dir]
+ *   repeats    timed warm reruns, best-of (default 3)
+ *   state_dir  campaign directory (default campaign-bench.state;
+ *              removed and recreated for the cold run)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace portend;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int repeats = argc > 1 ? std::atoi(argv[1]) : 3;
+    const std::string dir =
+        argc > 2 ? argv[2] : "campaign-bench.state";
+
+    std::filesystem::remove_all(dir);
+
+    campaign::CampaignConfig config;
+    config.render.json = true;
+    config.units = campaign::registryUnits();
+
+    std::string error;
+    std::optional<campaign::Campaign> cold =
+        campaign::Campaign::create(dir, config, &error);
+    if (!cold) {
+        std::fprintf(stderr, "campaign create failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+
+    Stopwatch cold_sw;
+    campaign::CampaignResult cold_res = cold->run();
+    const double cold_s = cold_sw.seconds();
+    if (!cold_res.complete() || !cold_res.error.empty()) {
+        std::fprintf(stderr, "cold run failed: %s\n",
+                     cold_res.error.c_str());
+        return 1;
+    }
+    const std::string cold_bytes = cold_res.mergedOutput(true);
+
+    // Warm reruns: best-of-N so one cold file cache or scheduler
+    // hiccup does not decide the gate.
+    double warm_s = 0.0;
+    campaign::CampaignResult warm_res;
+    std::string warm_bytes;
+    for (int r = 0; r < std::max(1, repeats); ++r) {
+        std::optional<campaign::Campaign> warm =
+            campaign::Campaign::open(dir, &error);
+        if (!warm) {
+            std::fprintf(stderr, "campaign open failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        Stopwatch sw;
+        campaign::CampaignResult res = warm->run();
+        const double s = sw.seconds();
+        if (r == 0 || s < warm_s) {
+            warm_s = s;
+            warm_res = std::move(res);
+            warm_bytes = warm_res.mergedOutput(true);
+        }
+    }
+
+    const bool identical = warm_bytes == cold_bytes;
+    const bool nothing_executed = warm_res.executed == 0;
+    const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+    const bool pass = identical && nothing_executed && speedup >= 5.0;
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"campaign_warm_rerun\",\n");
+    std::printf("  \"units\": %d,\n",
+                static_cast<int>(config.units.size()));
+    std::printf("  \"cold_seconds\": %.6f,\n", cold_s);
+    std::printf("  \"cold_executed\": %d,\n", cold_res.executed);
+    std::printf("  \"warm_seconds\": %.6f,\n", warm_s);
+    std::printf("  \"warm_executed\": %d,\n", warm_res.executed);
+    std::printf("  \"warm_resume_skips\": %d,\n",
+                warm_res.resume_skips);
+    std::printf("  \"warm_speedup\": %.2f,\n", speedup);
+    std::printf("  \"bytes_identical\": %s,\n",
+                identical ? "true" : "false");
+    std::printf("  \"pass\": %s\n", pass ? "true" : "false");
+    std::printf("}\n");
+
+    if (!pass) {
+        std::fprintf(
+            stderr,
+            "campaign bench FAILED: identical=%d executed=%d "
+            "speedup=%.2f (need identical, 0 executed, >= 5x)\n",
+            identical ? 1 : 0, warm_res.executed, speedup);
+        return 1;
+    }
+    return 0;
+}

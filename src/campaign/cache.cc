@@ -1,0 +1,189 @@
+#include "campaign/cache.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace portend::campaign {
+
+namespace fs = std::filesystem;
+
+std::string
+serializeCacheEntry(const CacheEntry &e)
+{
+    std::ostringstream os;
+    os << "portend-campaign-entry-v1\n";
+    os << "sig " << e.sig << "\n";
+    os << "fp " << hex16(e.key.fingerprint) << "\n";
+    os << "trace " << hex16(e.key.trace_hash) << "\n";
+    os << "cfg " << hex16(e.key.config_hash) << "\n";
+    os << "name " << e.name << "\n";
+    os << "bytes " << e.payload.size() << "\n";
+    os << e.payload;
+    return os.str();
+}
+
+std::optional<CacheEntry>
+deserializeCacheEntry(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line) || line != "portend-campaign-entry-v1")
+        return std::nullopt;
+
+    CacheEntry e;
+    std::size_t bytes = 0;
+    bool saw_bytes = false;
+    while (std::getline(is, line)) {
+        const std::size_t sp = line.find(' ');
+        if (sp == std::string::npos)
+            return std::nullopt;
+        const std::string key = line.substr(0, sp);
+        const std::string val = line.substr(sp + 1);
+        if (key == "sig") {
+            if (!parseHex16(val, nullptr))
+                return std::nullopt;
+            e.sig = val;
+        } else if (key == "fp") {
+            if (!parseHex16(val, &e.key.fingerprint))
+                return std::nullopt;
+        } else if (key == "trace") {
+            if (!parseHex16(val, &e.key.trace_hash))
+                return std::nullopt;
+        } else if (key == "cfg") {
+            if (!parseHex16(val, &e.key.config_hash))
+                return std::nullopt;
+        } else if (key == "name") {
+            e.name = val;
+        } else if (key == "bytes") {
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(val.c_str(), &end, 10);
+            if (!end || *end != '\0')
+                return std::nullopt;
+            bytes = static_cast<std::size_t>(n);
+            saw_bytes = true;
+            break; // payload follows immediately
+        } else {
+            return std::nullopt; // unknown header key
+        }
+    }
+    if (e.sig.empty() || !saw_bytes)
+        return std::nullopt;
+
+    // The remainder of the stream is the payload, byte-exact.
+    std::string payload(
+        std::istreambuf_iterator<char>(is),
+        std::istreambuf_iterator<char>{});
+    if (payload.size() != bytes)
+        return std::nullopt; // truncated (torn write) or trailing junk
+    e.payload = std::move(payload);
+    return e;
+}
+
+VerdictCache::VerdictCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+VerdictCache::entryPath(const std::string &sig) const
+{
+    return dir_ + "/" + sig + ".entry";
+}
+
+std::optional<CacheEntry>
+VerdictCache::probe(const std::string &sig)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = mem_.find(sig);
+        if (it != mem_.end())
+            return it->second;
+    }
+    if (dir_.empty())
+        return std::nullopt;
+    std::ifstream is(entryPath(sig), std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::ostringstream os;
+    os << is.rdbuf();
+    std::optional<CacheEntry> e = deserializeCacheEntry(os.str());
+    if (!e || e->sig != sig)
+        return std::nullopt; // corrupt or misfiled: treat as a miss
+    std::lock_guard<std::mutex> lock(mu_);
+    mem_[sig] = *e;
+    return e;
+}
+
+bool
+VerdictCache::store(const CacheEntry &e, std::string *error)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        mem_[e.sig] = e;
+    }
+    if (dir_.empty())
+        return true;
+
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    const std::string final_path = entryPath(e.sig);
+    if (fs::exists(final_path, ec))
+        return true; // content-addressed: an existing entry is equal
+
+    // Temp + rename: a kill mid-write never leaves a torn entry at
+    // the content address (the loader would reject it anyway via the
+    // byte-count check, but atomic publish keeps probes cheap).
+    const std::string tmp_path =
+        final_path + ".tmp." +
+        std::to_string(
+            static_cast<unsigned long long>(
+                reinterpret_cast<std::uintptr_t>(&e) ^
+                std::hash<std::string>{}(e.sig)));
+    {
+        std::ofstream os(tmp_path, std::ios::binary);
+        if (os)
+            os << serializeCacheEntry(e);
+        if (!os) {
+            if (error)
+                *error = "cannot write cache entry " + final_path;
+            std::remove(tmp_path.c_str());
+            return false;
+        }
+    }
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        std::remove(tmp_path.c_str());
+        // A concurrent writer may have won the rename; that is fine.
+        if (fs::exists(final_path))
+            return true;
+        if (error)
+            *error = "cannot publish cache entry " + final_path +
+                     ": " + ec.message();
+        return false;
+    }
+    return true;
+}
+
+std::size_t
+VerdictCache::sizeInMemory() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return mem_.size();
+}
+
+std::size_t
+VerdictCache::sizeOnDisk() const
+{
+    if (dir_.empty())
+        return 0;
+    std::error_code ec;
+    std::size_t n = 0;
+    for (const auto &de : fs::directory_iterator(dir_, ec)) {
+        if (de.path().extension() == ".entry")
+            n += 1;
+    }
+    return n;
+}
+
+} // namespace portend::campaign

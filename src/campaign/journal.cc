@@ -1,0 +1,266 @@
+#include "campaign/journal.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace portend::campaign {
+
+namespace {
+
+/** Minimal JSON string escape for the fields we write. */
+std::string
+esc(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Inverse of esc() for the subset it emits. */
+bool
+unesc(const std::string &s, std::string *out)
+{
+    out->clear();
+    out->reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (c != '\\') {
+            out->push_back(c);
+            continue;
+        }
+        if (++i >= s.size())
+            return false;
+        switch (s[i]) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'u': {
+            if (i + 4 >= s.size())
+                return false;
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+                char d = s[++i];
+                v <<= 4;
+                if (d >= '0' && d <= '9')
+                    v |= static_cast<unsigned>(d - '0');
+                else if (d >= 'a' && d <= 'f')
+                    v |= static_cast<unsigned>(d - 'a' + 10);
+                else if (d >= 'A' && d <= 'F')
+                    v |= static_cast<unsigned>(d - 'A' + 10);
+                else
+                    return false;
+            }
+            out->push_back(static_cast<char>(v & 0xff));
+            break;
+        }
+        default: return false;
+        }
+    }
+    return true;
+}
+
+/** Extract the raw (still-escaped) string value of `"key": "..."`. */
+bool
+findString(const std::string &line, const std::string &key,
+           std::string *out)
+{
+    const std::string needle = "\"" + key + "\": \"";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    std::size_t i = at + needle.size();
+    std::string raw;
+    while (i < line.size()) {
+        char c = line[i];
+        if (c == '"')
+            return unesc(raw, out);
+        if (c == '\\') {
+            if (i + 1 >= line.size())
+                return false;
+            raw.push_back(c);
+            raw.push_back(line[i + 1]);
+            i += 2;
+            continue;
+        }
+        raw.push_back(c);
+        ++i;
+    }
+    return false; // unterminated: a torn record
+}
+
+/** Extract the integer value of `"key": <digits>`. */
+bool
+findInt(const std::string &line, const std::string &key,
+        std::uint64_t *out)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    std::size_t i = at + needle.size();
+    if (i >= line.size() || line[i] < '0' || line[i] > '9')
+        return false;
+    std::uint64_t v = 0;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+        v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+        ++i;
+    }
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+std::string
+journalLine(const JournalRecord &rec)
+{
+    std::ostringstream os;
+    os << "{\"v\": 1, \"unit\": " << rec.unit << ", \"kind\": \""
+       << esc(rec.kind) << "\", \"name\": \"" << esc(rec.name)
+       << "\", \"sig\": \"" << rec.sig << "\", \"fp\": \""
+       << hex16(rec.key.fingerprint) << "\", \"trace\": \""
+       << hex16(rec.key.trace_hash) << "\", \"cfg\": \""
+       << hex16(rec.key.config_hash) << "\"}";
+    return os.str();
+}
+
+bool
+parseJournalLine(const std::string &line, JournalRecord *out)
+{
+    // Shape check first: a torn final record rarely ends in '}'.
+    std::size_t end = line.size();
+    while (end > 0 &&
+           (line[end - 1] == '\r' || line[end - 1] == ' '))
+        --end;
+    if (end == 0 || line[0] != '{' || line[end - 1] != '}')
+        return false;
+
+    JournalRecord rec;
+    std::uint64_t v = 0, unit = 0;
+    if (!findInt(line, "v", &v) || v != 1)
+        return false;
+    if (!findInt(line, "unit", &unit))
+        return false;
+    rec.unit = static_cast<std::size_t>(unit);
+    if (!findString(line, "kind", &rec.kind) ||
+        !findString(line, "name", &rec.name) ||
+        !findString(line, "sig", &rec.sig))
+        return false;
+    std::string fp, trace, cfg;
+    if (!findString(line, "fp", &fp) ||
+        !findString(line, "trace", &trace) ||
+        !findString(line, "cfg", &cfg))
+        return false;
+    if (!parseHex16(rec.sig, nullptr) ||
+        !parseHex16(fp, &rec.key.fingerprint) ||
+        !parseHex16(trace, &rec.key.trace_hash) ||
+        !parseHex16(cfg, &rec.key.config_hash))
+        return false;
+    *out = rec;
+    return true;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+bool
+JournalWriter::open(const std::string &path, std::string *error)
+{
+    close();
+    f_ = std::fopen(path.c_str(), "ab");
+    if (!f_) {
+        if (error)
+            *error = "cannot open journal " + path + ": " +
+                     std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+JournalWriter::append(const JournalRecord &rec, std::string *error)
+{
+    if (!f_) {
+        if (error)
+            *error = "journal not open";
+        return false;
+    }
+    const std::string line = journalLine(rec) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), f_) != line.size() ||
+        std::fflush(f_) != 0) {
+        if (error)
+            *error = std::string("journal write failed: ") +
+                     std::strerror(errno);
+        return false;
+    }
+    // The durability half of the resume contract: the record must be
+    // on disk before the engine treats the unit as complete.
+#ifndef _WIN32
+    if (fsync(fileno(f_)) != 0) {
+        if (error)
+            *error = std::string("journal fsync failed: ") +
+                     std::strerror(errno);
+        return false;
+    }
+#endif
+    return true;
+}
+
+void
+JournalWriter::close()
+{
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+}
+
+std::vector<JournalRecord>
+loadJournal(const std::string &path, int *skipped_out)
+{
+    std::vector<JournalRecord> out;
+    int skipped = 0;
+    std::ifstream is(path, std::ios::binary);
+    if (is) {
+        std::string line;
+        while (std::getline(is, line)) {
+            if (line.empty())
+                continue;
+            JournalRecord rec;
+            if (parseJournalLine(line, &rec))
+                out.push_back(std::move(rec));
+            else
+                skipped += 1; // torn or corrupt: re-run that unit
+        }
+    }
+    if (skipped_out)
+        *skipped_out = skipped;
+    return out;
+}
+
+} // namespace portend::campaign

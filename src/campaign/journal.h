@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Append-only campaign journal (`portend-campaign-v1` journal spec).
+ *
+ * One JSON-lines record per *completed* work unit, appended and
+ * fsync'd before the engine moves on, so a campaign killed at any
+ * point resumes exactly where it left off: the set of journaled unit
+ * indices is the set of units whose verdicts are already in the
+ * cache. The journal is state, not output — record order is
+ * completion order (nondeterministic under --jobs), and only the
+ * *set* of records matters for resume.
+ *
+ * Record schema (one line, LF-terminated):
+ *
+ *   {"v": 1, "unit": <index>, "kind": "<unit kind>",
+ *    "name": "<unit name>", "sig": "<16 hex>",
+ *    "fp": "<16 hex>", "trace": "<16 hex>", "cfg": "<16 hex>"}
+ *
+ * The loader is deliberately forgiving: a torn final record (the
+ * process died mid-write) or any otherwise unparseable line is
+ * skipped, never fatal — the worst case is re-running a unit whose
+ * record was lost, which is always sound.
+ */
+
+#ifndef PORTEND_CAMPAIGN_JOURNAL_H
+#define PORTEND_CAMPAIGN_JOURNAL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/signature.h"
+
+namespace portend::campaign {
+
+/** One completed-unit record. */
+struct JournalRecord
+{
+    std::size_t unit = 0;  ///< index into the campaign manifest
+    std::string kind;      ///< unit kind ("workload", "file", "fuzz")
+    std::string name;      ///< unit name (workload, path, or index)
+    std::string sig;       ///< 16-hex campaign signature
+    UnitKey key;           ///< the signature's three components
+};
+
+/** Serialize one record as its JSON line (no trailing newline). */
+std::string journalLine(const JournalRecord &rec);
+
+/** Parse one journal line; false on malformed/torn input. */
+bool parseJournalLine(const std::string &line, JournalRecord *out);
+
+/**
+ * Durable appender: each append() writes one LF-terminated line and
+ * fsyncs before returning, so a record the caller saw succeed
+ * survives a kill -9.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Open @p path for appending; false with @p error on failure. */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    /** Append + fsync one record; false with @p error on failure. */
+    bool append(const JournalRecord &rec, std::string *error = nullptr);
+
+    void close();
+
+    bool isOpen() const { return f_ != nullptr; }
+
+  private:
+    std::FILE *f_ = nullptr;
+};
+
+/**
+ * Load every parseable record of @p path (missing file = empty,
+ * success). Unparseable lines — a torn final record most of all —
+ * are counted in @p skipped_out and ignored.
+ */
+std::vector<JournalRecord> loadJournal(const std::string &path,
+                                       int *skipped_out = nullptr);
+
+} // namespace portend::campaign
+
+#endif // PORTEND_CAMPAIGN_JOURNAL_H

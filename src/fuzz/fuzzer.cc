@@ -1,13 +1,21 @@
 #include "fuzz/fuzzer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <sstream>
 
+#include "campaign/cache.h"
+#include "campaign/journal.h"
+#include "campaign/signature.h"
 #include "fuzz/corpus.h"
 #include "fuzz/minimize.h"
 #include "ir/serialize.h"
+#include "rt/decode.h"
 #include "support/hash.h"
 #include "support/observe.h"
 #include "support/stats.h"
@@ -24,7 +32,50 @@ struct IndexResult
     GeneratedProgram gen;
     OracleVerdict verdict;
     bool deep = false;
+    bool cached = false; ///< verdict came from the campaign cache
 };
+
+/**
+ * Shared persistence state of one --campaign fuzz run: the verdict
+ * cache (probed by the workers), the completion journal (appended
+ * under a mutex — the fsync'd write must not interleave), and the
+ * hit counter the summary reports.
+ */
+struct CampaignState
+{
+    campaign::VerdictCache cache;
+    campaign::JournalWriter journal;
+    std::mutex journal_mu;
+    std::atomic<int> cache_hits{0};
+    int journal_replays = 0;
+
+    explicit CampaignState(const std::string &dir)
+        : cache(dir + "/cache")
+    {}
+};
+
+/**
+ * Hash every oracle dial a verdict is a function of — the fuzz
+ * analogue of campaign::configHash. `deep` is a dial: a deep verdict
+ * carries extra checks, so deep and shallow runs of the same program
+ * must cache under different signatures. detection_seed is the whole
+ * schedule; jobs never appears (the oracle is single-index).
+ */
+std::uint64_t
+oracleConfigHash(const OracleOptions &o)
+{
+    std::string s = "portend-fuzz-oracle-v1";
+    s += ";seed=" + std::to_string(o.detection_seed);
+    s += ";mp=" + std::to_string(o.mp);
+    s += ";ma=" + std::to_string(o.ma);
+    s += ";max_steps=" + std::to_string(o.max_steps);
+    s += ";states=" + std::to_string(o.executor_max_states);
+    s += ";explore=";
+    s += explore::exploreModeName(o.explore);
+    s += ";deep=";
+    s += o.deep ? "1" : "0";
+    return fnv1a(s);
+}
 
 /** 8-hex-digit content id for deterministic entry names. */
 std::string
@@ -41,7 +92,8 @@ hex8(std::uint64_t h)
 
 /** Generate + judge one campaign index. */
 IndexResult
-runIndex(std::uint64_t index, const FuzzOptions &opts)
+runIndex(std::uint64_t index, const FuzzOptions &opts,
+         CampaignState *camp)
 {
     IndexResult r;
     r.gen = generateProgram(opts.fuzz_seed, index, opts.gen);
@@ -61,8 +113,55 @@ runIndex(std::uint64_t index, const FuzzOptions &opts)
     OracleOptions o = opts.oracle;
     o.detection_seed = opts.detection_seed;
     o.deep = r.deep;
+
+    campaign::UnitKey key;
+    std::string sig;
+    if (camp) {
+        key.fingerprint = rt::programFingerprint(r.gen.program);
+        key.trace_hash = 0; // the oracle runs its own detection
+        key.config_hash = oracleConfigHash(o);
+        sig = campaign::signatureHex(key);
+        if (std::optional<campaign::CacheEntry> hit =
+                camp->cache.probe(sig)) {
+            // An undeserializable payload (version skew, torn bytes
+            // the byte-count check somehow missed) falls through to
+            // a re-run — always sound, never fatal.
+            if (std::optional<OracleVerdict> v =
+                    deserializeVerdict(hit->payload)) {
+                r.verdict = std::move(*v);
+                r.cached = true;
+                camp->cache_hits.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (obs::Collector *c = obs::collector())
+                    c->add(obs::Counter::CampaignCacheHits, 1);
+                return r;
+            }
+        }
+    }
+
     r.verdict = opts.judge ? opts.judge(r.gen.program, o)
                            : runOracle(r.gen.program, o);
+
+    if (camp) {
+        campaign::CacheEntry e;
+        e.sig = sig;
+        e.key = key;
+        e.name = "fuzz:" + std::to_string(index);
+        e.payload = serializeVerdict(r.verdict);
+        camp->cache.store(e);
+        if (camp->journal.isOpen()) {
+            campaign::JournalRecord rec;
+            rec.unit = static_cast<std::size_t>(index);
+            rec.kind = "fuzz";
+            rec.name = std::to_string(index);
+            rec.sig = sig;
+            rec.key = key;
+            std::lock_guard<std::mutex> lock(camp->journal_mu);
+            camp->journal.append(rec);
+        }
+        if (obs::Collector *c = obs::collector())
+            c->add(obs::Counter::CampaignCacheMisses, 1);
+    }
     return r;
 }
 
@@ -155,6 +254,11 @@ FuzzResult::summaryText() const
            << disagreement_entries << " disagreement entr(ies) in "
            << corpus_dir << "\n";
     }
+    if (!campaign_dir.empty()) {
+        os << "  campaign: " << cache_hits << " cache hit(s), "
+           << journal_replays << " journal record(s) replayed in "
+           << campaign_dir << "\n";
+    }
     for (const FuzzFinding &f : findings) {
         os << "  FINDING[" << f.index << "] check=" << f.check
            << " repro=" << f.minimized.serialize() << "\n";
@@ -173,8 +277,25 @@ runFuzz(const FuzzOptions &opts)
     res.fuzz_seed = opts.fuzz_seed;
     res.detection_seed = opts.detection_seed;
     res.corpus_dir = opts.corpus_dir;
+    res.campaign_dir = opts.campaign_dir;
 
     const int jobs = ThreadPool::resolveJobs(opts.jobs);
+
+    // -- Campaign persistence (opt-in) -------------------------------
+    std::unique_ptr<CampaignState> camp;
+    if (!opts.campaign_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.campaign_dir, ec);
+        camp = std::make_unique<CampaignState>(opts.campaign_dir);
+        const std::string journal_path =
+            opts.campaign_dir + "/journal.jsonl";
+        camp->journal_replays = static_cast<int>(
+            campaign::loadJournal(journal_path).size());
+        camp->journal.open(journal_path);
+        if (obs::Collector *c = obs::collector())
+            c->add(obs::Counter::CampaignJournalReplays,
+                   static_cast<std::uint64_t>(camp->journal_replays));
+    }
 
     // -- Generation + oracle, fanned out on the thread pool ----------
     std::vector<IndexResult> results;
@@ -190,7 +311,7 @@ runFuzz(const FuzzOptions &opts)
             ThreadPool::parallelFor(jobs, batch, [&] {
                 return [&, base](std::size_t i) {
                     results[base + i] =
-                        runIndex(next + i, opts);
+                        runIndex(next + i, opts, camp.get());
                 };
             });
             next += batch;
@@ -201,7 +322,7 @@ runFuzz(const FuzzOptions &opts)
         results.resize(n);
         ThreadPool::parallelFor(jobs, n, [&] {
             return [&](std::size_t i) {
-                results[i] = runIndex(i, opts);
+                results[i] = runIndex(i, opts, camp.get());
             };
         });
     }
@@ -227,6 +348,8 @@ runFuzz(const FuzzOptions &opts)
             c->add(obs::Counter::FuzzPrograms, 1);
             c->add(obs::Counter::FuzzFlagged,
                    r.verdict.flagged() ? 1 : 0);
+            if (camp)
+                c->add(obs::Counter::CampaignUnits, 1);
         }
         res.programs += 1;
         if (r.gen.verify_errors.empty())
@@ -319,6 +442,13 @@ runFuzz(const FuzzOptions &opts)
         res.findings.push_back(
             FuzzFinding{0, "corpus-io", e, ProgramRecipe{}, ""});
         res.flagged += 1;
+    }
+
+    if (camp) {
+        res.cache_hits =
+            camp->cache_hits.load(std::memory_order_relaxed);
+        res.journal_replays = camp->journal_replays;
+        camp->journal.close();
     }
 
     if (obs::Collector *c = obs::collector()) {

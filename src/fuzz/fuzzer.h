@@ -45,6 +45,19 @@ struct FuzzOptions
     int jobs = 1;           ///< worker threads (0 = hardware)
     std::string corpus_dir; ///< "" = do not write reproducers
 
+    /**
+     * Campaign directory ("" = ephemeral run, nothing persisted).
+     * When set, every index's oracle verdict is stored in a
+     * campaign::VerdictCache under its signature — program
+     * fingerprint + oracle-config hash (seed, budgets, explorer,
+     * deep flag); the trace-hash slot is 0 because the oracle owns
+     * its own detection run — and journaled on completion. A re-run
+     * or resumed campaign regenerates each program (generation is
+     * cheap and deterministic) but skips the oracle for every
+     * already-cached signature, which is where all the time goes.
+     */
+    std::string campaign_dir;
+
     /** Deep (metamorphic re-execution) oracle on every Nth index. */
     int deep_every = 4;
 
@@ -80,6 +93,7 @@ struct FuzzResult
     std::uint64_t fuzz_seed = 0;
     std::uint64_t detection_seed = 0;
     std::string corpus_dir;
+    std::string campaign_dir;
 
     int programs = 0;
     int verifier_clean = 0;
@@ -93,6 +107,12 @@ struct FuzzResult
     std::map<std::string, int> check_runs;     ///< check -> times run
     std::map<std::string, int> check_failures; ///< check -> failures
     std::map<std::string, int> baseline_counts;
+
+    /** Campaign persistence accounting (0 when campaign_dir unset).
+     *  cache_hits = indices whose oracle run was skipped entirely;
+     *  journal_replays = completed-unit records found at open. */
+    int cache_hits = 0;
+    int journal_replays = 0;
 
     std::vector<FuzzFinding> findings;
 

@@ -466,4 +466,214 @@ runOracle(const ir::Program &prog, const OracleOptions &opts)
     return v;
 }
 
+// -- Verdict cache payload (`portend-fuzz-verdict-v1`) ---------------
+//
+// Length-prefixed blocks: `tag <len>\n<len raw bytes>\n` for every
+// string field (trace/report text embed newlines, so line-based
+// formats cannot carry them), `tag <int>\n` for counters. Field order
+// is fixed; the reader consumes exactly that order and rejects
+// anything else.
+
+namespace {
+
+constexpr const char *kVerdictMagic = "portend-fuzz-verdict-v1";
+
+void
+putNum(std::string &out, const char *tag, long long v)
+{
+    out += tag;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+}
+
+void
+putBlock(std::string &out, const char *tag, const std::string &bytes)
+{
+    putNum(out, tag, static_cast<long long>(bytes.size()));
+    out += bytes;
+    out += '\n';
+}
+
+/** Strict non-negative-leading-digits integer parse (no stoll: a
+ *  malformed payload must yield nullopt, never a throw). */
+bool
+parseNum(const std::string &s, long long *out)
+{
+    std::size_t i = 0;
+    bool neg = false;
+    if (!s.empty() && s[0] == '-') {
+        neg = true;
+        i = 1;
+    }
+    if (i >= s.size())
+        return false;
+    long long v = 0;
+    for (; i < s.size(); ++i) {
+        if (s[i] < '0' || s[i] > '9')
+            return false;
+        v = v * 10 + (s[i] - '0');
+    }
+    *out = neg ? -v : v;
+    return true;
+}
+
+/** Sequential field reader over one serialized verdict. */
+struct VerdictReader
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string err;
+
+    bool fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what;
+        return false;
+    }
+
+    bool line(std::string *out)
+    {
+        const std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            return fail("truncated: missing newline");
+        out->assign(text, pos, nl - pos);
+        pos = nl + 1;
+        return true;
+    }
+
+    bool num(const char *tag, long long *out)
+    {
+        std::string l;
+        if (!line(&l))
+            return false;
+        const std::string prefix = std::string(tag) + " ";
+        if (l.compare(0, prefix.size(), prefix) != 0)
+            return fail(std::string("expected '") + tag + "' field");
+        if (!parseNum(l.substr(prefix.size()), out))
+            return fail(std::string("bad '") + tag + "' number");
+        return true;
+    }
+
+    bool block(const char *tag, std::string *out)
+    {
+        long long n = 0;
+        if (!num(tag, &n))
+            return false;
+        if (n < 0 || pos + static_cast<std::size_t>(n) + 1 > text.size())
+            return fail(std::string("'") + tag +
+                        "' block overruns payload");
+        if (text[pos + static_cast<std::size_t>(n)] != '\n')
+            return fail(std::string("'") + tag +
+                        "' block not newline-terminated");
+        out->assign(text, pos, static_cast<std::size_t>(n));
+        pos += static_cast<std::size_t>(n) + 1;
+        return true;
+    }
+};
+
+} // namespace
+
+std::string
+serializeVerdict(const OracleVerdict &v)
+{
+    std::string out;
+    out += kVerdictMagic;
+    out += '\n';
+    putBlock(out, "outcome", v.outcome);
+    putNum(out, "distinct_races", v.distinct_races);
+    putNum(out, "dynamic_races", v.dynamic_races);
+    putNum(out, "class_counts",
+           static_cast<long long>(v.class_counts.size()));
+    for (const auto &[cls, n] : v.class_counts) {
+        putBlock(out, "class", cls);
+        putNum(out, "count", n);
+    }
+    putNum(out, "baseline_counts",
+           static_cast<long long>(v.baseline_counts.size()));
+    for (const auto &[name, n] : v.baseline_counts) {
+        putBlock(out, "baseline", name);
+        putNum(out, "count", n);
+    }
+    putNum(out, "checks", static_cast<long long>(v.checks.size()));
+    for (const CheckResult &c : v.checks) {
+        putBlock(out, "check", c.name);
+        putNum(out, "ok", c.ok ? 1 : 0);
+        putBlock(out, "detail", c.detail);
+    }
+    putBlock(out, "trace_text", v.trace_text);
+    putBlock(out, "report_text", v.report_text);
+    putBlock(out, "witness_text", v.witness_text);
+    return out;
+}
+
+std::optional<OracleVerdict>
+deserializeVerdict(const std::string &text, std::string *error)
+{
+    VerdictReader r{text};
+    const auto bail = [&]() -> std::optional<OracleVerdict> {
+        if (error)
+            *error = r.err.empty() ? "malformed verdict payload"
+                                   : r.err;
+        return std::nullopt;
+    };
+
+    std::string magic;
+    if (!r.line(&magic) || magic != kVerdictMagic) {
+        r.fail("bad magic (want portend-fuzz-verdict-v1)");
+        return bail();
+    }
+    OracleVerdict v;
+    long long n = 0;
+    if (!r.block("outcome", &v.outcome))
+        return bail();
+    if (!r.num("distinct_races", &n))
+        return bail();
+    v.distinct_races = static_cast<int>(n);
+    if (!r.num("dynamic_races", &n))
+        return bail();
+    v.dynamic_races = static_cast<int>(n);
+
+    if (!r.num("class_counts", &n) || n < 0)
+        return bail();
+    for (long long i = 0; i < n; ++i) {
+        std::string cls;
+        long long count = 0;
+        if (!r.block("class", &cls) || !r.num("count", &count))
+            return bail();
+        v.class_counts[cls] = static_cast<int>(count);
+    }
+    if (!r.num("baseline_counts", &n) || n < 0)
+        return bail();
+    for (long long i = 0; i < n; ++i) {
+        std::string name;
+        long long count = 0;
+        if (!r.block("baseline", &name) || !r.num("count", &count))
+            return bail();
+        v.baseline_counts[name] = static_cast<int>(count);
+    }
+    if (!r.num("checks", &n) || n < 0)
+        return bail();
+    for (long long i = 0; i < n; ++i) {
+        CheckResult c;
+        long long ok = 0;
+        if (!r.block("check", &c.name) || !r.num("ok", &ok) ||
+            !r.block("detail", &c.detail))
+            return bail();
+        c.ok = ok != 0;
+        v.checks.push_back(std::move(c));
+    }
+    if (!r.block("trace_text", &v.trace_text))
+        return bail();
+    if (!r.block("report_text", &v.report_text))
+        return bail();
+    if (!r.block("witness_text", &v.witness_text))
+        return bail();
+    if (r.pos != text.size()) {
+        r.fail("trailing bytes after witness_text");
+        return bail();
+    }
+    return v;
+}
+
 } // namespace portend::fuzz

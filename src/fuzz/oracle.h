@@ -51,6 +51,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -136,6 +137,19 @@ struct OracleVerdict
 /** Run every applicable check against @p prog. */
 OracleVerdict runOracle(const ir::Program &prog,
                         const OracleOptions &opts);
+
+/**
+ * Serialize a verdict as the fuzz campaign's cache payload
+ * (`portend-fuzz-verdict-v1`): a text header per field with
+ * length-prefixed byte blocks, so multi-line members (trace, report)
+ * round-trip exactly. deserializeVerdict is the strict inverse —
+ * any structural mismatch yields nullopt (the campaign then simply
+ * re-runs the oracle, which is always sound).
+ */
+std::string serializeVerdict(const OracleVerdict &v);
+std::optional<OracleVerdict>
+deserializeVerdict(const std::string &text,
+                   std::string *error = nullptr);
 
 } // namespace portend::fuzz
 

@@ -115,9 +115,15 @@ Portend::classifyRace(const race::RaceReport &race,
 PortendResult
 Portend::run()
 {
+    return runFrom(detect());
+}
+
+PortendResult
+Portend::runFrom(DetectionResult detection)
+{
     obs::Span span("pipeline", "run");
     PortendResult result;
-    result.detection = detect();
+    result.detection = std::move(detection);
 
     ClassificationScheduler scheduler(prog, opts, staticInfo());
     result.reports = scheduler.classifyAll(result.detection.clusters,

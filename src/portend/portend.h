@@ -106,6 +106,15 @@ class Portend
      */
     PortendResult run();
 
+    /**
+     * Classification half of run(): consume an already-finished
+     * detection phase. The campaign engine splits the pipeline here —
+     * the recorded trace's hash completes the verdict-cache key, so
+     * a cache probe sits between detect() and runFrom() and a hit
+     * skips classification entirely. run() == runFrom(detect()).
+     */
+    PortendResult runFrom(DetectionResult detection);
+
     /** The options in effect. */
     const PortendOptions &options() const { return opts; }
 

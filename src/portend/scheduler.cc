@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "campaign/queue.h"
 #include "replay/checkpoint.h"
 #include "support/stats.h"
 #include "support/threadpool.h"
@@ -106,6 +107,16 @@ ClassificationScheduler::taskOptions(std::size_t n_clusters,
     return task;
 }
 
+std::vector<ClusterUnit>
+ClassificationScheduler::makeUnits(std::size_t n_clusters) const
+{
+    std::vector<ClusterUnit> units;
+    units.reserve(n_clusters);
+    for (std::size_t i = 0; i < n_clusters; ++i)
+        units.push_back({i, taskOptions(n_clusters, i)});
+    return units;
+}
+
 std::vector<PortendReport>
 ClassificationScheduler::classifyAll(
     const std::vector<race::RaceCluster> &clusters,
@@ -139,50 +150,49 @@ ClassificationScheduler::classifyAll(
             RaceAnalyzer::replayOptions(opts),
             opts.semantic_predicates);
 
-    // Every cluster is one pool job with its own budget slice and a
-    // job-local analyzer (construction is cheap: the expensive
-    // StaticInfo is shared read-only). queue_seconds is the per-job
-    // enqueue→start delta — the time the job actually waited for a
+    // The batch as work units: one ClusterUnit per cluster, budget
+    // slice applied up front, drained from a shared claim-by-cursor
+    // queue by n_workers drain loops. Each claimed unit gets a
+    // unit-local analyzer (construction is cheap: the expensive
+    // StaticInfo is shared read-only). queue_seconds is the per-unit
+    // enqueue→claim delta — the time the unit actually waited for a
     // free worker — not elapsed-since-batch-start, which would
     // charge ladder construction and a worker's earlier cluster
-    // compute time as queue wait.
-    std::vector<double> enqueued_at(clusters.size(), 0.0);
+    // compute time as queue wait. Every unit is enqueued the moment
+    // the queue exists, so the enqueue stamp is one shared value.
+    campaign::Queue<ClusterUnit> queue(makeUnits(clusters.size()));
     std::vector<obs::MetricsShard> shards(clusters.size());
-    const auto job = [&](std::size_t i) {
+    const double enqueued_at = sw.seconds();
+    const auto runUnit = [&](const ClusterUnit &unit) {
         obs::Span cluster_span("scheduler", "cluster");
-        cluster_span.arg("index", static_cast<std::int64_t>(i));
+        cluster_span.arg("index",
+                         static_cast<std::int64_t>(unit.index));
         const double started = sw.seconds();
-        RaceAnalyzer analyzer(prog, taskOptions(clusters.size(), i),
-                              static_info);
-        PortendReport &out = reports[i];
-        out.cluster = clusters[i];
+        RaceAnalyzer analyzer(prog, unit.opts, static_info);
+        PortendReport &out = reports[unit.index];
+        out.cluster = clusters[unit.index];
         out.classification = analyzer.classify(
-            clusters[i].representative, trace, &ladder);
+            clusters[unit.index].representative, trace, &ladder);
         out.classification.stats.queue_seconds =
-            std::max(0.0, started - enqueued_at[i]);
+            std::max(0.0, started - enqueued_at);
         // Worker-local shard: folded into the batch shard in cluster
         // index order after the join, never by completion order.
-        foldVerdict(out.classification, shards[i]);
-        emitClusterEvent(i, out);
+        foldVerdict(out.classification, shards[unit.index]);
+        emitClusterEvent(unit.index, out);
+    };
+    const auto drain = [&] {
+        while (const ClusterUnit *unit = queue.next())
+            runUnit(*unit);
     };
     if (n_workers == 1) {
-        // Inline on the calling thread, same queue semantics: every
-        // job is "enqueued" at dispatch and starts when the one
-        // worker frees up.
-        const double dispatched = sw.seconds();
-        for (std::size_t i = 0; i < clusters.size(); ++i)
-            enqueued_at[i] = dispatched;
-        for (std::size_t i = 0; i < clusters.size(); ++i)
-            job(i);
+        drain();
     } else {
         ThreadPool pool(n_workers);
-        std::vector<std::future<void>> pending;
-        pending.reserve(clusters.size());
-        for (std::size_t i = 0; i < clusters.size(); ++i) {
-            enqueued_at[i] = sw.seconds();
-            pending.push_back(pool.submit([&job, i] { job(i); }));
-        }
-        for (auto &f : pending)
+        std::vector<std::future<void>> workers;
+        workers.reserve(static_cast<std::size_t>(n_workers));
+        for (int w = 0; w < n_workers; ++w)
+            workers.push_back(pool.submit(drain));
+        for (auto &f : workers)
             f.get();
     }
 

@@ -27,6 +27,14 @@
  * The only cross-thread writes are the per-cluster verdict slots,
  * which are disjoint by index; batch accounting is summed from them
  * after the join.
+ *
+ * Since the campaign refactor the batch is expressed as *work
+ * units*: classifyAll() materializes one ClusterUnit per cluster —
+ * budget slice applied, ladder reference attached — and n workers
+ * drain them from a campaign::Queue (the same claim-by-cursor
+ * primitive the campaign engine uses one level up for whole
+ * programs). The unit list is fixed before any worker starts, which
+ * is exactly why slicing is jobs-invariant.
  */
 
 #ifndef PORTEND_PORTEND_SCHEDULER_H
@@ -86,6 +94,19 @@ struct SchedulerStats
 };
 
 /**
+ * One classification work unit: a cluster index plus everything the
+ * worker claiming it needs — the pre-sliced option set (budget
+ * ladder moved behind the unit boundary, so a worker never consults
+ * global budgets). Units are immutable once the batch queue is
+ * built.
+ */
+struct ClusterUnit
+{
+    std::size_t index = 0; ///< cluster (and verdict slot) index
+    PortendOptions opts;   ///< global budgets already sliced in
+};
+
+/**
  * Fans race clusters out to worker-local analyzers and merges the
  * verdicts back in deterministic cluster order.
  */
@@ -137,6 +158,13 @@ class ClassificationScheduler
      */
     PortendOptions taskOptions(std::size_t n_clusters,
                                std::size_t index) const;
+
+    /**
+     * The batch's work-unit list: one ClusterUnit per cluster, in
+     * cluster order, each carrying its taskOptions() slice. Built
+     * before any worker starts (exposed for tests).
+     */
+    std::vector<ClusterUnit> makeUnits(std::size_t n_clusters) const;
 
   private:
     const ir::Program &prog;

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Campaign engine tests: cache-key stability (the signature is a
+ * pure function of program + trace + analysis config, never of
+ * worker count or run count), change detection (every verdict-
+ * relevant dial moves the signature), cache/journal persistence
+ * round-trips with torn-write tolerance, and the headline resume
+ * property — a campaign killed after N units and resumed merges to
+ * bytes identical to an uninterrupted run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "campaign/cache.h"
+#include "campaign/campaign.h"
+#include "campaign/journal.h"
+#include "campaign/queue.h"
+#include "campaign/signature.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/oracle.h"
+#include "portend/portend.h"
+#include "rt/decode.h"
+#include "workloads/registry.h"
+
+namespace fs = std::filesystem;
+
+namespace portend::campaign {
+namespace {
+
+/** Fresh scratch directory per test. */
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("campaign_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** Detection run of one registry workload (trace source for keys). */
+replay::ScheduleTrace
+detectTrace(const std::string &workload, std::uint64_t seed = 1)
+{
+    workloads::Workload w = workloads::buildWorkload(workload);
+    core::PortendOptions opts;
+    opts.detection_seed = seed;
+    opts.semantic_predicates = w.semantic_predicates;
+    core::Portend tool(w.program, opts);
+    return tool.detect().trace;
+}
+
+/** A small 3-unit manifest that keeps engine tests fast. */
+CampaignConfig
+microConfig(bool json = true)
+{
+    CampaignConfig config;
+    config.render.json = json;
+    config.units = {{"workload", "avv"},
+                    {"workload", "dcl"},
+                    {"workload", "dbm"}};
+    return config;
+}
+
+// -- Signature stability ---------------------------------------------
+
+TEST(SignatureTest, StableAcrossRepeatsAndRuntimeDials)
+{
+    core::PortendOptions opts;
+    const std::uint64_t h1 = configHash(opts, "salt");
+    const std::uint64_t h2 = configHash(opts, "salt");
+    EXPECT_EQ(h1, h2);
+
+    // `jobs` is a throughput dial: verdicts are byte-identical for
+    // every worker count (the PR 2 contract), so the key must not
+    // move with it.
+    core::PortendOptions j4 = opts;
+    j4.jobs = 4;
+    EXPECT_EQ(configHash(j4, "salt"), h1);
+    j4.jobs = 0;
+    EXPECT_EQ(configHash(j4, "salt"), h1);
+}
+
+TEST(SignatureTest, TraceHashIsStableAndScheduleSensitive)
+{
+    const replay::ScheduleTrace t1 = detectTrace("avv", 1);
+    const replay::ScheduleTrace t2 = detectTrace("avv", 1);
+    EXPECT_EQ(traceHash(t1), traceHash(t2));
+
+    // A different recorded schedule must move the key, because
+    // classification consumes the trace verbatim. (A tiny workload's
+    // schedule can be seed-insensitive, so compare across programs —
+    // the guaranteed way to get a different recording.)
+    const replay::ScheduleTrace t3 = detectTrace("dcl", 1);
+    EXPECT_NE(traceHash(t1), traceHash(t3));
+}
+
+TEST(SignatureTest, ProgramEditMovesTheFingerprint)
+{
+    workloads::Workload a = workloads::buildWorkload("avv");
+    workloads::Workload b = workloads::buildWorkload("dcl");
+    EXPECT_NE(rt::programFingerprint(a.program),
+              rt::programFingerprint(b.program));
+}
+
+TEST(SignatureTest, EveryAnalysisDialMovesTheKey)
+{
+    core::PortendOptions base;
+    const std::uint64_t h = configHash(base);
+
+    core::PortendOptions ma = base;
+    ma.ma = base.ma + 3;
+    EXPECT_NE(configHash(ma), h);
+
+    core::PortendOptions mp = base;
+    mp.mp = base.mp + 1;
+    EXPECT_NE(configHash(mp), h);
+
+    core::PortendOptions expl = base;
+    expl.explore = explore::ExploreMode::Random;
+    EXPECT_NE(configHash(expl), h);
+
+    core::PortendOptions det = base;
+    det.detector = core::DetectorKind::Lockset;
+    EXPECT_NE(configHash(det), h);
+
+    core::PortendOptions seed = base;
+    seed.detection_seed = 123;
+    EXPECT_NE(configHash(seed), h);
+
+    core::PortendOptions sym = base;
+    sym.sym_inputs.push_back({"x", true, 0, 7});
+    EXPECT_NE(configHash(sym), h);
+
+    // The same named input with a different range is a different
+    // stage-2 search space.
+    core::PortendOptions sym2 = base;
+    sym2.sym_inputs.push_back({"x", true, 0, 8});
+    EXPECT_NE(configHash(sym2), configHash(sym));
+
+    core::PortendOptions budget = base;
+    budget.total_step_budget = 5000;
+    EXPECT_NE(configHash(budget), h);
+
+    // The salt carries per-unit state (unit name, render mode).
+    EXPECT_NE(configHash(base, "unit=workload:avv"),
+              configHash(base, "unit=workload:dcl"));
+}
+
+TEST(SignatureTest, HexRoundTrip)
+{
+    const std::uint64_t v = 0x0123456789abcdefULL;
+    EXPECT_EQ(hex16(v), "0123456789abcdef");
+    std::uint64_t back = 0;
+    ASSERT_TRUE(parseHex16(hex16(v), &back));
+    EXPECT_EQ(back, v);
+    EXPECT_FALSE(parseHex16("0123", &back));
+    EXPECT_FALSE(parseHex16("012345678 abcdef", &back));
+}
+
+// -- Queue -----------------------------------------------------------
+
+TEST(QueueTest, ClaimsEveryUnitExactlyOnce)
+{
+    Queue<int> q({10, 11, 12, 13});
+    EXPECT_EQ(q.size(), 4u);
+    std::vector<int> got;
+    std::size_t idx = 0;
+    while (const int *u = q.next(&idx))
+        got.push_back(*u);
+    EXPECT_EQ(got, (std::vector<int>{10, 11, 12, 13}));
+    EXPECT_TRUE(q.drained());
+    EXPECT_EQ(q.next(), nullptr);
+}
+
+// -- Cache persistence -----------------------------------------------
+
+TEST(CacheTest, EntryRoundTripAndTornWriteRejected)
+{
+    CacheEntry e;
+    e.key = {0x1111, 0x2222, 0x3333};
+    e.sig = signatureHex(e.key);
+    e.name = "avv";
+    e.payload = "line one\nline two\n";
+
+    const std::string bytes = serializeCacheEntry(e);
+    std::optional<CacheEntry> back = deserializeCacheEntry(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->sig, e.sig);
+    EXPECT_TRUE(back->key == e.key);
+    EXPECT_EQ(back->name, e.name);
+    EXPECT_EQ(back->payload, e.payload);
+
+    // A kill mid-write leaves fewer payload bytes than the header
+    // promises: the loader must reject, never return a short verdict.
+    EXPECT_FALSE(deserializeCacheEntry(
+                     bytes.substr(0, bytes.size() - 5))
+                     .has_value());
+}
+
+TEST(CacheTest, DiskEntriesSurviveAcrossInstances)
+{
+    const std::string dir = scratchDir("cache_disk");
+    CacheEntry e;
+    e.key = {7, 8, 9};
+    e.sig = signatureHex(e.key);
+    e.name = "unit";
+    e.payload = "verdict";
+    {
+        VerdictCache cache(dir);
+        ASSERT_TRUE(cache.store(e));
+        EXPECT_EQ(cache.sizeOnDisk(), 1u);
+    }
+    VerdictCache fresh(dir);
+    std::optional<CacheEntry> hit = fresh.probe(e.sig);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->payload, "verdict");
+    EXPECT_FALSE(fresh.probe(signatureHex({1, 2, 3})).has_value());
+}
+
+// -- Journal ---------------------------------------------------------
+
+TEST(JournalTest, RecordRoundTrip)
+{
+    JournalRecord rec;
+    rec.unit = 5;
+    rec.kind = "workload";
+    rec.name = "avv";
+    rec.key = {0xaaaa, 0xbbbb, 0xcccc};
+    rec.sig = signatureHex(rec.key);
+
+    JournalRecord back;
+    ASSERT_TRUE(parseJournalLine(journalLine(rec), &back));
+    EXPECT_EQ(back.unit, rec.unit);
+    EXPECT_EQ(back.kind, rec.kind);
+    EXPECT_EQ(back.name, rec.name);
+    EXPECT_EQ(back.sig, rec.sig);
+    EXPECT_TRUE(back.key == rec.key);
+}
+
+TEST(JournalTest, TornFinalLineIsSkippedNotFatal)
+{
+    const std::string dir = scratchDir("journal_torn");
+    const std::string path = dir + "/journal.jsonl";
+
+    JournalRecord rec;
+    rec.unit = 0;
+    rec.kind = "workload";
+    rec.name = "avv";
+    rec.key = {1, 2, 3};
+    rec.sig = signatureHex(rec.key);
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(path));
+        ASSERT_TRUE(w.append(rec));
+    }
+    // Simulate a kill mid-append: half a record, no newline.
+    {
+        std::ofstream f(path, std::ios::app | std::ios::binary);
+        f << "{\"v\": 1, \"unit\": 1, \"ki";
+    }
+    int skipped = 0;
+    std::vector<JournalRecord> recs = loadJournal(path, &skipped);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].name, "avv");
+    EXPECT_EQ(skipped, 1);
+}
+
+// -- Campaign engine -------------------------------------------------
+
+TEST(CampaignTest, ManifestRoundTrip)
+{
+    CampaignConfig config = microConfig();
+    config.analysis.ma = 5;
+    config.analysis.detection_seed = 17;
+    config.analysis.explore = explore::ExploreMode::Random;
+    config.analysis.sym_inputs.push_back({"flag", true, 0, 1});
+    config.render.stats = true;
+
+    std::string error;
+    std::optional<CampaignConfig> back =
+        parseManifest(manifestText(config), &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(manifestText(*back), manifestText(config));
+    EXPECT_EQ(back->units, config.units);
+    EXPECT_EQ(back->analysis.ma, 5);
+    EXPECT_EQ(back->analysis.sym_inputs.size(), 1u);
+
+    EXPECT_FALSE(parseManifest("not-a-manifest\n", &error).has_value());
+}
+
+TEST(CampaignTest, EphemeralRunsAreByteIdenticalAcrossJobs)
+{
+    Campaign one(microConfig());
+    CampaignResult r1 = one.run(-1, 1);
+    ASSERT_TRUE(r1.error.empty()) << r1.error;
+    ASSERT_TRUE(r1.complete());
+    EXPECT_EQ(r1.executed, 3);
+
+    Campaign four(microConfig());
+    CampaignResult r4 = four.run(-1, 4);
+    ASSERT_TRUE(r4.complete());
+    EXPECT_EQ(r1.mergedOutput(true), r4.mergedOutput(true));
+
+    // Same manifest, fresh engine, repeated run: same bytes again.
+    Campaign again(microConfig());
+    EXPECT_EQ(again.run(-1, 2).mergedOutput(true),
+              r1.mergedOutput(true));
+}
+
+TEST(CampaignTest, AbortAndResumeMergeToUninterruptedBytes)
+{
+    Campaign baseline(microConfig());
+    const std::string want = baseline.run(-1, 1).mergedOutput(true);
+
+    const std::string dir = scratchDir("resume");
+    fs::remove_all(dir);
+    std::string error;
+    std::optional<Campaign> c =
+        Campaign::create(dir, microConfig(), &error);
+    ASSERT_TRUE(c.has_value()) << error;
+
+    // "Crash" after one journaled unit (exact with one worker).
+    CampaignResult partial = c->run(1, 1);
+    EXPECT_TRUE(partial.aborted);
+    EXPECT_FALSE(partial.complete());
+    EXPECT_EQ(partial.executed, 1);
+
+    std::optional<Campaign> resumed = Campaign::open(dir, &error);
+    ASSERT_TRUE(resumed.has_value()) << error;
+    CampaignResult rest = resumed->run(-1, 1);
+    ASSERT_TRUE(rest.complete());
+    EXPECT_EQ(rest.resume_skips, 1);
+    EXPECT_EQ(rest.executed, 2);
+    EXPECT_EQ(rest.mergedOutput(true), want);
+
+    // Warm re-run: the journal covers everything, nothing executes.
+    std::optional<Campaign> warm = Campaign::open(dir, &error);
+    ASSERT_TRUE(warm.has_value()) << error;
+    CampaignResult all = warm->run(-1, 1);
+    ASSERT_TRUE(all.complete());
+    EXPECT_EQ(all.executed, 0);
+    EXPECT_EQ(all.resume_skips, 3);
+    EXPECT_EQ(all.mergedOutput(true), want);
+    EXPECT_GE(all.metrics.counter(obs::Counter::CampaignResumeSkips),
+              3u);
+}
+
+TEST(CampaignTest, TornJournalLineIsToleratedOnResume)
+{
+    Campaign baseline(microConfig());
+    const std::string want = baseline.run(-1, 1).mergedOutput(true);
+
+    const std::string dir = scratchDir("torn");
+    fs::remove_all(dir);
+    std::string error;
+    std::optional<Campaign> c =
+        Campaign::create(dir, microConfig(), &error);
+    ASSERT_TRUE(c.has_value()) << error;
+    c->run(2, 1);
+
+    {
+        std::ofstream f(dir + "/journal.jsonl",
+                        std::ios::app | std::ios::binary);
+        f << "{\"v\": 1, \"unit\": 2, \"kind\": \"work";
+    }
+    std::optional<Campaign> resumed = Campaign::open(dir, &error);
+    ASSERT_TRUE(resumed.has_value()) << error;
+    CampaignResult rest = resumed->run(-1, 1);
+    ASSERT_TRUE(rest.complete());
+    EXPECT_GE(rest.journal_torn, 1);
+    EXPECT_EQ(rest.mergedOutput(true), want);
+}
+
+TEST(CampaignTest, CreateRejectsManifestMismatch)
+{
+    const std::string dir = scratchDir("mismatch");
+    fs::remove_all(dir);
+    std::string error;
+    ASSERT_TRUE(Campaign::create(dir, microConfig(), &error).has_value())
+        << error;
+
+    CampaignConfig other = microConfig();
+    other.analysis.ma = 9;
+    EXPECT_FALSE(Campaign::create(dir, other, &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+// -- Fuzz verdict payload + fuzz campaign ----------------------------
+
+TEST(FuzzVerdictTest, SerializeRoundTrip)
+{
+    fuzz::OracleVerdict v;
+    v.outcome = "exited";
+    v.distinct_races = 2;
+    v.dynamic_races = 5;
+    v.class_counts = {{"spec violated", 1}, {"k-witness harmless", 1}};
+    v.baseline_counts = {{"replay-analyzer-conservative-fp", 3}};
+    v.checks = {{"determinism", true, ""},
+                {"hb-subset-lockset", false, "cell c raced\nonly in hb"}};
+    v.trace_text = "trace v1\nstep 0\nstep 1\n";
+    v.report_text = "report\nwith \"quotes\" and\nnewlines";
+    v.witness_text = "";
+
+    const std::string bytes = fuzz::serializeVerdict(v);
+    std::string error;
+    std::optional<fuzz::OracleVerdict> back =
+        fuzz::deserializeVerdict(bytes, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->outcome, v.outcome);
+    EXPECT_EQ(back->distinct_races, v.distinct_races);
+    EXPECT_EQ(back->dynamic_races, v.dynamic_races);
+    EXPECT_EQ(back->class_counts, v.class_counts);
+    EXPECT_EQ(back->baseline_counts, v.baseline_counts);
+    ASSERT_EQ(back->checks.size(), 2u);
+    EXPECT_EQ(back->checks[1].detail, v.checks[1].detail);
+    EXPECT_FALSE(back->checks[1].ok);
+    EXPECT_EQ(back->trace_text, v.trace_text);
+    EXPECT_EQ(back->report_text, v.report_text);
+    EXPECT_EQ(fuzz::serializeVerdict(*back), bytes);
+
+    // Truncations and garbage must yield nullopt, never a partial
+    // verdict (the campaign then re-runs the oracle).
+    for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2,
+                            std::size_t{10}, std::size_t{0}}) {
+        EXPECT_FALSE(
+            fuzz::deserializeVerdict(bytes.substr(0, cut)).has_value())
+            << "cut at " << cut;
+    }
+    EXPECT_FALSE(fuzz::deserializeVerdict(bytes + "x").has_value());
+}
+
+TEST(FuzzCampaignTest, WarmRerunHitsCacheForEveryProgram)
+{
+    const std::string dir = scratchDir("fuzz_warm");
+    fs::remove_all(dir);
+
+    fuzz::FuzzOptions opts;
+    opts.budget = 6;
+    opts.jobs = 1;
+    opts.campaign_dir = dir;
+
+    fuzz::FuzzResult cold = fuzz::runFuzz(opts);
+    EXPECT_EQ(cold.cache_hits, 0);
+    EXPECT_EQ(cold.journal_replays, 0);
+
+    fuzz::FuzzResult warm = fuzz::runFuzz(opts);
+    EXPECT_EQ(warm.cache_hits, cold.verifier_clean);
+    EXPECT_EQ(warm.journal_replays, cold.verifier_clean);
+    EXPECT_EQ(warm.programs, cold.programs);
+    EXPECT_EQ(warm.flagged, cold.flagged);
+    EXPECT_EQ(warm.outcome_counts, cold.outcome_counts);
+    EXPECT_EQ(warm.class_counts, cold.class_counts);
+    EXPECT_EQ(warm.check_runs, cold.check_runs);
+
+    // A different detection seed is a different signature: no hits.
+    fuzz::FuzzOptions other = opts;
+    other.detection_seed = 77;
+    EXPECT_EQ(fuzz::runFuzz(other).cache_hits, 0);
+}
+
+} // namespace
+} // namespace portend::campaign

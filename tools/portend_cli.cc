@@ -20,12 +20,14 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.h"
 #include "explore/explorer.h"
 #include "fuzz/corpus.h"
 #include "fuzz/fuzzer.h"
 #include "ir/serialize.h"
 #include "portend/classify.h"
 #include "portend/portend.h"
+#include "portend/render.h"
 #include "rt/interpreter.h"
 #include "rt/vmstate.h"
 #include "support/observe.h"
@@ -51,6 +53,19 @@ Usage:
   portend classify <workload> [options] classify with an explicit k budget
   portend classify --all [options]      whole registry, compact tables
   portend classify --file <prog.pil> [options]   compact table for a file
+  portend campaign run <dir> [options]  persistent classification campaign
+                                        over the whole registry: verdicts
+                                        are cached by content signature
+                                        and journaled under <dir>, so a
+                                        killed campaign resumes where it
+                                        left off and a warm re-run costs
+                                        one cache probe per unit
+  portend campaign resume <dir>         continue a campaign exactly as
+                                        configured (all analysis flags
+                                        come from the stored manifest)
+  portend campaign status <dir>         report completed/total units
+                                        (exit 0 when complete, 3 when
+                                        work remains)
   portend fuzz [options]                generate racy PIL programs, cross-
                                         check detectors and classifier,
                                         minimize and store reproducers
@@ -104,7 +119,7 @@ Options:
                        or "auto" (threaded when available; default).
                        Accepted before any command
 
-Observability options (run, classify, fuzz):
+Observability options (run, classify, campaign, fuzz, corpus run):
   --trace-out <file>   write a Chrome trace-event JSON timeline of
                        the run: replay, ladder-fork, DPOR-candidate,
                        sym-path-fork, and solver spans with nested
@@ -122,6 +137,13 @@ Observability options (run, classify, fuzz):
   --quiet              suppress the end-of-run metrics summary line
                        of `fuzz` and `corpus run`
 
+Campaign options (portend campaign run/resume):
+  --abort-after <N>    stop claiming new units once N have been
+                       executed and journaled by this invocation
+                       (crash simulation for kill-and-resume
+                       testing); exits with code 3 while work
+                       remains
+
 Fuzzing options (portend fuzz):
   --budget <N>         programs to generate (default 200); with a
                        fixed --fuzz-seed the campaign is
@@ -134,6 +156,12 @@ Fuzzing options (portend fuzz):
                        vary independently
   --corpus <dir>       write minimized reproducers here (replay them
                        with `portend corpus run <dir>`)
+  --campaign <dir>     persist the fuzz campaign under <dir>: every
+                       generated program's verdict is cached by
+                       program fingerprint + oracle config and
+                       journaled, so an interrupted campaign resumes
+                       where it left off and a duplicate generated
+                       program costs one cache probe
 
 Race classes (paper Fig. 1):
   spec violated        an ordering crashes, deadlocks, or hangs
@@ -142,6 +170,20 @@ Race classes (paper Fig. 1):
   single ordering      only one ordering is possible (ad-hoc sync)
 )";
 
+/**
+ * The shared observability/verbosity flags. Every subcommand parser
+ * (run/classify, campaign, fuzz, corpus) consumes these through the
+ * one parseObsFlag helper below instead of hand-rolling the same
+ * four branches.
+ */
+struct ObsFlags
+{
+    std::string trace_out;   ///< --trace-out file ("" = off)
+    std::string metrics_out; ///< --metrics-out file ("" = off)
+    bool progress_jsonl = false; ///< --progress jsonl
+    bool quiet = false;          ///< --quiet (fuzz, corpus run)
+};
+
 struct CliOptions
 {
     core::PortendOptions opts;
@@ -149,9 +191,7 @@ struct CliOptions
     bool stats = false; ///< append the interpreter ledger
     int k = 0; ///< 0 = not given
     std::optional<core::RaceClass> only_class; ///< --class filter
-    std::string trace_out;   ///< --trace-out file ("" = off)
-    std::string metrics_out; ///< --metrics-out file ("" = off)
-    bool progress_jsonl = false; ///< --progress jsonl
+    ObsFlags obs; ///< shared observability flags
 };
 
 // ---------------------------------------------------------------------------
@@ -251,6 +291,51 @@ parseInt(const char *flag, const char *value)
     return v;
 }
 
+/**
+ * Consume the shared observability flag at argv[i], if it is one:
+ * --trace-out <file>, --metrics-out <file>, --progress <mode>, and —
+ * for the commands with a stderr summary line — --quiet. Returns
+ * true (with @p i advanced past any value) when the flag was
+ * consumed; false means "not ours", so the caller's parser keeps
+ * going and unknown-option errors stay per-command.
+ */
+bool
+parseObsFlag(int argc, char **argv, int &i, ObsFlags *out,
+             bool allow_quiet)
+{
+    const std::string a = argv[i];
+    const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (a == "--trace-out") {
+        if (!next)
+            usageError("--trace-out needs a file path");
+        out->trace_out = next;
+        ++i;
+        return true;
+    }
+    if (a == "--metrics-out") {
+        if (!next)
+            usageError("--metrics-out needs a file path");
+        out->metrics_out = next;
+        ++i;
+        return true;
+    }
+    if (a == "--progress") {
+        if (!next)
+            usageError("--progress needs a mode (jsonl)");
+        if (std::string(next) != "jsonl")
+            usageError("unknown progress mode: " + std::string(next) +
+                       " (expected jsonl)");
+        out->progress_jsonl = true;
+        ++i;
+        return true;
+    }
+    if (allow_quiet && a == "--quiet") {
+        out->quiet = true;
+        return true;
+    }
+    return false;
+}
+
 /** Parse a --sym-input value: `name` or `name=lo..hi`. */
 rt::SymInputSpec
 parseSymInput(const char *value)
@@ -290,6 +375,8 @@ parseOptions(int argc, char **argv, int start)
     // thread (the library default stays sequential for embedders).
     cli.opts.jobs = 0;
     for (int i = start; i < argc; ++i) {
+        if (parseObsFlag(argc, argv, i, &cli.obs, false))
+            continue;
         std::string a = argv[i];
         const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
         if (a == "--json") {
@@ -340,24 +427,6 @@ parseOptions(int argc, char **argv, int start)
         } else if (a == "--seed") {
             cli.opts.detection_seed =
                 static_cast<std::uint64_t>(parseInt("--seed", next));
-            ++i;
-        } else if (a == "--trace-out") {
-            if (!next)
-                usageError("--trace-out needs a file path");
-            cli.trace_out = next;
-            ++i;
-        } else if (a == "--metrics-out") {
-            if (!next)
-                usageError("--metrics-out needs a file path");
-            cli.metrics_out = next;
-            ++i;
-        } else if (a == "--progress") {
-            if (!next)
-                usageError("--progress needs a mode (jsonl)");
-            if (std::string(next) != "jsonl")
-                usageError("unknown progress mode: " +
-                           std::string(next) + " (expected jsonl)");
-            cli.progress_jsonl = true;
             ++i;
         } else if (a == "--detector") {
             if (!next)
@@ -434,40 +503,14 @@ applyWorkloadConfig(const workloads::Workload &w, core::PortendOptions &o)
     o.semantic_predicates = w.semantic_predicates;
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/** Workload + pipeline result + the reports passing --class. */
+/** Workload + pipeline result (rendering selects --class itself). */
 struct PipelineRun
 {
     workloads::Workload workload;
     core::PortendResult result;
-    std::vector<const core::PortendReport *> selected;
 };
 
-/** The shared run/classify tail: configure, run, filter. */
+/** The shared run/classify tail: configure and run. */
 PipelineRun
 runPipelineOn(workloads::Workload workload, CliOptions &cli)
 {
@@ -476,159 +519,26 @@ runPipelineOn(workloads::Workload workload, CliOptions &cli)
     applyWorkloadConfig(p.workload, cli.opts);
     core::Portend tool(p.workload.program, cli.opts);
     p.result = tool.run();
-    for (const core::PortendReport &r : p.result.reports)
-        if (!cli.only_class || r.classification.cls == *cli.only_class)
-            p.selected.push_back(&r);
     return p;
 }
 
-/** The shared run/classify preamble: load, configure, run, filter. */
+/** The shared run/classify preamble: load, configure, run. */
 PipelineRun
 runPipeline(const std::string &name, CliOptions &cli)
 {
     return runPipelineOn(loadWorkload(name), cli);
 }
 
-/**
- * One workload's JSON object (no trailing newline, so batch mode
- * can join objects into an array).
- */
-std::string
-jsonReport(const workloads::Workload &w, const core::PortendResult &res,
-           const std::vector<const core::PortendReport *> &reports,
-           bool stats)
+/** The library RenderMode equivalent of the parsed flags. */
+core::RenderMode
+renderModeOf(const CliOptions &cli, bool classify_mode)
 {
-    std::ostringstream os;
-    os << "{\n  \"workload\": \"" << jsonEscape(w.name) << "\",\n";
-    os << "  \"detection\": {\n";
-    os << "    \"outcome\": \""
-       << rt::runOutcomeName(res.detection.outcome) << "\",\n";
-    os << "    \"dynamic_races\": " << res.detection.dynamic_races
-       << ",\n";
-    os << "    \"distinct_races\": " << res.detection.clusters.size()
-       << ",\n";
-    os << "    \"steps\": " << res.detection.steps;
-    // Opt-in so the golden classify --json bytes stay stable. Since
-    // PR 8 the numbers are the detection run's registry view, not the
-    // raw VmStats fields — same values, one source of truth.
-    if (stats) {
-        const core::DetectionResult &d = res.detection;
-        const obs::MetricsShard &m = d.metrics;
-        os << ",\n    \"interp\": {\"dispatch\": \"" << d.dispatch
-           << "\", \"decoded_sites\": "
-           << m.gauge(obs::Gauge::DecodedSites)
-           << ", \"events_batched\": "
-           << m.counter(obs::Counter::DetectEventsBatched)
-           << ", \"pages_unshared\": "
-           << m.counter(obs::Counter::DetectPagesUnshared)
-           << ", \"values_boxed\": "
-           << m.counter(obs::Counter::DetectValuesBoxed) << "}";
-    }
-    os << "\n  },\n  \"reports\": [\n";
-    for (std::size_t i = 0; i < reports.size(); ++i) {
-        const core::PortendReport &r = *reports[i];
-        const core::Classification &c = r.classification;
-        os << "    {\n";
-        os << "      \"cell\": \""
-           << jsonEscape(
-                  w.program.cellName(r.cluster.representative.cell))
-           << "\",\n";
-        os << "      \"instances\": " << r.cluster.instances << ",\n";
-        os << "      \"class\": \"" << core::raceClassName(c.cls)
-           << "\",\n";
-        os << "      \"violation\": \""
-           << core::violationKindName(c.viol) << "\",\n";
-        os << "      \"k\": " << c.k << ",\n";
-        os << "      \"states_differ\": "
-           << (c.states_differ ? "true" : "false") << ",\n";
-        os << "      \"witness\": [";
-        for (std::size_t j = 0; j < c.evidence_witness.size(); ++j) {
-            const core::WitnessInput &wi = c.evidence_witness[j];
-            os << (j ? ", " : "") << "{\"name\": \""
-               << jsonEscape(wi.name) << "\", \"value\": " << wi.value
-               << "}";
-        }
-        os << "],\n";
-        os << "      \"distinct_schedules\": "
-           << c.stats.distinct_schedules << ",\n";
-        os << "      \"signature\": \""
-           << jsonEscape(c.evidence_signature) << "\",\n";
-        os << "      \"detail\": \"" << jsonEscape(c.detail)
-           << "\"\n";
-        os << "    }" << (i + 1 < reports.size() ? "," : "") << "\n";
-    }
-    os << "  ]\n}";
-    return os.str();
-}
-
-/** The --stats interpreter ledger of the detection run (a view over
- *  the registry shard; dispatch mode is the one non-metric field). */
-std::string
-statsText(const core::DetectionResult &d)
-{
-    const obs::MetricsShard &m = d.metrics;
-    std::ostringstream os;
-    os << "interpreter: dispatch=" << d.dispatch
-       << " decoded_sites=" << m.gauge(obs::Gauge::DecodedSites)
-       << " events_batched="
-       << m.counter(obs::Counter::DetectEventsBatched)
-       << " pages_unshared="
-       << m.counter(obs::Counter::DetectPagesUnshared)
-       << " values_boxed="
-       << m.counter(obs::Counter::DetectValuesBoxed) << "\n";
-    return os.str();
-}
-
-std::string
-summaryText(const core::PortendResult &res)
-{
-    std::ostringstream os;
-    os << "summary: " << res.detection.clusters.size()
-       << " distinct race(s), " << res.detection.dynamic_races
-       << " dynamic instance(s)\n";
-    for (core::RaceClass c : core::kAllRaceClasses) {
-        std::size_t n = res.byClass(c).size();
-        if (n) {
-            os << "  " << std::left << std::setw(20)
-               << core::raceClassName(c) << ' ' << n << "\n";
-        }
-    }
-    return os.str();
-}
-
-/** The Fig. 6 text rendering of one `portend run` pipeline. */
-std::string
-runText(const PipelineRun &p)
-{
-    std::ostringstream os;
-    os << "== portend run: " << p.workload.name << " ==\n";
-    for (const core::PortendReport *r : p.selected)
-        os << core::formatReport(p.workload.program, *r) << "\n";
-    os << summaryText(p.result);
-    return os.str();
-}
-
-/** The compact table rendering of one `portend classify` pipeline. */
-std::string
-classifyText(const PipelineRun &p, const CliOptions &cli)
-{
-    std::ostringstream os;
-    os << "== portend classify: " << p.workload.name << " (Mp="
-       << cli.opts.mp << ", Ma=" << cli.opts.ma << ") ==\n";
-    os << std::left << std::setw(24) << "cell" << ' ' << std::setw(20)
-       << "class" << ' ' << std::right << std::setw(6) << "k" << ' '
-       << std::setw(10) << "instances" << "\n";
-    for (const core::PortendReport *r : p.selected) {
-        os << std::left << std::setw(24)
-           << p.workload.program.cellName(
-                  r->cluster.representative.cell)
-           << ' ' << std::setw(20)
-           << core::raceClassName(r->classification.cls) << ' '
-           << std::right << std::setw(6) << r->classification.k
-           << ' ' << std::setw(10) << r->cluster.instances << "\n";
-    }
-    os << summaryText(p.result);
-    return os.str();
+    core::RenderMode m;
+    m.json = cli.json;
+    m.stats = cli.stats;
+    m.classify_mode = classify_mode;
+    m.only_class = cli.only_class;
+    return m;
 }
 
 int
@@ -648,40 +558,20 @@ cmdList()
     return 0;
 }
 
-/** Render one workload's pipeline under the chosen mode. The
- *  pipeline's metrics shard is handed back through `metrics` so the
- *  caller can merge shards in a deterministic order for
- *  --metrics-out (rendering order and merge order must both be
- *  registry order, never completion order). */
-std::string
-renderPipeline(const std::string &name, bool classify_mode,
-               const CliOptions &cli, obs::MetricsShard *metrics)
-{
-    CliOptions mine = cli; // workload predicates are per-task state
-    PipelineRun p = runPipeline(name, mine);
-    if (metrics)
-        *metrics = p.result.metrics;
-    if (mine.json)
-        return jsonReport(p.workload, p.result, p.selected,
-                          mine.stats) +
-               "\n";
-    std::string out = classify_mode ? classifyText(p, mine)
-                                    : runText(p);
-    if (mine.stats)
-        out += statsText(p.result.detection);
-    return out;
-}
-
 int
 cmdRun(const std::string &name, bool classify_mode, CliOptions cli)
 {
-    installObsSinks(cli.trace_out, cli.metrics_out,
-                    cli.progress_jsonl, false);
-    obs::MetricsShard metrics;
-    std::fputs(
-        renderPipeline(name, classify_mode, cli, &metrics).c_str(),
-        stdout);
-    return writeObsOutputs(cli.trace_out, cli.metrics_out, metrics);
+    installObsSinks(cli.obs.trace_out, cli.obs.metrics_out,
+                    cli.obs.progress_jsonl, false);
+    PipelineRun p = runPipeline(name, cli);
+    std::fputs(core::renderPipelineReport(
+                   p.workload.name, p.workload.program, p.result,
+                   cli.opts.mp, cli.opts.ma,
+                   renderModeOf(cli, classify_mode))
+                   .c_str(),
+               stdout);
+    return writeObsOutputs(cli.obs.trace_out, cli.obs.metrics_out,
+                           p.result.metrics);
 }
 
 /** `run --file` / `classify --file`: the pipeline over a PIL file. */
@@ -689,74 +579,163 @@ int
 cmdRunFile(const std::string &path, bool classify_mode,
            CliOptions cli)
 {
-    installObsSinks(cli.trace_out, cli.metrics_out,
-                    cli.progress_jsonl, false);
+    installObsSinks(cli.obs.trace_out, cli.obs.metrics_out,
+                    cli.obs.progress_jsonl, false);
     PipelineRun p = runPipelineOn(loadProgramFile(path), cli);
-    std::string out = cli.json
-                          ? jsonReport(p.workload, p.result,
-                                       p.selected, cli.stats) +
-                                "\n"
-                          : (classify_mode ? classifyText(p, cli)
-                                           : runText(p));
-    if (!cli.json && cli.stats)
-        out += statsText(p.result.detection);
-    std::fputs(out.c_str(), stdout);
-    return writeObsOutputs(cli.trace_out, cli.metrics_out,
+    std::fputs(core::renderPipelineReport(
+                   p.workload.name, p.workload.program, p.result,
+                   cli.opts.mp, cli.opts.ma,
+                   renderModeOf(cli, classify_mode))
+                   .c_str(),
+               stdout);
+    return writeObsOutputs(cli.obs.trace_out, cli.obs.metrics_out,
                            p.result.metrics);
 }
 
+/** The campaign configuration the parsed flags describe. */
+campaign::CampaignConfig
+campaignConfigOf(const CliOptions &cli, bool classify_mode)
+{
+    campaign::CampaignConfig config;
+    config.analysis = cli.opts;
+    config.render = renderModeOf(cli, classify_mode);
+    config.units = campaign::registryUnits();
+    return config;
+}
+
 /**
- * Batch mode over the full registry: whole workload pipelines are
- * the scheduler's unit of parallelism here (each inner pipeline runs
- * its clusters sequentially to avoid oversubscription), and every
- * rendered report is buffered and printed in registry order, so the
- * bytes on stdout never depend on --jobs.
+ * Batch mode over the full registry — a thin wrapper over the
+ * campaign engine since the campaign refactor: an *ephemeral*
+ * campaign (no directory, so no journal and no persistent cache)
+ * whose unit fan-out, in-order merge, and rendered bytes are exactly
+ * the engine's. `portend campaign run <dir>` is the same call with a
+ * directory attached.
  */
 int
 cmdBatch(bool classify_mode, CliOptions cli)
 {
-    installObsSinks(cli.trace_out, cli.metrics_out,
-                    cli.progress_jsonl, false);
-    const std::vector<std::string> names = workloads::workloadNames();
-    const int jobs = ThreadPool::resolveJobs(cli.opts.jobs);
-    CliOptions inner = cli;
-    inner.opts.jobs = 1;
+    installObsSinks(cli.obs.trace_out, cli.obs.metrics_out,
+                    cli.obs.progress_jsonl, false);
+    campaign::Campaign engine(campaignConfigOf(cli, classify_mode));
+    campaign::CampaignResult res = engine.run(-1, cli.opts.jobs);
+    const int obs_rc = writeObsOutputs(
+        cli.obs.trace_out, cli.obs.metrics_out, res.metrics);
+    if (!res.error.empty()) {
+        std::fprintf(stderr, "portend: %s\n", res.error.c_str());
+        return 1;
+    }
+    std::fputs(res.mergedOutput(cli.json).c_str(), stdout);
+    return obs_rc;
+}
 
-    std::vector<std::string> rendered(names.size());
-    std::vector<obs::MetricsShard> shards(names.size());
-    ThreadPool::parallelFor(jobs, names.size(), [&] {
-        return [&](std::size_t i) {
-            rendered[i] = renderPipeline(names[i], classify_mode,
-                                         inner, &shards[i]);
-        };
-    });
-    // Merge in registry order after the join, so --metrics-out bytes
-    // never depend on which worker finished first.
-    obs::MetricsShard metrics;
-    for (const obs::MetricsShard &s : shards)
-        metrics.merge(s);
-    const int obs_rc =
-        writeObsOutputs(cli.trace_out, cli.metrics_out, metrics);
+/** `portend campaign run|resume|status <dir>`. */
+int
+cmdCampaign(int argc, char **argv)
+{
+    if (argc < 4)
+        usageError("usage: portend campaign run|resume|status <dir>");
+    const std::string sub = argv[2];
+    const std::string dir = argv[3];
 
-    if (cli.json) {
-        std::fputs("[\n", stdout);
-        for (std::size_t i = 0; i < rendered.size(); ++i) {
-            // Strip the object's trailing newline to place the comma.
-            std::string obj = rendered[i];
-            if (!obj.empty() && obj.back() == '\n')
-                obj.pop_back();
-            std::fputs(obj.c_str(), stdout);
-            std::fputs(i + 1 < rendered.size() ? ",\n" : "\n",
-                       stdout);
+    if (sub == "status") {
+        if (argc > 4)
+            usageError("campaign status takes only <dir>");
+        std::string err;
+        std::optional<campaign::Campaign> c =
+            campaign::Campaign::open(dir, &err);
+        if (!c) {
+            std::fprintf(stderr, "portend: %s\n", err.c_str());
+            return 2;
         }
-        std::fputs("]\n", stdout);
-        return obs_rc;
+        campaign::Campaign::Status st = c->status();
+        std::printf("campaign: %s\n", dir.c_str());
+        std::printf("  units: %zu/%zu complete\n", st.completed_units,
+                    st.total_units);
+        std::printf("  cache entries: %zu\n", st.cache_entries);
+        if (st.journal_torn)
+            std::printf("  journal: %d torn record(s) tolerated\n",
+                        st.journal_torn);
+        return st.completed_units == st.total_units ? 0 : 3;
     }
-    for (std::size_t i = 0; i < rendered.size(); ++i) {
-        if (i)
-            std::fputs("\n", stdout);
-        std::fputs(rendered[i].c_str(), stdout);
+    if (sub != "run" && sub != "resume")
+        usageError("unknown campaign subcommand: " + sub);
+
+    // --abort-after is campaign-only, so it is peeled off before the
+    // remaining flags reach the shared parsers.
+    int abort_after = -1;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--abort-after") == 0) {
+            abort_after = static_cast<int>(parseInt(
+                "--abort-after", i + 1 < argc ? argv[i + 1] : nullptr));
+            if (abort_after < 0)
+                usageError("--abort-after must be >= 0");
+            ++i;
+        } else {
+            rest.push_back(argv[i]);
+        }
     }
+    const int rest_argc = static_cast<int>(rest.size());
+
+    std::string err;
+    std::optional<campaign::Campaign> c;
+    CliOptions cli;
+    if (sub == "run") {
+        cli = parseOptions(rest_argc, rest.data(), 1);
+        c = campaign::Campaign::create(
+            dir, campaignConfigOf(cli, true), &err);
+    } else {
+        // Resume takes no analysis flags: the manifest is the only
+        // source of configuration, so a resumed campaign can never
+        // drift from the run that started it.
+        cli.opts.jobs = 0;
+        for (int i = 1; i < rest_argc; ++i) {
+            if (parseObsFlag(rest_argc, rest.data(), i, &cli.obs,
+                             false))
+                continue;
+            if (std::strcmp(rest[i], "--jobs") == 0) {
+                cli.opts.jobs = static_cast<int>(parseInt(
+                    "--jobs",
+                    i + 1 < rest_argc ? rest[i + 1] : nullptr));
+                if (cli.opts.jobs < 1)
+                    usageError("--jobs must be >= 1");
+                ++i;
+            } else {
+                usageError("unknown campaign resume option: " +
+                           std::string(rest[i]));
+            }
+        }
+        c = campaign::Campaign::open(dir, &err);
+    }
+    if (!c) {
+        std::fprintf(stderr, "portend: %s\n", err.c_str());
+        return 2;
+    }
+
+    installObsSinks(cli.obs.trace_out, cli.obs.metrics_out,
+                    cli.obs.progress_jsonl, false);
+    campaign::CampaignResult res = c->run(abort_after, cli.opts.jobs);
+    const int obs_rc = writeObsOutputs(
+        cli.obs.trace_out, cli.obs.metrics_out, res.metrics);
+    if (!res.error.empty()) {
+        std::fprintf(stderr, "portend: %s\n", res.error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "campaign: %zu unit(s): %d executed, %d cache "
+                 "hit(s), %d resumed from journal\n",
+                 res.units.size(), res.executed, res.cache_hits,
+                 res.resume_skips);
+    if (res.aborted) {
+        std::fprintf(stderr,
+                     "campaign: aborted by --abort-after; resume "
+                     "with `portend campaign resume %s`\n",
+                     dir.c_str());
+        return 3;
+    }
+    std::fputs(res.mergedOutput(c->config().render.json).c_str(),
+               stdout);
     return obs_rc;
 }
 
@@ -771,31 +750,13 @@ cmdFuzz(int argc, char **argv)
     fuzz::FuzzOptions fo;
     fo.jobs = 0; // CLI default: one worker per hardware thread
     bool budget_given = false;
-    std::string trace_out;
-    std::string metrics_out;
-    bool progress_jsonl = false;
-    bool quiet = false;
+    ObsFlags obs;
     for (int i = 2; i < argc; ++i) {
+        if (parseObsFlag(argc, argv, i, &obs, true))
+            continue;
         std::string a = argv[i];
         const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
-        if (a == "--trace-out") {
-            if (!next)
-                usageError("--trace-out needs a file path");
-            trace_out = next;
-            ++i;
-        } else if (a == "--metrics-out") {
-            if (!next)
-                usageError("--metrics-out needs a file path");
-            metrics_out = next;
-            ++i;
-        } else if (a == "--progress") {
-            if (!next || std::string(next) != "jsonl")
-                usageError("--progress needs the mode jsonl");
-            progress_jsonl = true;
-            ++i;
-        } else if (a == "--quiet") {
-            quiet = true;
-        } else if (a == "--budget") {
+        if (a == "--budget") {
             fo.budget = static_cast<int>(parseInt("--budget", next));
             if (fo.budget < 1)
                 usageError("--budget must be >= 1");
@@ -825,6 +786,11 @@ cmdFuzz(int argc, char **argv)
                 usageError("--corpus needs a directory");
             fo.corpus_dir = next;
             ++i;
+        } else if (a == "--campaign") {
+            if (!next)
+                usageError("--campaign needs a directory");
+            fo.campaign_dir = next;
+            ++i;
         } else {
             usageError("unknown fuzz option: " + a);
         }
@@ -835,13 +801,14 @@ cmdFuzz(int argc, char **argv)
     // The collector is always on for fuzz (the end-of-run summary
     // reads it); the campaign summary on stdout stays byte-stable, so
     // the metrics line joins the wall-clock line on stderr.
-    installObsSinks(trace_out, metrics_out, progress_jsonl, true);
+    installObsSinks(obs.trace_out, obs.metrics_out,
+                    obs.progress_jsonl, true);
     fuzz::FuzzResult res = fuzz::runFuzz(fo);
     std::fputs(res.summaryText().c_str(), stdout);
 
     obs::MetricsShard m;
     g_collector.drainInto(m);
-    if (!quiet) {
+    if (!obs.quiet) {
         std::fprintf(
             stderr,
             "metrics: fuzz.programs=%llu fuzz.flagged=%llu "
@@ -858,8 +825,8 @@ cmdFuzz(int argc, char **argv)
             static_cast<unsigned long long>(
                 m.counter(obs::Counter::SolverQueries)));
     }
-    const int obs_rc =
-        writeObsOutputs(trace_out, metrics_out, obs::MetricsShard{});
+    const int obs_rc = writeObsOutputs(obs.trace_out, obs.metrics_out,
+                                       obs::MetricsShard{});
     std::fprintf(stderr, "wall-clock: %.2fs (%d jobs)\n", res.seconds,
                  ThreadPool::resolveJobs(fo.jobs));
     if (obs_rc != 0)
@@ -870,12 +837,14 @@ cmdFuzz(int argc, char **argv)
 /** `portend corpus run <dir>`: replay a reproducer corpus. */
 int
 cmdCorpusRun(const std::string &dir, fuzz::OracleOptions opts,
-             bool quiet)
+             const ObsFlags &obs_flags)
 {
+    const bool quiet = obs_flags.quiet;
     // Collector on by default: the one-line summary below is the
     // corpus counterpart of the fuzz metrics line (stderr, so the
     // PASS/FAIL stdout stays byte-stable).
-    obs::setCollector(&g_collector);
+    installObsSinks(obs_flags.trace_out, obs_flags.metrics_out,
+                    obs_flags.progress_jsonl, true);
     fuzz::CorpusRunResult res = fuzz::runCorpus(dir, opts);
     if (res.total == 0) {
         std::fprintf(stderr,
@@ -891,14 +860,15 @@ cmdCorpusRun(const std::string &dir, fuzz::OracleOptions opts,
                         o.detail.c_str());
     }
     std::printf("corpus: %d/%d green\n", res.passed, res.total);
+    obs::MetricsShard corpus_shard;
+    corpus_shard.add(obs::Counter::CorpusEntries,
+                     static_cast<std::uint64_t>(res.total));
+    corpus_shard.add(obs::Counter::CorpusPassed,
+                     static_cast<std::uint64_t>(res.passed));
+    corpus_shard.add(obs::Counter::CorpusFailed,
+                     static_cast<std::uint64_t>(res.total - res.passed));
     if (!quiet) {
-        obs::MetricsShard m;
-        m.add(obs::Counter::CorpusEntries,
-              static_cast<std::uint64_t>(res.total));
-        m.add(obs::Counter::CorpusPassed,
-              static_cast<std::uint64_t>(res.passed));
-        m.add(obs::Counter::CorpusFailed,
-              static_cast<std::uint64_t>(res.total - res.passed));
+        obs::MetricsShard m = corpus_shard;
         g_collector.drainInto(m);
         std::fprintf(
             stderr,
@@ -915,6 +885,10 @@ cmdCorpusRun(const std::string &dir, fuzz::OracleOptions opts,
             static_cast<unsigned long long>(
                 m.counter(obs::Counter::InterpSteps)));
     }
+    const int obs_rc = writeObsOutputs(
+        obs_flags.trace_out, obs_flags.metrics_out, corpus_shard);
+    if (obs_rc != 0)
+        return obs_rc;
     return res.allGreen() ? 0 : 1;
 }
 
@@ -988,26 +962,28 @@ main(int argc, char **argv)
         CliOptions cli = parseOptions(argc, argv, 3);
         return cmdRun(argv[2], classify_mode, cli);
     }
+    if (cmd == "campaign")
+        return cmdCampaign(argc, argv);
     if (cmd == "fuzz")
         return cmdFuzz(argc, argv);
     if (cmd == "corpus") {
         if (argc < 4 || std::strcmp(argv[2], "run") != 0)
             usageError("usage: portend corpus run <dir>");
         fuzz::OracleOptions opts;
-        bool quiet = false;
+        ObsFlags obs_flags;
         for (int i = 4; i < argc; ++i) {
+            if (parseObsFlag(argc, argv, i, &obs_flags, true))
+                continue;
             std::string a = argv[i];
             if (a == "--explore") {
                 opts.explore = parseExploreMode(
                     i + 1 < argc ? argv[i + 1] : nullptr);
                 ++i;
-            } else if (a == "--quiet") {
-                quiet = true;
             } else {
                 usageError("unknown corpus option: " + a);
             }
         }
-        return cmdCorpusRun(argv[3], opts, quiet);
+        return cmdCorpusRun(argv[3], opts, obs_flags);
     }
     usageError("unknown command: " + cmd);
 }
