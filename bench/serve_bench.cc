@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Serve-layer benchmark: submission latency and unit throughput of
+ * the multi-process sharded triage server across worker counts.
+ *
+ * For each worker count the harness forks a fresh server (Unix
+ * socket, empty state directory), submits a campaign manifest cold
+ * (every unit executes in a worker process), then resubmits it warm
+ * (answered from the journal + cache with zero dispatches), timing
+ * both round trips through the real wire protocol. A byte-equality
+ * check against a single-process ephemeral campaign run gates every
+ * configuration — sharding and recovery must change time, never
+ * bytes.
+ *
+ * Emits one JSON object (BENCH_serve.json in CI). Exit status: 0
+ * when every configuration's bytes are identical to the
+ * single-process reference and every warm resubmission is faster
+ * than its cold submission; 1 otherwise (CI gates on it).
+ *
+ * Usage: bench_serve_bench [state_root]
+ *   state_root  scratch root (default serve-bench.state; removed
+ *               and recreated per configuration)
+ *
+ * Single-core caveat: with one hardware thread the worker processes
+ * serialize on the CPU, so multi-worker speedups only show on real
+ * multi-core hosts; the gate therefore checks correctness (bytes)
+ * and the cache effect (warm < cold), not scaling ratios.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "support/stats.h"
+#include "support/subproc.h"
+
+namespace {
+
+using namespace portend;
+
+struct Config
+{
+    int workers = 1;
+    double cold_s = 0.0;
+    double warm_s = 0.0;
+    bool identical = false;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+#ifdef _WIN32
+    std::fprintf(stderr, "serve bench: POSIX only\n");
+    (void)argc;
+    (void)argv;
+    return 0;
+#else
+    const std::string root =
+        argc > 1 ? argv[1] : "serve-bench.state";
+
+    campaign::CampaignConfig config;
+    config.render.json = true;
+    config.units = campaign::registryUnits();
+    const std::string manifest = campaign::manifestText(config);
+
+    // Single-process reference bytes: the identity every sharded
+    // configuration must reproduce.
+    campaign::Campaign reference(config);
+    campaign::CampaignResult ref_res = reference.run();
+    if (!ref_res.complete()) {
+        std::fprintf(stderr, "reference run incomplete\n");
+        return 1;
+    }
+    const std::string ref_bytes = ref_res.mergedOutput(true);
+
+    std::vector<Config> rows;
+    bool pass = true;
+    for (int workers : {1, 2, 4}) {
+        std::filesystem::remove_all(root);
+        std::filesystem::create_directories(root);
+
+        serve::ServeOptions so;
+        so.dir = root + "/state";
+        so.socket_path = root + "/sock";
+        so.workers = workers;
+        std::string err;
+        std::optional<sub::Child> server = sub::spawn(
+            [so](int) {
+                serve::Server s(so);
+                std::string e;
+                if (!s.start(&e)) {
+                    std::fprintf(stderr, "server: %s\n", e.c_str());
+                    return 1;
+                }
+                return s.loop();
+            },
+            &err);
+        if (!server) {
+            std::fprintf(stderr, "spawn failed: %s\n", err.c_str());
+            return 1;
+        }
+
+        serve::Endpoint ep;
+        ep.socket_path = so.socket_path;
+
+        Config row;
+        row.workers = workers;
+        std::string cold_bytes, warm_bytes;
+        Stopwatch cold_sw;
+        const bool cold_ok =
+            serve::submit(ep, manifest, &cold_bytes, &err);
+        row.cold_s = cold_sw.seconds();
+        Stopwatch warm_sw;
+        const bool warm_ok =
+            cold_ok && serve::submit(ep, manifest, &warm_bytes, &err);
+        row.warm_s = warm_sw.seconds();
+        if (!cold_ok || !warm_ok)
+            std::fprintf(stderr, "submit (workers=%d): %s\n",
+                         workers, err.c_str());
+        row.identical = cold_ok && warm_ok &&
+                        cold_bytes == ref_bytes &&
+                        warm_bytes == ref_bytes;
+
+        serve::requestShutdown(ep, nullptr);
+        int status = -1;
+        while (!sub::reap(*server, &status)) {
+        }
+        sub::closeChannel(*server);
+
+        pass = pass && row.identical && row.warm_s < row.cold_s;
+        rows.push_back(row);
+    }
+    std::filesystem::remove_all(root);
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"serve_sharded_triage\",\n");
+    std::printf("  \"units\": %zu,\n", config.units.size());
+    std::printf("  \"configs\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Config &r = rows[i];
+        std::printf("    {\"workers\": %d, "
+                    "\"cold_submit_s\": %.3f, "
+                    "\"warm_submit_s\": %.3f, "
+                    "\"units_per_s_cold\": %.2f, "
+                    "\"bytes_identical\": %s}%s\n",
+                    r.workers, r.cold_s, r.warm_s,
+                    r.cold_s > 0.0
+                        ? static_cast<double>(config.units.size()) /
+                              r.cold_s
+                        : 0.0,
+                    r.identical ? "true" : "false",
+                    i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"pass\": %s\n", pass ? "true" : "false");
+    std::printf("}\n");
+    return pass ? 0 : 1;
+#endif
+}

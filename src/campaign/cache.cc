@@ -128,8 +128,22 @@ VerdictCache::store(const CacheEntry &e, std::string *error)
     std::error_code ec;
     fs::create_directories(dir_, ec);
     const std::string final_path = entryPath(e.sig);
-    if (fs::exists(final_path, ec))
-        return true; // content-addressed: an existing entry is equal
+    if (fs::exists(final_path, ec)) {
+        // Content-addressed: an existing *valid* entry is equal. But
+        // a corrupt or truncated survivor (probe rejects it as a
+        // miss) must be repaired here, or the signature is a
+        // permanent miss: every future run would re-execute the unit
+        // and skip the store again. Validate, and fall through to
+        // the temp+rename replace when the bytes do not parse back
+        // to this signature.
+        std::ifstream is(final_path, std::ios::binary);
+        std::ostringstream os;
+        os << is.rdbuf();
+        std::optional<CacheEntry> cur =
+            deserializeCacheEntry(os.str());
+        if (cur && cur->sig == e.sig)
+            return true;
+    }
 
     // Temp + rename: a kill mid-write never leaves a torn entry at
     // the content address (the loader would reject it anyway via the

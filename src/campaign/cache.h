@@ -75,8 +75,11 @@ class VerdictCache
 
     /**
      * Store @p e under its signature (idempotent; last store wins in
-     * memory, first-written file wins on disk). Disk I/O failures
-     * degrade to memory-only and are reported through @p error once.
+     * memory, first *valid* file wins on disk — an existing entry
+     * that fails to deserialize or names the wrong signature is
+     * replaced, so corruption repairs itself on the next store).
+     * Disk I/O failures degrade to memory-only and are reported
+     * through @p error once.
      */
     bool store(const CacheEntry &e, std::string *error = nullptr);
 

@@ -352,20 +352,83 @@ CampaignResult::mergedOutput(bool json) const
     return out;
 }
 
+bool
+executeUnit(const CampaignConfig &config, std::size_t index,
+            VerdictCache &cache, UnitResult *out, std::string *error,
+            std::string *store_error)
+{
+    if (index >= config.units.size())
+        return fail(error, "unit index out of range");
+    out->index = index;
+    out->spec = config.units[index];
+
+    workloads::Workload w;
+    if (!loadUnit(out->spec, &w, error))
+        return false;
+
+    core::PortendOptions opts = config.analysis;
+    opts.jobs = 1; // units fan out; inner pipelines stay serial
+    opts.semantic_predicates = w.semantic_predicates;
+
+    core::Portend tool(w.program, opts);
+    core::DetectionResult det = tool.detect();
+
+    UnitKey key;
+    key.fingerprint = rt::programFingerprint(w.program);
+    key.trace_hash = traceHash(det.trace);
+    key.config_hash =
+        configHash(opts, unitSalt(out->spec, config.render));
+    out->key = key;
+    out->sig = signatureHex(key);
+
+    std::optional<CacheEntry> hit = cache.probe(out->sig);
+    if (hit) {
+        out->rendered = hit->payload;
+        out->source = UnitSource::CacheHit;
+        out->metrics.add(obs::Counter::PipelineWorkloads, 1);
+        out->metrics.merge(det.metrics);
+        return true;
+    }
+
+    core::PortendResult res = tool.runFrom(std::move(det));
+    out->rendered = core::renderPipelineReport(
+        w.name, w.program, res, opts.mp, opts.ma, config.render);
+    out->metrics = res.metrics;
+    out->source = UnitSource::Executed;
+
+    CacheEntry entry;
+    entry.sig = out->sig;
+    entry.key = key;
+    entry.name = out->spec.name;
+    entry.payload = out->rendered;
+    cache.store(entry, store_error);
+    return true;
+}
+
 Campaign::Campaign(CampaignConfig config)
     : config_(std::move(config)),
       cache_(std::make_unique<VerdictCache>())
 {}
 
-Campaign::Campaign(CampaignConfig config, std::string dir)
+Campaign::Campaign(CampaignConfig config, std::string dir,
+                   std::string cache_dir)
     : config_(std::move(config)), dir_(std::move(dir)),
       cache_(std::make_unique<VerdictCache>(
-          (fs::path(dir_) / kCacheDir).string()))
+          cache_dir.empty() ? (fs::path(dir_) / kCacheDir).string()
+                            : cache_dir))
 {}
+
+std::string
+Campaign::journalPath() const
+{
+    return dir_.empty()
+               ? std::string()
+               : (fs::path(dir_) / kJournalFile).string();
+}
 
 std::optional<Campaign>
 Campaign::create(const std::string &dir, CampaignConfig config,
-                 std::string *error)
+                 std::string *error, const std::string &cache_dir)
 {
     std::error_code ec;
     fs::create_directories(dir, ec);
@@ -390,7 +453,7 @@ Campaign::create(const std::string &dir, CampaignConfig config,
                      "resume` to continue it as-is");
             return std::nullopt;
         }
-        return Campaign(std::move(config), dir);
+        return Campaign(std::move(config), dir, cache_dir);
     }
 
     fs::path tmp = fs::path(dir) / (std::string(kManifestFile) + ".tmp");
@@ -407,11 +470,12 @@ Campaign::create(const std::string &dir, CampaignConfig config,
         fail(error, "cannot publish manifest: " + ec.message());
         return std::nullopt;
     }
-    return Campaign(std::move(config), dir);
+    return Campaign(std::move(config), dir, cache_dir);
 }
 
 std::optional<Campaign>
-Campaign::open(const std::string &dir, std::string *error)
+Campaign::open(const std::string &dir, std::string *error,
+               const std::string &cache_dir)
 {
     fs::path manifest = fs::path(dir) / kManifestFile;
     std::ifstream is(manifest, std::ios::binary);
@@ -425,13 +489,12 @@ Campaign::open(const std::string &dir, std::string *error)
         parseManifest(os.str(), error);
     if (!config)
         return std::nullopt;
-    return Campaign(std::move(*config), dir);
+    return Campaign(std::move(*config), dir, cache_dir);
 }
 
 CampaignResult
-Campaign::run(int abort_after_units, int jobs_override)
+Campaign::replayJournal()
 {
-    obs::Span span("campaign", "run");
     CampaignResult result;
     result.units.resize(config_.units.size());
     for (std::size_t i = 0; i < config_.units.size(); ++i) {
@@ -439,33 +502,123 @@ Campaign::run(int abort_after_units, int jobs_override)
         result.units[i].spec = config_.units[i];
     }
 
-    // Phase 1: replay the journal. Every journaled unit whose cache
-    // entry is present is done — no execution at all. A journaled
-    // unit with a lost cache entry simply re-runs (always sound).
-    std::string journal_path;
-    if (!dir_.empty()) {
-        journal_path = (fs::path(dir_) / kJournalFile).string();
-        std::vector<JournalRecord> records =
-            loadJournal(journal_path, &result.journal_torn);
-        result.journal_replays = static_cast<int>(records.size());
-        for (const JournalRecord &rec : records) {
-            if (rec.unit >= result.units.size())
-                continue;
-            UnitResult &u = result.units[rec.unit];
-            if (u.source != UnitSource::Pending)
-                continue; // duplicate record (re-run overlap)
-            if (u.spec.kind != rec.kind || u.spec.name != rec.name)
-                continue; // journal from another manifest shape
-            std::optional<CacheEntry> hit = cache_->probe(rec.sig);
-            if (!hit)
-                continue;
-            u.sig = rec.sig;
-            u.rendered = hit->payload;
-            u.source = UnitSource::Journal;
-            result.resume_skips += 1;
-            emitUnitEvent(u);
-        }
+    // Every journaled unit whose cache entry is present is done — no
+    // execution at all. A journaled unit with a lost cache entry
+    // simply re-runs (always sound).
+    const std::string journal_path = journalPath();
+    if (journal_path.empty())
+        return result;
+    std::vector<JournalRecord> records =
+        loadJournal(journal_path, &result.journal_torn);
+    result.journal_replays = static_cast<int>(records.size());
+    for (const JournalRecord &rec : records) {
+        if (rec.unit >= result.units.size())
+            continue;
+        UnitResult &u = result.units[rec.unit];
+        if (u.source != UnitSource::Pending)
+            continue; // duplicate record (re-run overlap)
+        if (u.spec.kind != rec.kind || u.spec.name != rec.name)
+            continue; // journal from another manifest shape
+        std::optional<CacheEntry> hit = cache_->probe(rec.sig);
+        if (!hit)
+            continue;
+        u.sig = rec.sig;
+        u.key = rec.key;
+        u.rendered = hit->payload;
+        u.source = UnitSource::Journal;
+        result.resume_skips += 1;
+        emitUnitEvent(u);
     }
+    return result;
+}
+
+bool
+Campaign::openJournal(std::string *error)
+{
+    const std::string path = journalPath();
+    if (path.empty())
+        return true; // ephemeral: nothing to journal
+    if (!journal_)
+        journal_ = std::make_unique<JournalWriter>();
+    return journal_->isOpen() || journal_->open(path, error);
+}
+
+void
+Campaign::closeJournal()
+{
+    if (journal_)
+        journal_->close();
+}
+
+bool
+Campaign::recordCompletion(CampaignResult &result, std::size_t index,
+                           const std::string &sig, bool cached,
+                           std::string *error)
+{
+    if (index >= result.units.size())
+        return fail(error, "completion for out-of-range unit index");
+    UnitResult &u = result.units[index];
+    if (u.source != UnitSource::Pending)
+        return true; // duplicate completion (re-dispatch overlap)
+    std::optional<CacheEntry> hit = cache_->probe(sig);
+    if (!hit)
+        return fail(error,
+                    "no cache entry for reported signature " + sig);
+    u.sig = sig;
+    u.key = hit->key;
+    u.rendered = hit->payload;
+    u.source = cached ? UnitSource::CacheHit : UnitSource::Executed;
+
+    if (journal_ && journal_->isOpen()) {
+        JournalRecord rec;
+        rec.unit = index;
+        rec.kind = u.spec.kind;
+        rec.name = u.spec.name;
+        rec.sig = sig;
+        rec.key = hit->key;
+        std::string jerr;
+        if (!journal_->append(rec, &jerr) && result.error.empty())
+            result.error = jerr;
+    }
+    emitUnitEvent(u);
+    return true;
+}
+
+void
+Campaign::finalize(CampaignResult &result) const
+{
+    // Merge: unit shards in manifest order, then the engine's own
+    // counters — one fixed order, so --metrics-out bytes stay
+    // deterministic across --jobs values.
+    for (const UnitResult &u : result.units) {
+        result.metrics.merge(u.metrics);
+        if (u.source == UnitSource::Executed)
+            result.executed += 1;
+        else if (u.source == UnitSource::CacheHit)
+            result.cache_hits += 1;
+    }
+    using obs::Counter;
+    result.metrics.add(Counter::CampaignUnits,
+                       result.units.size());
+    result.metrics.add(Counter::CampaignCacheHits,
+                       static_cast<std::uint64_t>(result.cache_hits));
+    result.metrics.add(Counter::CampaignCacheMisses,
+                       static_cast<std::uint64_t>(result.executed));
+    result.metrics.add(
+        Counter::CampaignJournalReplays,
+        static_cast<std::uint64_t>(result.journal_replays));
+    result.metrics.add(
+        Counter::CampaignResumeSkips,
+        static_cast<std::uint64_t>(result.resume_skips));
+}
+
+CampaignResult
+Campaign::run(int abort_after_units, int jobs_override)
+{
+    obs::Span span("campaign", "run");
+
+    // Phase 1: journal replay.
+    CampaignResult result = replayJournal();
 
     // Phase 2: execute what remains, workers pulling from the queue.
     std::vector<std::size_t> pending;
@@ -474,11 +627,9 @@ Campaign::run(int abort_after_units, int jobs_override)
             pending.push_back(u.index);
     Queue<std::size_t> queue(std::move(pending));
 
-    JournalWriter journal;
     std::mutex journal_mu;
     std::string first_error;
-    if (!journal_path.empty() &&
-        !journal.open(journal_path, &first_error)) {
+    if (!openJournal(&first_error)) {
         result.error = first_error;
         return result;
     }
@@ -488,67 +639,31 @@ Campaign::run(int abort_after_units, int jobs_override)
 
     auto runUnit = [&](std::size_t index) {
         UnitResult &u = result.units[index];
-        workloads::Workload w;
-        std::string err;
-        if (!loadUnit(u.spec, &w, &err)) {
+        std::string err, store_err;
+        if (!executeUnit(config_, index, *cache_, &u, &err,
+                         &store_err)) {
             std::lock_guard<std::mutex> lock(journal_mu);
             if (result.error.empty())
                 result.error = err;
             failed.store(true);
             return;
         }
-
-        core::PortendOptions opts = config_.analysis;
-        opts.jobs = 1; // units fan out; inner pipelines stay serial
-        opts.semantic_predicates = w.semantic_predicates;
-
-        core::Portend tool(w.program, opts);
-        core::DetectionResult det = tool.detect();
-
-        UnitKey key;
-        key.fingerprint = rt::programFingerprint(w.program);
-        key.trace_hash = traceHash(det.trace);
-        key.config_hash =
-            configHash(opts, unitSalt(u.spec, config_.render));
-        u.sig = signatureHex(key);
-
-        std::optional<CacheEntry> hit = cache_->probe(u.sig);
-        if (hit) {
-            u.rendered = hit->payload;
-            u.source = UnitSource::CacheHit;
-            u.metrics.add(obs::Counter::PipelineWorkloads, 1);
-            u.metrics.merge(det.metrics);
-        } else {
-            core::PortendResult res = tool.runFrom(std::move(det));
-            u.rendered = core::renderPipelineReport(
-                w.name, w.program, res, opts.mp, opts.ma,
-                config_.render);
-            u.metrics = res.metrics;
-            u.source = UnitSource::Executed;
-
-            CacheEntry entry;
-            entry.sig = u.sig;
-            entry.key = key;
-            entry.name = u.spec.name;
-            entry.payload = u.rendered;
-            std::string store_err;
-            if (!cache_->store(entry, &store_err)) {
-                std::lock_guard<std::mutex> lock(journal_mu);
-                if (result.error.empty())
-                    result.error = store_err;
-            }
+        if (!store_err.empty()) {
+            std::lock_guard<std::mutex> lock(journal_mu);
+            if (result.error.empty())
+                result.error = store_err;
         }
 
-        if (journal.isOpen()) {
+        if (journal_ && journal_->isOpen()) {
             JournalRecord rec;
             rec.unit = index;
             rec.kind = u.spec.kind;
             rec.name = u.spec.name;
             rec.sig = u.sig;
-            rec.key = key;
+            rec.key = u.key;
             std::string jerr;
             std::lock_guard<std::mutex> lock(journal_mu);
-            if (!journal.append(rec, &jerr) && result.error.empty())
+            if (!journal_->append(rec, &jerr) && result.error.empty())
                 result.error = jerr;
         }
         journaled.fetch_add(1);
@@ -574,35 +689,13 @@ Campaign::run(int abort_after_units, int jobs_override)
                     runUnit(*index);
             };
         });
-    journal.close();
+    closeJournal();
 
     result.aborted =
         abort_after_units >= 0 && !queue.drained() &&
         result.error.empty();
 
-    // Merge: unit shards in manifest order, then the engine's own
-    // counters — one fixed order, so --metrics-out bytes stay
-    // deterministic across --jobs values.
-    for (const UnitResult &u : result.units) {
-        result.metrics.merge(u.metrics);
-        if (u.source == UnitSource::Executed)
-            result.executed += 1;
-        else if (u.source == UnitSource::CacheHit)
-            result.cache_hits += 1;
-    }
-    using obs::Counter;
-    result.metrics.add(Counter::CampaignUnits,
-                       result.units.size());
-    result.metrics.add(Counter::CampaignCacheHits,
-                       static_cast<std::uint64_t>(result.cache_hits));
-    result.metrics.add(Counter::CampaignCacheMisses,
-                       static_cast<std::uint64_t>(result.executed));
-    result.metrics.add(
-        Counter::CampaignJournalReplays,
-        static_cast<std::uint64_t>(result.journal_replays));
-    result.metrics.add(
-        Counter::CampaignResumeSkips,
-        static_cast<std::uint64_t>(result.resume_skips));
+    finalize(result);
 
     span.arg("units",
              static_cast<std::int64_t>(result.units.size()));

@@ -76,7 +76,13 @@ unesc(const std::string &s, std::string *out)
                 else
                     return false;
             }
-            out->push_back(static_cast<char>(v & 0xff));
+            // The writer only ever emits \u00XX (control chars), so
+            // a wider value is not ours. Truncating it to one byte
+            // would silently corrupt the unit name on load — reject
+            // the record instead (the loader re-runs that unit).
+            if (v > 0xff)
+                return false;
+            out->push_back(static_cast<char>(v));
             break;
         }
         default: return false;

@@ -88,6 +88,13 @@ namespace portend::obs {
     X(LadderForks, "ladder.forks")                                            \
     X(LadderRungs, "ladder.rungs")                                            \
     X(PipelineWorkloads, "pipeline.workloads")                                \
+    X(ServeRequests, "serve.requests")                                        \
+    X(ServeSubmissions, "serve.submissions")                                  \
+    X(ServeUnitsCached, "serve.units_cached")                                 \
+    X(ServeUnitsCompleted, "serve.units_completed")                           \
+    X(ServeUnitsDispatched, "serve.units_dispatched")                         \
+    X(ServeWorkerDeaths, "serve.worker_deaths")                               \
+    X(ServeWorkerRestarts, "serve.worker_restarts")                           \
     X(SolverQueries, "sym.solver_queries")                                    \
     X(SymPathForks, "sym.path_forks")                                         \
     X(VerdictKWitnessHarmless, "verdicts.k_witness_harmless")                 \

@@ -1,6 +1,8 @@
 #include "support/str.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 namespace portend {
 
@@ -62,6 +64,22 @@ startsWith(const std::string &s, const std::string &prefix)
 {
     return s.size() >= prefix.size() &&
            s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+parseI64(const std::string &s, std::int64_t *out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno == ERANGE)
+        return false; // strtoll saturated: the value does not fit
+    if (!end || end == s.c_str() || *end != '\0')
+        return false;
+    *out = static_cast<std::int64_t>(v);
+    return true;
 }
 
 } // namespace portend

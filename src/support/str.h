@@ -31,6 +31,15 @@ std::string fmtDouble(double v, int decimals = 2);
 /** True if @p s starts with @p prefix. */
 bool startsWith(const std::string &s, const std::string &prefix);
 
+/**
+ * Parse a signed decimal 64-bit integer with full range checking:
+ * rejects empty input, trailing junk, and — unlike a bare strtoll —
+ * values outside [INT64_MIN, INT64_MAX] (strtoll saturates those and
+ * only reports them through errno, which callers routinely forget to
+ * check). Returns false without touching @p out on any rejection.
+ */
+bool parseI64(const std::string &s, std::int64_t *out);
+
 } // namespace portend
 
 #endif // PORTEND_SUPPORT_STR_H

@@ -1,0 +1,156 @@
+#include "support/subproc.h"
+
+#ifndef _WIN32
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "support/clock.h"
+
+namespace portend::sub {
+
+std::optional<Child>
+spawn(const std::function<int(int fd)> &child_main, std::string *error)
+{
+    int sv[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        if (error)
+            *error = std::string("socketpair: ") + std::strerror(errno);
+        return std::nullopt;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        if (error)
+            *error = std::string("fork: ") + std::strerror(errno);
+        ::close(sv[0]);
+        ::close(sv[1]);
+        return std::nullopt;
+    }
+    if (pid == 0) {
+        // Child: drop the parent's end, die on our own SIGPIPE
+        // (write errors surface as EPIPE instead), run, _exit — no
+        // atexit handlers, no stdio flush of inherited buffers.
+        ::close(sv[0]);
+        ::signal(SIGPIPE, SIG_IGN);
+        _exit(child_main(sv[1]));
+    }
+    ::close(sv[1]);
+    Child c;
+    c.pid = pid;
+    c.fd = sv[0];
+    return c;
+}
+
+bool
+reap(Child &c, int *exit_status_out)
+{
+    if (!c.running())
+        return true;
+    int status = 0;
+    const pid_t r = ::waitpid(static_cast<pid_t>(c.pid), &status,
+                              WNOHANG);
+    if (r == 0)
+        return false;
+    // r == pid, or ECHILD (someone else collected it): gone either way.
+    if (exit_status_out)
+        *exit_status_out = r > 0 ? status : -1;
+    c.pid = -1;
+    return true;
+}
+
+void
+kill(const Child &c, int sig)
+{
+    if (c.running())
+        ::kill(static_cast<pid_t>(c.pid), sig);
+}
+
+void
+terminate(Child &c, double grace_seconds)
+{
+    closeChannel(c);
+    if (!c.running())
+        return;
+    kill(c, SIGTERM);
+    const std::uint64_t start = steadyNanos();
+    while (!reap(c)) {
+        if (steadySeconds(start, steadyNanos()) > grace_seconds) {
+            kill(c, SIGKILL);
+            ::waitpid(static_cast<pid_t>(c.pid), nullptr, 0);
+            c.pid = -1;
+            return;
+        }
+        ::usleep(10 * 1000);
+    }
+}
+
+void
+closeChannel(Child &c)
+{
+    if (c.fd >= 0) {
+        ::close(c.fd);
+        c.fd = -1;
+    }
+}
+
+bool
+writeAll(int fd, const char *data, std::size_t n)
+{
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t w = ::write(fd, data + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+long
+readSome(int fd, char *buf, std::size_t n)
+{
+    for (;;) {
+        const ssize_t r = ::read(fd, buf, n);
+        if (r >= 0)
+            return static_cast<long>(r);
+        if (errno != EINTR)
+            return -1;
+    }
+}
+
+} // namespace portend::sub
+
+#else // _WIN32
+
+namespace portend::sub {
+
+// The serve layer is POSIX-only (fork + unix sockets); on Windows
+// every primitive reports failure and `portend serve` refuses to
+// start.
+
+std::optional<Child>
+spawn(const std::function<int(int)> &, std::string *error)
+{
+    if (error)
+        *error = "subprocess supervision is not supported on Windows";
+    return std::nullopt;
+}
+
+bool reap(Child &c, int *) { c.pid = -1; return true; }
+void kill(const Child &, int) {}
+void terminate(Child &c, double) { c.pid = -1; c.fd = -1; }
+void closeChannel(Child &c) { c.fd = -1; }
+bool writeAll(int, const char *, std::size_t) { return false; }
+long readSome(int, char *, std::size_t) { return -1; }
+
+} // namespace portend::sub
+
+#endif // _WIN32

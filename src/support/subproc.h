@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Subprocess supervision for the serve layer: fork a worker child
+ * connected by a socketpair, reap and respawn it when it dies, and
+ * push/pull bytes over its channel.
+ *
+ * The spawn model is fork-without-exec: the child runs a callback in
+ * the same binary and `_exit`s with its return value. That keeps
+ * workers free of any argv/binary-path plumbing, but it puts one
+ * hard rule on callers: *spawn only from a single-threaded process*
+ * (the serve event loop is single-threaded by design) — forking a
+ * multithreaded process can clone held locks.
+ *
+ * The supervision contract lives one layer up (src/serve/): this
+ * module only gives it honest primitives — a spawn that cannot
+ * half-succeed, a non-blocking reap that never lies about liveness,
+ * and a kill that escalates to SIGKILL on request.
+ */
+
+#ifndef PORTEND_SUPPORT_SUBPROC_H
+#define PORTEND_SUPPORT_SUBPROC_H
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace portend::sub {
+
+/** One spawned child and the parent's end of its channel. */
+struct Child
+{
+    long pid = -1; ///< child process id (-1 = not running)
+    int fd = -1;   ///< parent end of the socketpair (-1 = closed)
+
+    bool running() const { return pid > 0; }
+};
+
+/**
+ * Fork a child running `child_main(fd)` over one end of a fresh
+ * socketpair; the parent keeps the other end in the returned Child.
+ * The child never returns here — it `_exit`s with child_main's
+ * return value. nullopt with @p error when the pair or fork fails.
+ */
+std::optional<Child> spawn(const std::function<int(int fd)> &child_main,
+                           std::string *error = nullptr);
+
+/**
+ * Non-blocking reap: true when the child has exited (or was killed),
+ * in which case its pid is collected, @p exit_status_out (when
+ * non-null) receives the raw waitpid status, and c.pid is reset.
+ * False while it is still running.
+ */
+bool reap(Child &c, int *exit_status_out = nullptr);
+
+/** Send @p sig to the child (no-op when not running). */
+void kill(const Child &c, int sig);
+
+/** Blocking reap: kill(SIGTERM), wait; escalate to SIGKILL after
+ *  @p grace_seconds if it has not exited. Closes the channel fd. */
+void terminate(Child &c, double grace_seconds = 2.0);
+
+/** Close the parent's channel end (idempotent). */
+void closeChannel(Child &c);
+
+/** Write all @p n bytes to @p fd, retrying on EINTR/short writes;
+ *  false on any hard error (EPIPE most of all). */
+bool writeAll(int fd, const char *data, std::size_t n);
+
+/** One read(2) into @p buf, retrying on EINTR. Returns bytes read,
+ *  0 on EOF, -1 on hard error. */
+long readSome(int fd, char *buf, std::size_t n);
+
+} // namespace portend::sub
+
+#endif // PORTEND_SUPPORT_SUBPROC_H

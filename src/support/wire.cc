@@ -1,0 +1,115 @@
+#include "support/wire.h"
+
+namespace portend::wire {
+
+namespace {
+
+const char kMagic[] = "psrv1";
+
+/** Header lines are short by construction: magic + type + a decimal
+ *  count. Anything longer is junk, not a slow header. */
+constexpr std::size_t kMaxHeaderLen =
+    sizeof(kMagic) + kMaxTypeLen + 24;
+
+bool
+typeChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || c == '_';
+}
+
+} // namespace
+
+bool
+validFrameType(const std::string &type)
+{
+    if (type.empty() || type.size() > kMaxTypeLen)
+        return false;
+    for (char c : type)
+        if (!typeChar(c))
+            return false;
+    return true;
+}
+
+std::string
+encodeFrame(const Frame &f)
+{
+    std::string out = kMagic;
+    out += ' ';
+    out += f.type;
+    out += ' ';
+    out += std::to_string(f.payload.size());
+    out += '\n';
+    out += f.payload;
+    return out;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t n)
+{
+    if (failed_)
+        return; // poisoned: resynchronization is impossible
+    buf_.append(data, n);
+}
+
+std::optional<Frame>
+FrameReader::next()
+{
+    if (failed_)
+        return std::nullopt;
+
+    const std::size_t lf = buf_.find('\n');
+    if (lf == std::string::npos) {
+        if (buf_.size() > kMaxHeaderLen) {
+            failed_ = true;
+            error_ = "frame header too long";
+        }
+        return std::nullopt;
+    }
+
+    // Parse "psrv1 <type> <bytes>" in place; any deviation poisons.
+    auto poison = [this](const std::string &why) {
+        failed_ = true;
+        error_ = why;
+        return std::nullopt;
+    };
+    const std::string header = buf_.substr(0, lf);
+    if (header.size() > kMaxHeaderLen)
+        return poison("frame header too long");
+    std::size_t i = 0;
+    for (const char *m = kMagic; *m; ++m, ++i)
+        if (i >= header.size() || header[i] != *m)
+            return poison("bad frame magic");
+    if (i >= header.size() || header[i] != ' ')
+        return poison("bad frame magic");
+    ++i;
+    std::string type;
+    while (i < header.size() && typeChar(header[i]))
+        type += header[i++];
+    if (!validFrameType(type))
+        return poison("bad frame type");
+    if (i >= header.size() || header[i] != ' ')
+        return poison("bad frame header");
+    ++i;
+    if (i >= header.size())
+        return poison("missing payload size");
+    std::size_t bytes = 0;
+    for (; i < header.size(); ++i) {
+        const char c = header[i];
+        if (c < '0' || c > '9')
+            return poison("bad payload size");
+        bytes = bytes * 10 + static_cast<std::size_t>(c - '0');
+        if (bytes > kMaxFramePayload)
+            return poison("payload too large");
+    }
+
+    if (buf_.size() - (lf + 1) < bytes)
+        return std::nullopt; // payload still in flight
+
+    Frame f;
+    f.type = std::move(type);
+    f.payload = buf_.substr(lf + 1, bytes);
+    buf_.erase(0, lf + 1 + bytes);
+    return f;
+}
+
+} // namespace portend::wire

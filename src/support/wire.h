@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Length-prefixed frame protocol (`portend-serve-v1` wire spec).
+ *
+ * One frame is a single ASCII header line followed by a verbatim
+ * payload:
+ *
+ *   psrv1 <type> <payload-bytes>\n
+ *   <payload bytes>
+ *
+ * `type` is 1..32 chars of [a-z_]; `payload-bytes` is a decimal
+ * byte count bounded by kMaxFramePayload. The header is
+ * self-delimiting (first LF) and the payload length-prefixed, so
+ * frames never need escaping and binary payloads (rendered verdict
+ * bytes) travel untouched.
+ *
+ * The reader is incremental and adversarial-input hardened: bytes
+ * arrive in arbitrary chunks (socket reads), and any malformed
+ * header — wrong magic, bad type charset, non-numeric or oversized
+ * count, overlong header — poisons the stream with a diagnostic
+ * instead of desynchronizing. A poisoned stream stays poisoned: the
+ * reader cannot know where the next frame starts, so the connection
+ * must be dropped. Exercised by the mutant-fuzz battery in
+ * tests/serve_test.cc (the PR 3 parser-robustness template).
+ */
+
+#ifndef PORTEND_SUPPORT_WIRE_H
+#define PORTEND_SUPPORT_WIRE_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace portend::wire {
+
+/** Hard payload bound: a frame is a request or one rendered verdict
+ *  batch, never bulk data. */
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+/** Longest accepted frame type name. */
+inline constexpr std::size_t kMaxTypeLen = 32;
+
+/** One protocol message. */
+struct Frame
+{
+    std::string type;    ///< [a-z_]{1,32}
+    std::string payload; ///< verbatim bytes
+
+    bool operator==(const Frame &o) const = default;
+};
+
+/** Serialize @p f as header line + payload. */
+std::string encodeFrame(const Frame &f);
+
+/**
+ * Incremental frame parser over a byte stream. feed() appends
+ * arriving bytes; next() extracts the earliest complete frame, if
+ * any. After a malformed header the reader reports failed() with a
+ * diagnostic and ignores all further input.
+ */
+class FrameReader
+{
+  public:
+    /** Append @p n bytes arriving from the stream. */
+    void feed(const char *data, std::size_t n);
+
+    /** Pop the next complete frame, or nullopt when more bytes are
+     *  needed (or the stream is poisoned — check failed()). */
+    std::optional<Frame> next();
+
+    /** True once a malformed header poisoned the stream. */
+    bool failed() const { return failed_; }
+
+    /** Diagnostic for the poisoning header ("" while healthy). */
+    const std::string &error() const { return error_; }
+
+  private:
+    std::string buf_;
+    bool failed_ = false;
+    std::string error_;
+};
+
+/** True if @p type is a well-formed frame type name. */
+bool validFrameType(const std::string &type);
+
+} // namespace portend::wire
+
+#endif // PORTEND_SUPPORT_WIRE_H

@@ -19,6 +19,7 @@
 #include "campaign/journal.h"
 #include "campaign/queue.h"
 #include "campaign/signature.h"
+#include "support/subproc.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/oracle.h"
 #include "portend/portend.h"
@@ -200,6 +201,109 @@ TEST(CacheTest, EntryRoundTripAndTornWriteRejected)
                      .has_value());
 }
 
+TEST(CacheTest, CorruptDiskEntryIsRepairedByStore)
+{
+    const std::string dir = scratchDir("cache_repair");
+    CacheEntry e;
+    e.key = {0xa1, 0xb2, 0xc3};
+    e.sig = signatureHex(e.key);
+    e.name = "unit";
+    e.payload = "the verdict bytes";
+    const std::string path = dir + "/" + e.sig + ".entry";
+    {
+        VerdictCache cache(dir);
+        ASSERT_TRUE(cache.store(e));
+    }
+    // Corrupt the published entry (torn write, disk fault, ...).
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << "garbage";
+    }
+    // A fresh instance (no memory layer masking the damage) rejects
+    // the corrupt bytes...
+    {
+        VerdictCache cache(dir);
+        EXPECT_FALSE(cache.probe(e.sig).has_value());
+        // ...and store() must replace them, not early-return because
+        // the file merely exists (the regression this test pins).
+        ASSERT_TRUE(cache.store(e));
+    }
+    VerdictCache verify(dir);
+    std::optional<CacheEntry> hit = verify.probe(e.sig);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->payload, e.payload);
+}
+
+TEST(CacheTest, WrongSignatureEntryIsReplacedByStore)
+{
+    // A valid entry file whose recorded signature disagrees with its
+    // file name (e.g. a botched copy) is also repaired on store.
+    const std::string dir = scratchDir("cache_wrongsig");
+    CacheEntry right;
+    right.key = {1, 2, 3};
+    right.sig = signatureHex(right.key);
+    right.name = "unit";
+    right.payload = "right";
+    CacheEntry wrong = right;
+    wrong.key = {4, 5, 6};
+    wrong.sig = signatureHex(wrong.key);
+    wrong.payload = "wrong";
+    {
+        std::ofstream f(dir + "/" + right.sig + ".entry",
+                        std::ios::binary);
+        f << serializeCacheEntry(wrong);
+    }
+    VerdictCache cache(dir);
+    EXPECT_FALSE(cache.probe(right.sig).has_value());
+    ASSERT_TRUE(cache.store(right));
+    VerdictCache verify(dir);
+    std::optional<CacheEntry> hit = verify.probe(right.sig);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->payload, "right");
+}
+
+#ifndef _WIN32
+TEST(CacheTest, CrossProcessStoreRaceLeavesOneValidEntry)
+{
+    // Two worker processes racing store() on one signature — the
+    // serve layer's steady state. The temp + rename publish means
+    // whichever rename lands last wins wholesale; the file must
+    // never interleave bytes from both writers.
+    const std::string dir = scratchDir("cache_race");
+    CacheEntry e;
+    e.key = {0x77, 0x88, 0x99};
+    e.sig = signatureHex(e.key);
+    e.name = "unit";
+    e.payload = std::string(8192, 'p'); // big enough to tear
+    std::vector<sub::Child> children;
+    for (int c = 0; c < 2; ++c) {
+        std::optional<sub::Child> child = sub::spawn(
+            [dir, e](int) {
+                VerdictCache cache(dir);
+                for (int i = 0; i < 200; ++i)
+                    if (!cache.store(e))
+                        return 1;
+                return 0;
+            },
+            nullptr);
+        if (!child.has_value())
+            return; // spawn unavailable: nothing to test
+        children.push_back(*child);
+    }
+    for (sub::Child &c : children) {
+        int status = -1;
+        while (!sub::reap(c, &status))
+            ;
+        EXPECT_EQ(status, 0);
+        sub::closeChannel(c);
+    }
+    VerdictCache verify(dir);
+    std::optional<CacheEntry> hit = verify.probe(e.sig);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->payload, e.payload);
+}
+#endif // _WIN32
+
 TEST(CacheTest, DiskEntriesSurviveAcrossInstances)
 {
     const std::string dir = scratchDir("cache_disk");
@@ -238,6 +342,64 @@ TEST(JournalTest, RecordRoundTrip)
     EXPECT_EQ(back.name, rec.name);
     EXPECT_EQ(back.sig, rec.sig);
     EXPECT_TRUE(back.key == rec.key);
+}
+
+TEST(JournalTest, AdversarialEscapesRoundTrip)
+{
+    // Names with every character class the writer escapes: quotes,
+    // backslashes, the named escapes, and raw control bytes (which
+    // the writer emits as \u00XX).
+    const std::vector<std::string> names = {
+        "quo\"te",
+        "back\\slash",
+        "nl\ntab\tcr\r",
+        std::string("ctl\x01\x1f\x07end"),
+        "\\u0041 stays literal after a backslash escape",
+        "mixed\"\\\n\t\r\x02\x1e",
+    };
+    for (const std::string &name : names) {
+        JournalRecord rec;
+        rec.unit = 3;
+        rec.kind = "workload";
+        rec.name = name;
+        rec.key = {10, 20, 30};
+        rec.sig = signatureHex(rec.key);
+        JournalRecord back;
+        ASSERT_TRUE(parseJournalLine(journalLine(rec), &back))
+            << journalLine(rec);
+        EXPECT_EQ(back.name, name);
+    }
+}
+
+TEST(JournalTest, WideUnicodeEscapeIsRejectedNotTruncated)
+{
+    // The writer only ever emits \u00XX, so a wider value in a
+    // journal line is not ours. The old reader truncated \u0100 to
+    // its low byte, silently corrupting the unit name on load; the
+    // record must be rejected instead (the unit then re-runs).
+    JournalRecord rec;
+    rec.unit = 1;
+    rec.kind = "workload";
+    rec.name = "XYZ";
+    rec.key = {1, 2, 3};
+    rec.sig = signatureHex(rec.key);
+    const std::string line = journalLine(rec);
+    const std::string needle = "\"name\": \"XYZ\"";
+    const std::size_t at = line.find(needle);
+    ASSERT_NE(at, std::string::npos);
+
+    JournalRecord out;
+    for (const char *esc : {"\\u0100", "\\u0041\\uffff", "\\uBEEF"}) {
+        std::string mutated = line;
+        mutated.replace(at, needle.size(),
+                        "\"name\": \"" + std::string(esc) + "\"");
+        EXPECT_FALSE(parseJournalLine(mutated, &out)) << mutated;
+    }
+    // \u00XX (the writer's own range) still parses.
+    std::string ok = line;
+    ok.replace(at, needle.size(), "\"name\": \"\\u00e9\"");
+    ASSERT_TRUE(parseJournalLine(ok, &out));
+    EXPECT_EQ(out.name, "\xe9");
 }
 
 TEST(JournalTest, TornFinalLineIsSkippedNotFatal)

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "support/hash.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -106,6 +109,40 @@ TEST(StrTest, FmtDouble)
 {
     EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
     EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(StrTest, ParseI64AcceptsTheFullRange)
+{
+    std::int64_t v = 0;
+    EXPECT_TRUE(parseI64("0", &v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(parseI64("-42", &v));
+    EXPECT_EQ(v, -42);
+    EXPECT_TRUE(parseI64("9223372036854775807", &v));
+    EXPECT_EQ(v, std::numeric_limits<std::int64_t>::max());
+    EXPECT_TRUE(parseI64("-9223372036854775808", &v));
+    EXPECT_EQ(v, std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(StrTest, ParseI64RejectsOverflowNotSaturates)
+{
+    // The CLI regression this pins: strtoll saturates at INT64_MAX
+    // with errno == ERANGE, and a missing check turned absurd flag
+    // values into silently-accepted budgets.
+    std::int64_t v = 0;
+    EXPECT_FALSE(parseI64("9223372036854775808", &v));
+    EXPECT_FALSE(parseI64("-9223372036854775809", &v));
+    EXPECT_FALSE(parseI64("99999999999999999999", &v));
+}
+
+TEST(StrTest, ParseI64RejectsMalformedInput)
+{
+    std::int64_t v = 0;
+    EXPECT_FALSE(parseI64("", &v));
+    EXPECT_FALSE(parseI64("banana", &v));
+    EXPECT_FALSE(parseI64("12x", &v));
+    EXPECT_FALSE(parseI64("1.5", &v));
+    EXPECT_FALSE(parseI64("-", &v));
 }
 
 TEST(StrTest, StartsWith)
